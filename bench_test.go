@@ -1,0 +1,294 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (DESIGN.md §4 maps each experiment to its bench target) plus
+// per-component and per-predictor micro-benchmarks.
+//
+// The table/figure benches run on reduced corpora so that `go test -bench=.`
+// completes quickly; `cmd/eval` runs the full-size experiments. Accuracy
+// results are attached to the benchmark output via b.ReportMetric (MAPE in
+// percent), so the benchmark log doubles as a compact experiment record.
+package facile_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"facile"
+	"facile/internal/baselines"
+	"facile/internal/bb"
+	"facile/internal/bhive"
+	"facile/internal/core"
+	"facile/internal/cycleratio"
+	"facile/internal/eval"
+	"facile/internal/pipesim"
+	"facile/internal/uarch"
+)
+
+const (
+	benchCorpusN = 120
+	benchTrainN  = 120
+)
+
+// BenchmarkTable1_Configs regenerates Table 1 (the µarch inventory).
+func BenchmarkTable1_Configs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = eval.Table1()
+	}
+}
+
+// BenchmarkTable2_Accuracy regenerates Table 2 on a reduced corpus for a
+// representative subset of microarchitectures and reports Facile's and
+// uiCA's MAPE on BHiveU/BHiveL as metrics.
+func BenchmarkTable2_Accuracy(b *testing.B) {
+	var rows []eval.AccuracyRow
+	for i := 0; i < b.N; i++ {
+		rows, _ = eval.Table2(benchCorpusN, benchTrainN,
+			[]*uarch.Config{uarch.RKL, uarch.SKL, uarch.SNB})
+	}
+	for _, row := range rows {
+		if row.Predictor == "Facile" || row.Predictor == "uiCA" {
+			b.ReportMetric(row.MAPEU*100, row.Arch+"_"+row.Predictor+"_mapeU_%")
+			b.ReportMetric(row.MAPEL*100, row.Arch+"_"+row.Predictor+"_mapeL_%")
+		}
+	}
+}
+
+// BenchmarkTable3_Ablations regenerates the component-ablation study.
+func BenchmarkTable3_Ablations(b *testing.B) {
+	var rows []eval.VariantRow
+	for i := 0; i < b.N; i++ {
+		rows, _ = eval.Table3(benchCorpusN, []*uarch.Config{uarch.RKL})
+	}
+	for _, row := range rows {
+		if row.Variant == "Facile" || row.Variant == "Facile w/o Ports" {
+			if row.HasU {
+				// Metric units must not contain whitespace.
+				name := strings.ReplaceAll(row.Variant, " ", "-")
+				name = strings.ReplaceAll(name, "/", "")
+				b.ReportMetric(row.MAPEU*100, name+"_mapeU_%")
+			}
+		}
+	}
+}
+
+// BenchmarkTable4_Idealization regenerates the idealization-speedup table.
+func BenchmarkTable4_Idealization(b *testing.B) {
+	var rows []eval.SpeedupRow
+	for i := 0; i < b.N; i++ {
+		rows, _ = eval.Table4(benchCorpusN, []*uarch.Config{uarch.SNB, uarch.RKL})
+	}
+	for _, row := range rows {
+		b.ReportMetric(row.Speedups[core.Predec], row.Arch+"_predec_speedup")
+		b.ReportMetric(row.Speedups[core.Ports], row.Arch+"_ports_speedup")
+	}
+}
+
+// BenchmarkFigure3_Heatmaps regenerates the measured-vs-predicted heatmaps.
+func BenchmarkFigure3_Heatmaps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = eval.Figure3(benchCorpusN, uarch.RKL)
+	}
+}
+
+// BenchmarkFigure4_ComponentTimes regenerates the per-component timing
+// distributions.
+func BenchmarkFigure4_ComponentTimes(b *testing.B) {
+	var tpu []eval.ComponentTime
+	for i := 0; i < b.N; i++ {
+		tpu, _, _ = eval.Figure4(benchCorpusN, uarch.SKL)
+	}
+	for _, ct := range tpu {
+		b.ReportMetric(ct.MeanMs*1000, ct.Name+"_usPerBlock")
+	}
+}
+
+// BenchmarkFigure5_PredictorTimes regenerates the per-predictor timing
+// comparison and reports each predictor's time per benchmark.
+func BenchmarkFigure5_PredictorTimes(b *testing.B) {
+	var rows []eval.PredictorTime
+	for i := 0; i < b.N; i++ {
+		rows, _ = eval.Figure5(benchCorpusN, benchTrainN, uarch.SKL)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.MsU*1000, r.Name+"_usPerBlock")
+	}
+}
+
+// BenchmarkFigure6_BottleneckFlow regenerates the bottleneck-evolution
+// analysis.
+func BenchmarkFigure6_BottleneckFlow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = eval.BottleneckFlow(benchCorpusN,
+			[]*uarch.Config{uarch.SNB, uarch.HSW, uarch.CLX, uarch.RKL})
+	}
+}
+
+// --- Micro-benchmarks: predictors ------------------------------------------
+
+func benchBlocks(b *testing.B, cfg *uarch.Config, loop bool) []*bb.Block {
+	b.Helper()
+	corpus := bhive.Generate(eval.DefaultSeed, benchCorpusN)
+	var blocks []*bb.Block
+	for _, bm := range corpus {
+		code := bm.Code
+		if loop {
+			code = bm.LoopCode
+		}
+		block, err := bb.Build(cfg, code)
+		if err != nil {
+			continue
+		}
+		blocks = append(blocks, block)
+	}
+	return blocks
+}
+
+// BenchmarkPredictor measures the per-block cost of Facile versus the
+// simulation-based reference (the headline efficiency claim: almost two
+// orders of magnitude).
+func BenchmarkPredictor(b *testing.B) {
+	preds := []baselines.Predictor{
+		baselines.Facile{},
+		baselines.UiCA{},
+		baselines.LLVMMCA{},
+		baselines.OSACA{},
+		baselines.IACA{},
+		baselines.CQA{},
+	}
+	for _, pred := range preds {
+		for _, mode := range []string{"TPU", "TPL"} {
+			loop := mode == "TPL"
+			b.Run(fmt.Sprintf("%s/%s", pred.Name(), mode), func(b *testing.B) {
+				blocks := benchBlocks(b, uarch.SKL, loop)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					pred.Predict(blocks[i%len(blocks)], loop)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkComponent measures each Facile component in isolation
+// (Figure 4's microdata).
+func BenchmarkComponent(b *testing.B) {
+	comps := []struct {
+		name string
+		fn   func(*bb.Block)
+	}{
+		{"Predec", func(bl *bb.Block) { core.PredecBound(bl, core.TPU) }},
+		{"SimplePredec", func(bl *bb.Block) { core.SimplePredecBound(bl, core.TPU) }},
+		{"Dec", func(bl *bb.Block) { core.DecBound(bl) }},
+		{"SimpleDec", func(bl *bb.Block) { core.SimpleDecBound(bl) }},
+		{"DSB", func(bl *bb.Block) { core.DSBBound(bl) }},
+		{"LSD", func(bl *bb.Block) { core.LSDBound(bl) }},
+		{"Issue", func(bl *bb.Block) { core.IssueBound(bl) }},
+		{"Ports", func(bl *bb.Block) { core.PortsBound(bl) }},
+		{"Precedence", func(bl *bb.Block) { core.PrecedenceBound(bl) }},
+	}
+	for _, c := range comps {
+		b.Run(c.name, func(b *testing.B) {
+			blocks := benchBlocks(b, uarch.SKL, false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.fn(blocks[i%len(blocks)])
+			}
+		})
+	}
+}
+
+// BenchmarkDecodeAndPrepare measures the shared "overhead" stage
+// (disassembly + descriptor lookup + fusion marking).
+func BenchmarkDecodeAndPrepare(b *testing.B) {
+	corpus := bhive.Generate(eval.DefaultSeed, benchCorpusN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm := corpus[i%len(corpus)]
+		if _, err := bb.Build(uarch.SKL, bm.Code); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulator measures the reference simulator on its own.
+func BenchmarkSimulator(b *testing.B) {
+	blocks := benchBlocks(b, uarch.SKL, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipesim.Run(blocks[i%len(blocks)], pipesim.Options{Loop: true})
+	}
+}
+
+// --- Ablation benchmarks for the design choices DESIGN.md calls out --------
+
+// BenchmarkAblationPorts compares the pairwise port-combination heuristic
+// (paper §4.8) against the exhaustive subset-enumeration bound it replaces.
+// The two return identical results on corpus blocks (property-tested in
+// internal/core); this bench quantifies the efficiency win.
+func BenchmarkAblationPorts(b *testing.B) {
+	blocks := benchBlocks(b, uarch.SKL, false)
+	b.Run("Pairwise", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.PortsBound(blocks[i%len(blocks)])
+		}
+	})
+	b.Run("ExactSubsets", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.PortsBoundExact(blocks[i%len(blocks)])
+		}
+	})
+}
+
+// BenchmarkAblationCycleRatio compares Howard's policy iteration (paper
+// §4.9) against the parametric binary-search/Bellman-Ford reference on the
+// same dependence graphs.
+func BenchmarkAblationCycleRatio(b *testing.B) {
+	blocks := benchBlocks(b, uarch.SKL, true)
+	graphs := make([]*cycleratio.Graph, len(blocks))
+	for i, block := range blocks {
+		graphs[i], _ = core.BuildDependenceGraph(block)
+	}
+	b.Run("Howard", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cycleratio.MaxRatio(graphs[i%len(graphs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("BellmanFordBisection", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cycleratio.MaxRatioReference(graphs[i%len(graphs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationPredec compares the full predecoder model against the
+// SimplePredec variant (the paper's Table 3 shows the accuracy cost; this
+// shows the runtime cost of the detailed model).
+func BenchmarkAblationPredec(b *testing.B) {
+	blocks := benchBlocks(b, uarch.SKL, false)
+	b.Run("Full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.PredecBound(blocks[i%len(blocks)], core.TPU)
+		}
+	})
+	b.Run("Simple", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.SimplePredecBound(blocks[i%len(blocks)], core.TPU)
+		}
+	})
+}
+
+// BenchmarkPublicAPI measures the end-to-end public entry point.
+func BenchmarkPublicAPI(b *testing.B) {
+	corpus := bhive.Generate(eval.DefaultSeed, benchCorpusN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm := corpus[i%len(corpus)]
+		if _, err := facile.Predict(bm.LoopCode, "SKL", facile.Loop); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

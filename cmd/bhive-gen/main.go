@@ -1,0 +1,55 @@
+// Command bhive-gen generates the benchmark corpora used by the evaluation
+// (the BHiveU/BHiveL stand-ins, DESIGN.md §1) and writes them to disk as raw
+// basic-block files plus a manifest.
+//
+// Usage:
+//
+//	bhive-gen -n 2000 -seed 1 -out corpus/
+//
+// The output directory receives <id>.u.bin (BHiveU variant), <id>.l.bin
+// (BHiveL variant), and manifest.tsv (id, category, lengths).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"facile/internal/bhive"
+)
+
+func main() {
+	var (
+		n    = flag.Int("n", 2000, "number of benchmarks")
+		seed = flag.Int64("seed", 1, "generator seed")
+		out  = flag.String("out", "corpus", "output directory")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	corpus := bhive.Generate(*seed, *n)
+	manifest, err := os.Create(filepath.Join(*out, "manifest.tsv"))
+	if err != nil {
+		fatal(err)
+	}
+	defer manifest.Close()
+	fmt.Fprintln(manifest, "id\tcategory\tu_bytes\tl_bytes")
+	for _, bm := range corpus {
+		if err := os.WriteFile(filepath.Join(*out, bm.ID+".u.bin"), bm.Code, 0o644); err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(*out, bm.ID+".l.bin"), bm.LoopCode, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(manifest, "%s\t%s\t%d\t%d\n", bm.ID, bm.Category, len(bm.Code), len(bm.LoopCode))
+	}
+	fmt.Printf("wrote %d benchmarks (x2 variants) to %s\n", len(corpus), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bhive-gen:", err)
+	os.Exit(1)
+}

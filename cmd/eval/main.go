@@ -1,0 +1,94 @@
+// Command eval regenerates the tables and figures of the paper's evaluation
+// section (§6) against the simulated measurement substrate.
+//
+// Usage:
+//
+//	eval -all                 # everything (Table 1-4, Figure 3-6)
+//	eval -table 2             # one table
+//	eval -figure 6            # one figure
+//	eval -corpus 400 -train 300   # smaller corpora for a quick pass
+//
+// See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
+// recorded paper-versus-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"facile/internal/eval"
+	"facile/internal/uarch"
+)
+
+func main() {
+	var (
+		table  = flag.Int("table", 0, "regenerate one table (1-4)")
+		figure = flag.Int("figure", 0, "regenerate one figure (3-6)")
+		all    = flag.Bool("all", false, "regenerate everything")
+		corpus = flag.Int("corpus", 1000, "evaluation corpus size")
+		train  = flag.Int("train", 400, "training corpus size for learned baselines")
+	)
+	flag.Parse()
+
+	if !*all && *table == 0 && *figure == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	runTable := func(n int) {
+		switch n {
+		case 1:
+			fmt.Println(eval.Table1())
+		case 2:
+			_, text := eval.Table2(*corpus, *train, eval.ArchesForExperiment())
+			fmt.Println(text)
+		case 3:
+			_, text := eval.Table3(*corpus, []*uarch.Config{uarch.RKL, uarch.SKL, uarch.SNB})
+			fmt.Println(text)
+		case 4:
+			_, text := eval.Table4(*corpus, uarch.Chronological())
+			fmt.Println(text)
+		default:
+			fatal(fmt.Errorf("unknown table %d", n))
+		}
+	}
+	runFigure := func(n int) {
+		switch n {
+		case 3:
+			fmt.Println(eval.Figure3(*corpus, uarch.RKL))
+		case 4:
+			_, _, text := eval.Figure4(*corpus, uarch.SKL)
+			fmt.Println(text)
+		case 5:
+			_, text := eval.Figure5(*corpus, *train, uarch.SKL)
+			fmt.Println(text)
+		case 6:
+			fmt.Println(eval.BottleneckFlow(*corpus,
+				[]*uarch.Config{uarch.SNB, uarch.HSW, uarch.CLX, uarch.RKL}))
+		default:
+			fatal(fmt.Errorf("unknown figure %d", n))
+		}
+	}
+
+	if *all {
+		for t := 1; t <= 4; t++ {
+			runTable(t)
+		}
+		for f := 3; f <= 6; f++ {
+			runFigure(f)
+		}
+		return
+	}
+	if *table != 0 {
+		runTable(*table)
+	}
+	if *figure != 0 {
+		runFigure(*figure)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eval:", err)
+	os.Exit(1)
+}

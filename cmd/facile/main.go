@@ -1,0 +1,105 @@
+// Command facile predicts the throughput of an x86-64 basic block and
+// explains its bottlenecks — the CLI front end of the library, mirroring the
+// role of facile.py in the original implementation.
+//
+// Usage:
+//
+//	facile -arch SKL -mode loop -hex "4801d8480fafc3"
+//	facile -arch RKL -mode unroll -file block.bin -explain
+//	facile -list
+//
+// The input block is raw machine code, given as a hex string (-hex) or a
+// binary file (-file).
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"facile"
+)
+
+func main() {
+	var (
+		arch    = flag.String("arch", "SKL", "target microarchitecture (see -list)")
+		mode    = flag.String("mode", "loop", `throughput notion: "loop" (TPL) or "unroll" (TPU)`)
+		hexStr  = flag.String("hex", "", "basic block as a hex string")
+		file    = flag.String("file", "", "basic block as a binary file")
+		explain = flag.Bool("explain", false, "print the full bottleneck report")
+		sim     = flag.Bool("simulate", false, "also run the reference cycle-accurate simulator")
+		list    = flag.Bool("list", false, "list supported microarchitectures and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, info := range facile.ArchInfos() {
+			fmt.Printf("%-4s %-14s %d  %s\n", info.Name, info.FullName, info.Released, info.CPU)
+		}
+		return
+	}
+
+	code, err := readBlock(*hexStr, *file)
+	if err != nil {
+		fatal(err)
+	}
+
+	m := facile.Loop
+	switch strings.ToLower(*mode) {
+	case "loop", "tpl":
+		m = facile.Loop
+	case "unroll", "tpu":
+		m = facile.Unroll
+	default:
+		fatal(fmt.Errorf("unknown mode %q (want loop or unroll)", *mode))
+	}
+
+	if *explain {
+		report, err := facile.Explain(code, *arch, m)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report)
+	} else {
+		pred, err := facile.Predict(code, *arch, m)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%.2f cycles/iteration (%s, %s)\n", pred.CyclesPerIteration, pred.Arch, pred.Mode)
+		if len(pred.Bottlenecks) > 0 {
+			fmt.Printf("bottleneck: %s\n", strings.Join(pred.Bottlenecks, ", "))
+		}
+	}
+
+	if *sim {
+		tp, err := facile.Simulate(code, *arch, m)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("reference simulator: %.2f cycles/iteration\n", tp)
+	}
+}
+
+func readBlock(hexStr, file string) ([]byte, error) {
+	switch {
+	case hexStr != "":
+		clean := strings.Map(func(r rune) rune {
+			if r == ' ' || r == '\n' || r == '\t' {
+				return -1
+			}
+			return r
+		}, hexStr)
+		return hex.DecodeString(clean)
+	case file != "":
+		return os.ReadFile(file)
+	default:
+		return nil, fmt.Errorf("provide a basic block via -hex or -file (or use -list)")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "facile:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,49 @@
+// Quickstart: predict the throughput of a basic block on several
+// microarchitectures with the public facile API.
+package main
+
+import (
+	"encoding/hex"
+	"fmt"
+	"log"
+
+	"facile"
+)
+
+func main() {
+	// A small reduction loop body:
+	//   add rax, [rdi]      ; accumulate
+	//   add rdi, 8          ; advance pointer
+	//   dec rcx             ; loop counter
+	//   jne .               ; back edge (macro-fuses with dec)
+	code, err := hex.DecodeString("480307" + "4883c708" + "48ffc9" + "75f2")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lines, err := facile.Disassemble(code)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Block:")
+	for i, line := range lines {
+		fmt.Printf("  %d: %s\n", i, line)
+	}
+
+	fmt.Println("\nPredicted loop throughput (cycles/iteration):")
+	for _, arch := range facile.Archs() {
+		pred, err := facile.Predict(code, arch, facile.Loop)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-4s %5.2f   bottleneck: %v\n",
+			arch, pred.CyclesPerIteration, pred.Bottlenecks)
+	}
+
+	// Cross-check one prediction against the reference simulator.
+	sim, err := facile.Simulate(code, "SKL", facile.Loop)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nReference simulator (SKL): %.2f cycles/iteration\n", sim)
+}

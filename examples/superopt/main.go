@@ -1,0 +1,113 @@
+// Superopt: use Facile as the cost model of a tiny superoptimizer — the
+// paper's motivating use case (§1: "superoptimizers explore a vast space of
+// possible instruction sequences... the speed of the model is a limiting
+// factor").
+//
+// The toy search problem: compute rax = rbx * K for a set of constants K,
+// choosing among semantically equivalent candidate sequences (imul with an
+// immediate, lea-based multiply decompositions, shift+add sequences). Facile
+// ranks the candidates per microarchitecture; because its predictions also
+// name the bottleneck, the superoptimizer can report *why* a candidate wins.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"facile"
+	"facile/internal/asm"
+	"facile/internal/x86"
+)
+
+// candidate is one instruction sequence implementing rax = rbx * K,
+// pre-verified for semantic equivalence (this toy focuses on the cost model).
+type candidate struct {
+	name   string
+	instrs []asm.Instr
+}
+
+// candidatesForMul enumerates equivalent sequences for rax = rbx * k.
+func candidatesForMul(k int64) []candidate {
+	var out []candidate
+
+	// Always available: imul with immediate.
+	out = append(out, candidate{
+		name: fmt.Sprintf("imul rax, rbx, %d", k),
+		instrs: []asm.Instr{
+			asm.Mk(x86.IMUL, 64, asm.R(x86.RAX), asm.R(x86.RBX), asm.I(k)),
+		},
+	})
+
+	// lea decompositions for k in {3, 5, 9}: rax = rbx + rbx*(k-1).
+	switch k {
+	case 3, 5, 9:
+		out = append(out, candidate{
+			name: fmt.Sprintf("lea rax, [rbx+rbx*%d]", k-1),
+			instrs: []asm.Instr{
+				asm.Mk(x86.LEA, 64, asm.R(x86.RAX), asm.MX(x86.RBX, x86.RBX, uint8(k-1), 0)),
+			},
+		})
+	}
+
+	// Power of two: mov + shift.
+	if k > 0 && k&(k-1) == 0 {
+		shift := 0
+		for v := k; v > 1; v >>= 1 {
+			shift++
+		}
+		out = append(out, candidate{
+			name: fmt.Sprintf("mov rax, rbx; shl rax, %d", shift),
+			instrs: []asm.Instr{
+				asm.Mk(x86.MOV, 64, asm.R(x86.RAX), asm.R(x86.RBX)),
+				asm.Mk(x86.SHL, 64, asm.R(x86.RAX), asm.I(int64(shift))),
+			},
+		})
+	}
+
+	// k = 2^n + 1 via lea chain: lea rax,[rbx+rbx*2^n] handles 3,5,9 above;
+	// k = 6, 10: lea + add (rax = rbx*k via lea *then* shift).
+	switch k {
+	case 6:
+		out = append(out, candidate{
+			name: "lea rax, [rbx+rbx*2]; add rax, rax",
+			instrs: []asm.Instr{
+				asm.Mk(x86.LEA, 64, asm.R(x86.RAX), asm.MX(x86.RBX, x86.RBX, 2, 0)),
+				asm.Mk(x86.ADD, 64, asm.R(x86.RAX), asm.R(x86.RAX)),
+			},
+		})
+	case 10:
+		out = append(out, candidate{
+			name: "lea rax, [rbx+rbx*4]; add rax, rax",
+			instrs: []asm.Instr{
+				asm.Mk(x86.LEA, 64, asm.R(x86.RAX), asm.MX(x86.RBX, x86.RBX, 4, 0)),
+				asm.Mk(x86.ADD, 64, asm.R(x86.RAX), asm.R(x86.RAX)),
+			},
+		})
+	}
+	return out
+}
+
+func main() {
+	arch := "SKL"
+	for _, k := range []int64{3, 5, 6, 8, 10, 1000} {
+		fmt.Printf("==== rax = rbx * %d on %s ====\n", k, arch)
+		best := ""
+		bestTP := 0.0
+		for _, cand := range candidatesForMul(k) {
+			code, err := asm.EncodeBlock(cand.instrs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pred, err := facile.Predict(code, arch, facile.Unroll)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-36s %5.2f cyc/iter  bottleneck %v\n",
+				cand.name, pred.CyclesPerIteration, pred.Bottlenecks)
+			if best == "" || pred.CyclesPerIteration < bestTP {
+				best, bestTP = cand.name, pred.CyclesPerIteration
+			}
+		}
+		fmt.Printf("  -> selected: %s (%.2f cycles)\n\n", best, bestTP)
+	}
+}

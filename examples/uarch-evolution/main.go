@@ -1,0 +1,88 @@
+// Uarch-evolution: exploit Facile's interpretability to compare
+// microarchitecture generations (the paper's §6.4): for a fixed workload,
+// how do the per-component bounds and the counterfactual headroom evolve
+// from Sandy Bridge to Rocket Lake?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"facile"
+	"facile/internal/asm"
+	"facile/internal/x86"
+)
+
+func main() {
+	// A vectorized accumulate-multiply kernel with a mixed profile:
+	// loads, FP multiply-add work, integer bookkeeping.
+	instrs := []asm.Instr{
+		asm.Mk(x86.MOVUPS, 128, asm.R(x86.X0), asm.M(x86.RDI, 0)),
+		asm.Mk(x86.MULPS, 128, asm.R(x86.X0), asm.R(x86.X4)),
+		asm.Mk(x86.ADDPS, 128, asm.R(x86.X1), asm.R(x86.X0)),
+		asm.Mk(x86.MOVUPS, 128, asm.R(x86.X2), asm.M(x86.RDI, 16)),
+		asm.Mk(x86.MULPS, 128, asm.R(x86.X2), asm.R(x86.X4)),
+		asm.Mk(x86.ADDPS, 128, asm.R(x86.X3), asm.R(x86.X2)),
+		asm.Mk(x86.ADD, 64, asm.R(x86.RDI), asm.I(32)),
+		asm.Mk(x86.DEC, 64, asm.R(x86.RCX)),
+		asm.MkCC(x86.JCC, x86.CondNE, 64, asm.I(-37)),
+	}
+	code, err := asm.EncodeBlock(instrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lines, _ := facile.Disassemble(code)
+	fmt.Println("Kernel:")
+	for _, l := range lines {
+		fmt.Println("  " + l)
+	}
+
+	fmt.Printf("\n%-5s %8s  %-12s %s\n", "uArch", "cyc/it", "bottleneck", "speedup if component idealized")
+	archs := facile.ArchInfos()
+	// Oldest first.
+	for i := len(archs) - 1; i >= 0; i-- {
+		arch := archs[i].Name
+		pred, err := facile.Predict(code, arch, facile.Loop)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp, err := facile.Speedups(code, arch, facile.Loop)
+		if err != nil {
+			log.Fatal(err)
+		}
+		primary := "-"
+		if len(pred.Bottlenecks) > 0 {
+			primary = pred.Bottlenecks[0]
+		}
+		fmt.Printf("%-5s %8.2f  %-12s", arch, pred.CyclesPerIteration, primary)
+		for _, c := range []string{"Ports", "Precedence", "Issue"} {
+			fmt.Printf(" %s=%.2fx", c, sp[c])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nPer-component bounds by generation (cycles/iteration):")
+	fmt.Printf("%-5s", "uArch")
+	comps := []string{"DSB", "LSD", "Issue", "Ports", "Precedence"}
+	for _, c := range comps {
+		fmt.Printf(" %10s", c)
+	}
+	fmt.Println()
+	for i := len(archs) - 1; i >= 0; i-- {
+		arch := archs[i].Name
+		pred, err := facile.Predict(code, arch, facile.Loop)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5s", arch)
+		for _, c := range comps {
+			if v, ok := pred.Components[c]; ok {
+				fmt.Printf(" %10.2f", v)
+			} else {
+				fmt.Printf(" %10s", "-")
+			}
+		}
+		fmt.Println()
+	}
+}

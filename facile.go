@@ -1,0 +1,215 @@
+// Package facile is a fast, accurate, and interpretable basic-block
+// throughput predictor for Intel Core microarchitectures — a from-scratch Go
+// reproduction of
+//
+//	Abel, Sharma, Reineke: "Facile: Fast, Accurate, and Interpretable
+//	Basic-Block Throughput Prediction", IISWC 2023.
+//
+// Given the bytes of an x86-64 basic block and a target microarchitecture,
+// Facile predicts the block's steady-state reciprocal throughput (cycles per
+// iteration) as the maximum of a small set of independently computed
+// per-pipeline-component bounds — predecoder, decoders, µop cache (DSB),
+// loop stream detector (LSD), issue stage, execution ports, and loop-carried
+// dependence chains. Because the combination is a simple maximum, every
+// prediction directly identifies its bottleneck and supports counterfactual
+// "what if this component were infinitely fast" queries.
+//
+// # Quick start
+//
+//	code, _ := hex.DecodeString("4801d8" + "480fafc3")     // add rax,rbx; imul rax,rbx
+//	pred, err := facile.Predict(code, "SKL", facile.Loop)
+//	if err != nil { ... }
+//	fmt.Printf("%.2f cycles/iteration, bottleneck: %s\n",
+//	    pred.CyclesPerIteration, pred.Bottlenecks[0])
+//
+// The package also exposes the reference cycle-accurate pipeline simulator
+// (Simulate) used as the measurement substrate of the evaluation, and a
+// disassembler (Disassemble) for the supported instruction subset.
+package facile
+
+import (
+	"fmt"
+	"math"
+
+	"facile/internal/bb"
+	"facile/internal/core"
+	"facile/internal/pipesim"
+	"facile/internal/uarch"
+	"facile/internal/x86"
+)
+
+// Mode selects the throughput notion (paper §3.1).
+type Mode int
+
+const (
+	// Unroll predicts TPU: the block is executed repeatedly by unrolling;
+	// instructions flow through the predecoder and decoders.
+	Unroll Mode = iota
+	// Loop predicts TPL: the block ends in a branch and is executed as a
+	// loop; µops stream from the LSD or DSB where possible.
+	Loop
+)
+
+func (m Mode) String() string {
+	if m == Loop {
+		return "TPL (loop)"
+	}
+	return "TPU (unroll)"
+}
+
+// Prediction is the result of a Facile throughput prediction.
+type Prediction struct {
+	// CyclesPerIteration is the predicted reciprocal throughput.
+	CyclesPerIteration float64
+	// Arch is the microarchitecture the prediction is for (e.g. "SKL").
+	Arch string
+	Mode Mode
+	// Components maps component names ("Predec", "Dec", "DSB", "LSD",
+	// "Issue", "Ports", "Precedence") to their individual bounds.
+	Components map[string]float64
+	// Bottlenecks lists the components whose bound equals the prediction,
+	// in front-end-first order; the first entry is the primary bottleneck.
+	Bottlenecks []string
+	// FrontEndSource names the front-end component selected for TPL
+	// predictions ("LSD", "DSB", "Predec", or "Dec"); empty for TPU.
+	FrontEndSource string
+	// CriticalChain lists the instruction indices of a maximum-latency
+	// loop-carried dependence cycle (when Precedence was computed).
+	CriticalChain []int
+	// ContendedPorts and ContendedInstrs describe the maximally contended
+	// execution-port combination (when Ports was computed).
+	ContendedPorts  string
+	ContendedInstrs []int
+	// Instructions is the decoded block in Intel-like syntax.
+	Instructions []string
+}
+
+// Archs returns the supported microarchitecture names, newest first
+// (Rocket Lake ... Sandy Bridge; paper Table 1).
+func Archs() []string {
+	var out []string
+	for _, cfg := range uarch.All() {
+		out = append(out, cfg.Name)
+	}
+	return out
+}
+
+// ArchInfo describes a supported microarchitecture.
+type ArchInfo struct {
+	Name     string
+	FullName string
+	CPU      string
+	Released int
+}
+
+// ArchInfos returns details for all supported microarchitectures.
+func ArchInfos() []ArchInfo {
+	var out []ArchInfo
+	for _, cfg := range uarch.All() {
+		out = append(out, ArchInfo{cfg.Name, cfg.FullName, cfg.CPU, cfg.Released})
+	}
+	return out
+}
+
+func prepare(code []byte, arch string) (*bb.Block, error) {
+	cfg, err := uarch.ByName(arch)
+	if err != nil {
+		return nil, err
+	}
+	if len(code) == 0 {
+		return nil, fmt.Errorf("facile: empty basic block")
+	}
+	return bb.Build(cfg, code)
+}
+
+// Predict computes the Facile throughput prediction for the basic block
+// encoded in code on the given microarchitecture.
+func Predict(code []byte, arch string, mode Mode) (Prediction, error) {
+	block, err := prepare(code, arch)
+	if err != nil {
+		return Prediction{}, err
+	}
+	return predictBlock(block, arch, mode), nil
+}
+
+func predictBlock(block *bb.Block, arch string, mode Mode) Prediction {
+	m := core.TPU
+	if mode == Loop {
+		m = core.TPL
+	}
+	p := core.Predict(block, m, core.Options{})
+
+	out := Prediction{
+		CyclesPerIteration: round2(p.TP),
+		Arch:               arch,
+		Mode:               mode,
+		Components:         make(map[string]float64, len(p.Components)),
+		CriticalChain:      p.CriticalChain,
+		ContendedPorts:     p.ContendedPorts,
+		ContendedInstrs:    p.ContendedInstrs,
+	}
+	for c, v := range p.Components {
+		out.Components[c.String()] = v
+	}
+	for _, c := range p.Bottlenecks {
+		out.Bottlenecks = append(out.Bottlenecks, c.String())
+	}
+	if mode == Loop {
+		out.FrontEndSource = p.FrontEndSource.String()
+	}
+	for k := range block.Insts {
+		out.Instructions = append(out.Instructions, block.Insts[k].Inst.String())
+	}
+	return out
+}
+
+// Speedups answers the counterfactual question of the paper's Table 4 for a
+// single block: the factor by which the prediction would improve if each
+// component were infinitely fast.
+func Speedups(code []byte, arch string, mode Mode) (map[string]float64, error) {
+	block, err := prepare(code, arch)
+	if err != nil {
+		return nil, err
+	}
+	m := core.TPU
+	if mode == Loop {
+		m = core.TPL
+	}
+	comps := []core.Component{core.Predec, core.Dec, core.Issue, core.Ports, core.Precedence}
+	if mode == Loop {
+		comps = append(comps, core.DSB, core.LSD)
+	}
+	out := make(map[string]float64, len(comps))
+	for _, c := range comps {
+		out[c.String()] = core.IdealizationSpeedup(block, m, c)
+	}
+	return out, nil
+}
+
+// Simulate runs the reference cycle-accurate pipeline simulator (the uiCA
+// stand-in and measurement substrate of the evaluation) and returns the
+// steady-state cycles per iteration.
+func Simulate(code []byte, arch string, mode Mode) (float64, error) {
+	block, err := prepare(code, arch)
+	if err != nil {
+		return 0, err
+	}
+	res := pipesim.Run(block, pipesim.Options{Loop: mode == Loop})
+	return round2(res.TP), nil
+}
+
+// Disassemble decodes the block and returns one line per instruction in
+// Intel-like syntax.
+func Disassemble(code []byte) ([]string, error) {
+	insts, err := x86.DecodeBlock(code)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(insts))
+	for i := range insts {
+		out[i] = insts[i].String()
+	}
+	return out, nil
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }

@@ -1,0 +1,140 @@
+// Package asm implements a small x86-64 assembler for the instruction subset
+// supported by internal/x86. It exists so that the benchmark-corpus generator
+// and the test suites can construct basic blocks symbolically; every encoding
+// it emits must round-trip through the decoder (enforced by property tests).
+package asm
+
+import (
+	"errors"
+	"fmt"
+
+	"facile/internal/x86"
+)
+
+// Kind discriminates operand kinds.
+type Kind uint8
+
+const (
+	KReg Kind = iota
+	KMem
+	KImm
+)
+
+// Operand is a symbolic instruction operand.
+type Operand struct {
+	Kind Kind
+	Reg  x86.Reg
+	Mem  x86.Mem
+	Imm  int64
+}
+
+// R makes a register operand.
+func R(r x86.Reg) Operand { return Operand{Kind: KReg, Reg: r} }
+
+// M makes a memory operand [base + disp].
+func M(base x86.Reg, disp int32) Operand {
+	return Operand{Kind: KMem, Mem: x86.Mem{Base: base, Disp: disp}}
+}
+
+// MX makes an indexed memory operand [base + index*scale + disp].
+func MX(base, index x86.Reg, scale uint8, disp int32) Operand {
+	return Operand{Kind: KMem, Mem: x86.Mem{Base: base, Index: index, Scale: scale, Disp: disp}}
+}
+
+// I makes an immediate operand.
+func I(v int64) Operand { return Operand{Kind: KImm, Imm: v} }
+
+// Instr is a symbolic instruction.
+type Instr struct {
+	Op       x86.Op
+	Cond     x86.Cond
+	Width    int // 8, 16, 32, 64 for GPR ops; 128/256 for vector ops
+	SrcWidth int // source width for MOVZX/MOVSX (8 or 16)
+	VEX      bool
+	Args     []Operand // destination first
+}
+
+// Mk builds an Instr.
+func Mk(op x86.Op, width int, args ...Operand) Instr {
+	return Instr{Op: op, Width: width, Args: args}
+}
+
+// MkCC builds a condition-code-carrying Instr (JCC, CMOVCC, SETCC).
+func MkCC(op x86.Op, cond x86.Cond, width int, args ...Operand) Instr {
+	return Instr{Op: op, Cond: cond, Width: width, Args: args}
+}
+
+// ErrCannotEncode is returned when no encoding exists for the request.
+var ErrCannotEncode = errors.New("asm: cannot encode")
+
+func cantEncode(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCannotEncode, fmt.Sprintf(format, args...))
+}
+
+// Encode encodes a single instruction.
+func Encode(ins Instr) ([]byte, error) {
+	e := &encoder{}
+	if err := e.encode(ins); err != nil {
+		return nil, err
+	}
+	return e.buf, nil
+}
+
+// EncodeBlock encodes a sequence of instructions.
+func EncodeBlock(block []Instr) ([]byte, error) {
+	var out []byte
+	for idx, ins := range block {
+		b, err := Encode(ins)
+		if err != nil {
+			return nil, fmt.Errorf("instruction %d (%v): %w", idx, ins.Op, err)
+		}
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// MustEncodeBlock is EncodeBlock for tests and generators with known-good input.
+func MustEncodeBlock(block []Instr) []byte {
+	b, err := EncodeBlock(block)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// nops holds the recommended single-instruction NOP encodings, lengths 1-9
+// (Intel SDM Table 4-12).
+var nops = [][]byte{
+	{0x90},
+	{0x66, 0x90},
+	{0x0F, 0x1F, 0x00},
+	{0x0F, 0x1F, 0x40, 0x00},
+	{0x0F, 0x1F, 0x44, 0x00, 0x00},
+	{0x66, 0x0F, 0x1F, 0x44, 0x00, 0x00},
+	{0x0F, 0x1F, 0x80, 0x00, 0x00, 0x00, 0x00},
+	{0x0F, 0x1F, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00},
+	{0x66, 0x0F, 0x1F, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00},
+}
+
+// NopBytes returns a sequence of NOP instructions totalling exactly n bytes,
+// using the longest encodings first.
+func NopBytes(n int) []byte {
+	var out []byte
+	for n > 0 {
+		k := n
+		if k > 9 {
+			k = 9
+		}
+		out = append(out, nops[k-1]...)
+		n -= k
+	}
+	return out
+}
+
+// Nop returns a single NOP instruction of length n (1 <= n <= 9).
+func Nop(n int) []byte {
+	if n < 1 || n > 9 {
+		panic("asm: Nop length out of range")
+	}
+	return append([]byte(nil), nops[n-1]...)
+}

@@ -1,0 +1,293 @@
+package asm
+
+import (
+	"math/rand"
+	"testing"
+
+	"facile/internal/x86"
+)
+
+// roundtrip encodes ins and decodes the result, failing on any mismatch in
+// the properties the throughput models rely on.
+func roundtrip(t *testing.T, ins Instr) x86.Inst {
+	t.Helper()
+	bs, err := Encode(ins)
+	if err != nil {
+		t.Fatalf("Encode(%+v): %v", ins, err)
+	}
+	dec, err := x86.Decode(bs)
+	if err != nil {
+		t.Fatalf("Decode(% x) of %+v: %v", bs, ins, err)
+	}
+	if dec.Len != len(bs) {
+		t.Fatalf("decode consumed %d of %d bytes (% x)", dec.Len, len(bs), bs)
+	}
+	if dec.Op != ins.Op {
+		t.Fatalf("op mismatch: encoded %v, decoded %v (% x)", ins.Op, dec.Op, bs)
+	}
+	return dec
+}
+
+func TestRoundtripALU(t *testing.T) {
+	regs := []x86.Reg{x86.RAX, x86.RBX, x86.RSI, x86.R8, x86.R13, x86.R15}
+	ops := []x86.Op{x86.ADD, x86.SUB, x86.AND, x86.OR, x86.XOR, x86.CMP, x86.ADC, x86.SBB}
+	for _, op := range ops {
+		for _, w := range []int{8, 16, 32, 64} {
+			for _, d := range regs {
+				for _, s := range regs {
+					ins := Mk(op, w, R(d), R(s))
+					dec := roundtrip(t, ins)
+					if dec.Width != w {
+						t.Fatalf("%v w%d: decoded width %d", op, w, dec.Width)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRoundtripALUImm(t *testing.T) {
+	for _, w := range []int{16, 32, 64} {
+		for _, imm := range []int64{1, -1, 127, -128, 128, 1000, -70000} {
+			if w == 16 && (imm < -1<<15 || imm >= 1<<15) {
+				continue // does not fit an imm16
+			}
+			ins := Mk(x86.ADD, w, R(x86.RDX), I(imm))
+			dec := roundtrip(t, ins)
+			if dec.Imm != imm {
+				t.Fatalf("w%d imm %d: decoded %d", w, imm, dec.Imm)
+			}
+			wantLCP := w == 16 && (imm < -128 || imm > 127)
+			if dec.HasLCP != wantLCP {
+				t.Fatalf("w%d imm %d: LCP=%v want %v", w, imm, dec.HasLCP, wantLCP)
+			}
+		}
+	}
+}
+
+func TestRoundtripMemoryForms(t *testing.T) {
+	mems := []Operand{
+		M(x86.RAX, 0),
+		M(x86.RBP, 0), // forces disp8 (RBP base can't use mod=0)
+		M(x86.RSP, 8), // forces SIB
+		M(x86.R12, 0), // R12 base forces SIB
+		M(x86.R13, 4),
+		M(x86.RDI, 0x1000),
+		MX(x86.RBX, x86.RCX, 4, 0x10),
+		MX(x86.R9, x86.R10, 8, -0x20),
+		MX(x86.RegNone, x86.RDX, 2, 0x40), // no base
+	}
+	for _, m := range mems {
+		dec := roundtrip(t, Mk(x86.MOV, 64, R(x86.RAX), m))
+		if !dec.IsMem {
+			t.Fatalf("expected memory operand for %v", m)
+		}
+		if dec.Mem.Base != m.Mem.Base || dec.Mem.Index != m.Mem.Index || dec.Mem.Disp != m.Mem.Disp {
+			t.Fatalf("mem mismatch: want %v got %v", m.Mem, dec.Mem)
+		}
+		if m.Mem.Index != x86.RegNone && dec.Mem.Scale != m.Mem.Scale {
+			t.Fatalf("scale mismatch: want %d got %d", m.Mem.Scale, dec.Mem.Scale)
+		}
+		// Store direction.
+		dec = roundtrip(t, Mk(x86.MOV, 64, m, R(x86.RAX)))
+		eff := dec.Effects()
+		if !eff.Store {
+			t.Fatalf("expected store for %v", m)
+		}
+	}
+}
+
+func TestRoundtripVector(t *testing.T) {
+	ops := []x86.Op{
+		x86.ADDPS, x86.ADDPD, x86.ADDSD, x86.MULPS, x86.MULSD, x86.SUBPS,
+		x86.DIVPD, x86.ANDPS, x86.XORPS, x86.PXOR, x86.PAND, x86.POR,
+		x86.PADDD, x86.PADDQ, x86.PSUBD, x86.PMULLD,
+	}
+	for _, op := range ops {
+		dec := roundtrip(t, Mk(op, 128, R(x86.X1), R(x86.X9)))
+		if dec.Width != 128 {
+			t.Fatalf("%v: width %d", op, dec.Width)
+		}
+		// Memory source.
+		roundtrip(t, Mk(op, 128, R(x86.X3), M(x86.RSI, 16)))
+	}
+}
+
+func TestRoundtripVectorVEX(t *testing.T) {
+	ops := []x86.Op{x86.ADDPS, x86.MULPD, x86.PXOR, x86.PADDD, x86.SUBPS}
+	for _, op := range ops {
+		for _, w := range []int{128, 256} {
+			ins := Instr{Op: op, Width: w, VEX: true,
+				Args: []Operand{R(x86.X2), R(x86.X5), R(x86.X11)}}
+			dec := roundtrip(t, ins)
+			if !dec.VEX || dec.Width != w {
+				t.Fatalf("%v w%d: vex=%v width=%d", op, w, dec.VEX, dec.Width)
+			}
+			if dec.RegOp != x86.X2 || dec.VReg != x86.X5 || dec.RM != x86.X11 {
+				t.Fatalf("%v: operands %v %v %v", op, dec.RegOp, dec.VReg, dec.RM)
+			}
+		}
+	}
+}
+
+func TestRoundtripFMA(t *testing.T) {
+	for _, op := range []x86.Op{x86.VFMADD231PS, x86.VFMADD231PD} {
+		ins := Instr{Op: op, Width: 128,
+			Args: []Operand{R(x86.X0), R(x86.X1), R(x86.X2)}}
+		dec := roundtrip(t, ins)
+		if dec.Op != op {
+			t.Fatalf("got %v", dec.Op)
+		}
+	}
+}
+
+func TestRoundtripMoves(t *testing.T) {
+	for _, op := range []x86.Op{x86.MOVAPS, x86.MOVUPS, x86.MOVDQA, x86.MOVDQU} {
+		roundtrip(t, Mk(op, 128, R(x86.X1), R(x86.X2)))
+		roundtrip(t, Mk(op, 128, R(x86.X1), M(x86.RAX, 0)))
+		roundtrip(t, Mk(op, 128, M(x86.RAX, 0), R(x86.X1)))
+	}
+}
+
+func TestRoundtripBranches(t *testing.T) {
+	dec := roundtrip(t, MkCC(x86.JCC, x86.CondNE, 64, I(-5)))
+	if dec.Cond != x86.CondNE || dec.Imm != -5 || dec.Len != 2 {
+		t.Fatalf("%+v", dec)
+	}
+	dec = roundtrip(t, MkCC(x86.JCC, x86.CondLE, 64, I(1000)))
+	if dec.Imm != 1000 || dec.Len != 6 {
+		t.Fatalf("%+v", dec)
+	}
+	dec = roundtrip(t, Mk(x86.JMP, 64, I(-3)))
+	if dec.Len != 2 {
+		t.Fatalf("%+v", dec)
+	}
+}
+
+func TestRoundtripMisc(t *testing.T) {
+	roundtrip(t, Mk(x86.LEA, 64, R(x86.RAX), MX(x86.RBX, x86.RCX, 2, 4)))
+	roundtrip(t, Mk(x86.INC, 64, R(x86.R11)))
+	roundtrip(t, Mk(x86.DEC, 32, R(x86.RBP)))
+	roundtrip(t, Mk(x86.NEG, 64, R(x86.RDX)))
+	roundtrip(t, Mk(x86.NOT, 16, R(x86.RSI)))
+	roundtrip(t, Mk(x86.DIV, 64, R(x86.RBX)))
+	roundtrip(t, Mk(x86.IDIV, 32, R(x86.RCX)))
+	roundtrip(t, Mk(x86.MUL1, 64, R(x86.RBX)))
+	roundtrip(t, Mk(x86.IMUL, 64, R(x86.RAX), R(x86.RBX)))
+	roundtrip(t, Mk(x86.IMUL, 16, R(x86.RAX), R(x86.RBX), I(1000))) // LCP form
+	roundtrip(t, Mk(x86.SHL, 64, R(x86.RAX), I(3)))
+	roundtrip(t, Mk(x86.SAR, 32, R(x86.RDX), R(x86.RCX))) // by CL
+	roundtrip(t, Mk(x86.POPCNT, 64, R(x86.RAX), R(x86.RBX)))
+	roundtrip(t, MkCC(x86.CMOVCC, x86.CondG, 64, R(x86.RAX), R(x86.RBX)))
+	roundtrip(t, MkCC(x86.SETCC, x86.CondE, 8, R(x86.RAX)))
+	roundtrip(t, Mk(x86.PUSH, 64, R(x86.R9)))
+	roundtrip(t, Mk(x86.POP, 64, R(x86.R9)))
+	roundtrip(t, Mk(x86.PUSH, 64, I(42)))
+	roundtrip(t, Mk(x86.MOVZX, 32, R(x86.RAX), R(x86.RBX)))
+	roundtrip(t, Instr{Op: x86.MOVSX, Width: 64, SrcWidth: 16,
+		Args: []Operand{R(x86.RAX), M(x86.RBX, 0)}})
+	roundtrip(t, Mk(x86.TEST, 64, R(x86.RAX), R(x86.RBX)))
+	roundtrip(t, Mk(x86.TEST, 32, R(x86.RAX), I(7)))
+	roundtrip(t, Mk(x86.SHUFPS, 128, R(x86.X1), R(x86.X2), I(0x1B)))
+	roundtrip(t, Mk(x86.PSHUFD, 128, R(x86.X1), R(x86.X2), I(0x4E)))
+	roundtrip(t, Mk(x86.SQRTPD, 128, R(x86.X1), R(x86.X2)))
+}
+
+func TestRoundtripMovImm(t *testing.T) {
+	cases := []struct {
+		w   int
+		imm int64
+	}{
+		{8, 100}, {16, 1000}, {32, 100000}, {64, 100000},
+		{64, 1 << 40}, {64, -(1 << 40)},
+	}
+	for _, c := range cases {
+		dec := roundtrip(t, Mk(x86.MOV, c.w, R(x86.RDI), I(c.imm)))
+		if dec.Imm != c.imm {
+			t.Fatalf("w%d: imm %d decoded as %d", c.w, c.imm, dec.Imm)
+		}
+	}
+}
+
+func TestNopBytes(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		bs := NopBytes(n)
+		if len(bs) != n {
+			t.Fatalf("NopBytes(%d) has %d bytes", n, len(bs))
+		}
+		insts, err := x86.DecodeBlock(bs)
+		if err != nil {
+			t.Fatalf("NopBytes(%d): %v", n, err)
+		}
+		for _, i := range insts {
+			if i.Op != x86.NOP {
+				t.Fatalf("NopBytes(%d): got %v", n, i.Op)
+			}
+		}
+	}
+}
+
+// TestRoundtripRandom is a randomized property test: any instruction the
+// generator-style random builder produces must round-trip through the
+// decoder with identical op, width, and effects-relevant operands.
+func TestRoundtripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	gprs := []x86.Reg{x86.RAX, x86.RCX, x86.RDX, x86.RBX, x86.RBP, x86.RSI,
+		x86.RDI, x86.R8, x86.R9, x86.R10, x86.R11, x86.R12, x86.R13, x86.R14, x86.R15}
+	vecs := []x86.Reg{x86.X0, x86.X1, x86.X2, x86.X3, x86.X7, x86.X8, x86.X12, x86.X15}
+	widths := []int{16, 32, 64}
+	aluOps := []x86.Op{x86.ADD, x86.SUB, x86.AND, x86.OR, x86.XOR, x86.CMP}
+	vecOps := []x86.Op{x86.ADDPS, x86.MULPD, x86.PXOR, x86.PADDD, x86.XORPS}
+
+	randMem := func() Operand {
+		base := gprs[rng.Intn(len(gprs))]
+		if rng.Intn(2) == 0 {
+			return M(base, int32(rng.Intn(256)-128))
+		}
+		idx := gprs[rng.Intn(len(gprs))]
+		for idx == x86.RSP {
+			idx = gprs[rng.Intn(len(gprs))]
+		}
+		return MX(base, idx, []uint8{1, 2, 4, 8}[rng.Intn(4)], int32(rng.Intn(256)-128))
+	}
+
+	for k := 0; k < 3000; k++ {
+		var ins Instr
+		switch rng.Intn(6) {
+		case 0: // ALU reg, reg
+			ins = Mk(aluOps[rng.Intn(len(aluOps))], widths[rng.Intn(3)],
+				R(gprs[rng.Intn(len(gprs))]), R(gprs[rng.Intn(len(gprs))]))
+		case 1: // ALU reg, mem
+			ins = Mk(aluOps[rng.Intn(len(aluOps))], widths[rng.Intn(3)],
+				R(gprs[rng.Intn(len(gprs))]), randMem())
+		case 2: // ALU mem, reg (RMW)
+			ins = Mk(aluOps[rng.Intn(len(aluOps))], widths[rng.Intn(3)],
+				randMem(), R(gprs[rng.Intn(len(gprs))]))
+		case 3: // ALU reg, imm
+			ins = Mk(aluOps[rng.Intn(len(aluOps))], widths[rng.Intn(3)],
+				R(gprs[rng.Intn(len(gprs))]), I(int64(rng.Intn(1<<16)-1<<15)))
+		case 4: // vector
+			if rng.Intn(2) == 0 {
+				ins = Mk(vecOps[rng.Intn(len(vecOps))], 128,
+					R(vecs[rng.Intn(len(vecs))]), R(vecs[rng.Intn(len(vecs))]))
+			} else {
+				ins = Instr{Op: vecOps[rng.Intn(len(vecOps))], Width: 128, VEX: true,
+					Args: []Operand{R(vecs[rng.Intn(len(vecs))]),
+						R(vecs[rng.Intn(len(vecs))]), R(vecs[rng.Intn(len(vecs))])}}
+			}
+		case 5: // mov with memory
+			if rng.Intn(2) == 0 {
+				ins = Mk(x86.MOV, widths[rng.Intn(3)], R(gprs[rng.Intn(len(gprs))]), randMem())
+			} else {
+				ins = Mk(x86.MOV, widths[rng.Intn(3)], randMem(), R(gprs[rng.Intn(len(gprs))]))
+			}
+		}
+		dec := roundtrip(t, ins)
+		if ins.Op.IsVector() {
+			continue
+		}
+		if dec.Width != ins.Width {
+			t.Fatalf("iteration %d: width mismatch %+v -> %+v", k, ins, dec)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package asm
+
+import (
+	"facile/internal/x86"
+)
+
+type encoder struct {
+	buf []byte
+
+	// Pending prefix state assembled before the opcode is emitted.
+	p66     bool
+	pF2     bool
+	pF3     bool
+	rexW    bool
+	rexR    bool
+	rexX    bool
+	rexB    bool
+	needREX bool // force REX even without extension bits (SPL/BPL/SIL/DIL)
+}
+
+func (e *encoder) emit(bs ...byte) { e.buf = append(e.buf, bs...) }
+
+// flushPrefixes emits legacy prefixes and REX, then the given opcode bytes.
+func (e *encoder) opcode(bs ...byte) {
+	if e.p66 {
+		e.emit(0x66)
+	}
+	if e.pF2 {
+		e.emit(0xF2)
+	}
+	if e.pF3 {
+		e.emit(0xF3)
+	}
+	rex := byte(0x40)
+	if e.rexW {
+		rex |= 8
+	}
+	if e.rexR {
+		rex |= 4
+	}
+	if e.rexX {
+		rex |= 2
+	}
+	if e.rexB {
+		rex |= 1
+	}
+	if rex != 0x40 || e.needREX {
+		e.emit(rex)
+	}
+	e.emit(bs...)
+}
+
+// vexOpcode emits a VEX prefix (choosing C5 when possible) followed by the
+// opcode byte. mmap is 1 (0F) or 2 (0F38); pp is 0/1/2/3 for none/66/F3/F2.
+func (e *encoder) vexOpcode(mmap, pp byte, w bool, vvvv byte, l bool, op byte) {
+	if mmap == 1 && !w && !e.rexX && !e.rexB {
+		b := byte(0)
+		if !e.rexR {
+			b |= 0x80
+		}
+		b |= (^vvvv & 0xF) << 3
+		if l {
+			b |= 0x04
+		}
+		b |= pp
+		e.emit(0xC5, b, op)
+		return
+	}
+	b1 := mmap & 0x1F
+	if !e.rexR {
+		b1 |= 0x80
+	}
+	if !e.rexX {
+		b1 |= 0x40
+	}
+	if !e.rexB {
+		b1 |= 0x20
+	}
+	b2 := pp
+	if w {
+		b2 |= 0x80
+	}
+	b2 |= (^vvvv & 0xF) << 3
+	if l {
+		b2 |= 0x04
+	}
+	e.emit(0xC4, b1, b2, op)
+}
+
+// modRMReg emits a ModRM byte with mod=11.
+func (e *encoder) modRMReg(regField int, rm x86.Reg) {
+	e.emit(byte(0xC0 | (regField&7)<<3 | rm.Enc()&7))
+}
+
+// modRMMem emits ModRM (+SIB, +disp) for a memory operand.
+func (e *encoder) modRMMem(regField int, m x86.Mem) error {
+	reg := byte(regField&7) << 3
+
+	if m.Base == x86.RegRIP {
+		e.emit(0x00 | reg | 0x05)
+		e.emitDisp32(m.Disp)
+		return nil
+	}
+	if m.Base == x86.RegNone && m.Index == x86.RegNone {
+		// Absolute disp32 needs SIB with no base.
+		e.emit(0x00|reg|0x04, 0x25)
+		e.emitDisp32(m.Disp)
+		return nil
+	}
+
+	needSIB := m.Index != x86.RegNone || m.Base == x86.RegNone ||
+		m.Base.Enc()&7 == 4 // RSP/R12 as base require SIB
+
+	// Choose mod / displacement size.
+	var mod byte
+	switch {
+	case m.Disp == 0 && m.Base.Enc()&7 != 5 && m.Base != x86.RegNone:
+		mod = 0
+	case m.Disp >= -128 && m.Disp <= 127 && m.Base != x86.RegNone:
+		mod = 1
+	default:
+		mod = 2
+	}
+	if m.Base == x86.RegNone {
+		mod = 0 // SIB base=101 with mod=0: disp32, no base
+	}
+
+	if !needSIB {
+		e.emit(mod<<6 | reg | byte(m.Base.Enc()&7))
+	} else {
+		var sib byte
+		switch m.Scale {
+		case 0, 1:
+			sib = 0
+		case 2:
+			sib = 1 << 6
+		case 4:
+			sib = 2 << 6
+		case 8:
+			sib = 3 << 6
+		default:
+			return cantEncode("bad scale %d", m.Scale)
+		}
+		if m.Index != x86.RegNone {
+			if m.Index == x86.RSP {
+				return cantEncode("rsp cannot be an index register")
+			}
+			sib |= byte(m.Index.Enc()&7) << 3
+		} else {
+			sib |= 4 << 3
+		}
+		if m.Base != x86.RegNone {
+			sib |= byte(m.Base.Enc() & 7)
+		} else {
+			sib |= 5
+		}
+		e.emit(mod<<6|reg|0x04, sib)
+	}
+
+	switch mod {
+	case 1:
+		e.emit(byte(m.Disp))
+	case 2:
+		e.emitDisp32(m.Disp)
+	default:
+		if m.Base == x86.RegNone {
+			e.emitDisp32(m.Disp)
+		}
+	}
+	return nil
+}
+
+func (e *encoder) emitDisp32(d int32) {
+	e.emit(byte(d), byte(d>>8), byte(d>>16), byte(d>>24))
+}
+
+func (e *encoder) emitImm(v int64, n int) {
+	for k := 0; k < n; k++ {
+		e.emit(byte(v >> (8 * k)))
+	}
+}
+
+// setRegBits records the REX extension bits for the three register slots.
+func (e *encoder) setR(r x86.Reg) { e.rexR = r.Enc() >= 8 }
+func (e *encoder) setB(r x86.Reg) { e.rexB = r.Enc() >= 8 }
+func (e *encoder) setMem(m x86.Mem) {
+	if m.Base != x86.RegNone && m.Base != x86.RegRIP && m.Base.Enc() >= 8 {
+		e.rexB = true
+	}
+	if m.Index != x86.RegNone && m.Index.Enc() >= 8 {
+		e.rexX = true
+	}
+}
+
+// gprWidthPrefixes configures 66/REX.W for a GPR operand width.
+func (e *encoder) gprWidthPrefixes(width int) {
+	switch width {
+	case 16:
+		e.p66 = true
+	case 64:
+		e.rexW = true
+	}
+}
+
+func immZLen(width int) int {
+	if width == 16 {
+		return 2
+	}
+	return 4
+}

@@ -1,0 +1,737 @@
+package asm
+
+import (
+	"facile/internal/x86"
+)
+
+// Group /digit extensions.
+var grp1Digit = map[x86.Op]int{
+	x86.ADD: 0, x86.OR: 1, x86.ADC: 2, x86.SBB: 3,
+	x86.AND: 4, x86.SUB: 5, x86.XOR: 6, x86.CMP: 7,
+}
+
+var grp2Digit = map[x86.Op]int{
+	x86.ROL: 0, x86.ROR: 1, x86.SHL: 4, x86.SHR: 5, x86.SAR: 7,
+}
+
+var grp3Digit = map[x86.Op]int{
+	x86.TEST: 0, x86.NOT: 2, x86.NEG: 3,
+	x86.MUL1: 4, x86.IMUL1: 5, x86.DIV: 6, x86.IDIV: 7,
+}
+
+// aluBase maps the classic ALU ops to their one-byte opcode base.
+var aluBase = map[x86.Op]byte{
+	x86.ADD: 0x00, x86.OR: 0x08, x86.ADC: 0x10, x86.SBB: 0x18,
+	x86.AND: 0x20, x86.SUB: 0x28, x86.XOR: 0x30, x86.CMP: 0x38,
+}
+
+// vecEnc describes the encoding of a vector instruction.
+type vecEnc struct {
+	pp   byte // 0 none, 1 = 66, 2 = F3, 3 = F2
+	mmap byte // 1 = 0F, 2 = 0F38
+	op   byte
+	mrOp byte // store-direction opcode for moves (0 if none)
+	imm8 bool
+	vex3 bool // VEX form takes a vvvv operand
+}
+
+var vecEncs = map[x86.Op]vecEnc{
+	x86.MOVAPS: {pp: 0, mmap: 1, op: 0x28, mrOp: 0x29},
+	x86.MOVAPD: {pp: 1, mmap: 1, op: 0x28, mrOp: 0x29},
+	x86.MOVUPS: {pp: 0, mmap: 1, op: 0x10, mrOp: 0x11},
+	x86.MOVUPD: {pp: 1, mmap: 1, op: 0x10, mrOp: 0x11},
+	x86.MOVSS:  {pp: 2, mmap: 1, op: 0x10, mrOp: 0x11},
+	x86.MOVSD:  {pp: 3, mmap: 1, op: 0x10, mrOp: 0x11},
+	x86.MOVDQA: {pp: 1, mmap: 1, op: 0x6F, mrOp: 0x7F},
+	x86.MOVDQU: {pp: 2, mmap: 1, op: 0x6F, mrOp: 0x7F},
+
+	x86.ADDPS:  {pp: 0, mmap: 1, op: 0x58, vex3: true},
+	x86.ADDPD:  {pp: 1, mmap: 1, op: 0x58, vex3: true},
+	x86.ADDSS:  {pp: 2, mmap: 1, op: 0x58, vex3: true},
+	x86.ADDSD:  {pp: 3, mmap: 1, op: 0x58, vex3: true},
+	x86.SUBPS:  {pp: 0, mmap: 1, op: 0x5C, vex3: true},
+	x86.SUBPD:  {pp: 1, mmap: 1, op: 0x5C, vex3: true},
+	x86.SUBSS:  {pp: 2, mmap: 1, op: 0x5C, vex3: true},
+	x86.SUBSD:  {pp: 3, mmap: 1, op: 0x5C, vex3: true},
+	x86.MULPS:  {pp: 0, mmap: 1, op: 0x59, vex3: true},
+	x86.MULPD:  {pp: 1, mmap: 1, op: 0x59, vex3: true},
+	x86.MULSS:  {pp: 2, mmap: 1, op: 0x59, vex3: true},
+	x86.MULSD:  {pp: 3, mmap: 1, op: 0x59, vex3: true},
+	x86.DIVPS:  {pp: 0, mmap: 1, op: 0x5E, vex3: true},
+	x86.DIVPD:  {pp: 1, mmap: 1, op: 0x5E, vex3: true},
+	x86.DIVSS:  {pp: 2, mmap: 1, op: 0x5E, vex3: true},
+	x86.DIVSD:  {pp: 3, mmap: 1, op: 0x5E, vex3: true},
+	x86.SQRTPS: {pp: 0, mmap: 1, op: 0x51},
+	x86.SQRTPD: {pp: 1, mmap: 1, op: 0x51},
+	x86.SQRTSS: {pp: 2, mmap: 1, op: 0x51},
+	x86.SQRTSD: {pp: 3, mmap: 1, op: 0x51},
+	x86.ANDPS:  {pp: 0, mmap: 1, op: 0x54, vex3: true},
+	x86.ANDPD:  {pp: 1, mmap: 1, op: 0x54, vex3: true},
+	x86.ORPS:   {pp: 0, mmap: 1, op: 0x56, vex3: true},
+	x86.ORPD:   {pp: 1, mmap: 1, op: 0x56, vex3: true},
+	x86.XORPS:  {pp: 0, mmap: 1, op: 0x57, vex3: true},
+	x86.XORPD:  {pp: 1, mmap: 1, op: 0x57, vex3: true},
+
+	x86.SHUFPS: {pp: 0, mmap: 1, op: 0xC6, imm8: true, vex3: true},
+	x86.SHUFPD: {pp: 1, mmap: 1, op: 0xC6, imm8: true, vex3: true},
+	x86.PSHUFD: {pp: 1, mmap: 1, op: 0x70, imm8: true},
+
+	x86.PXOR:   {pp: 1, mmap: 1, op: 0xEF, vex3: true},
+	x86.PAND:   {pp: 1, mmap: 1, op: 0xDB, vex3: true},
+	x86.POR:    {pp: 1, mmap: 1, op: 0xEB, vex3: true},
+	x86.PADDD:  {pp: 1, mmap: 1, op: 0xFE, vex3: true},
+	x86.PADDQ:  {pp: 1, mmap: 1, op: 0xD4, vex3: true},
+	x86.PSUBD:  {pp: 1, mmap: 1, op: 0xFA, vex3: true},
+	x86.PMULLD: {pp: 1, mmap: 2, op: 0x40, vex3: true},
+
+	x86.VFMADD231PS: {pp: 1, mmap: 2, op: 0xB8, vex3: true},
+	x86.VFMADD231PD: {pp: 1, mmap: 2, op: 0xB8, vex3: true},
+}
+
+func (e *encoder) encode(ins Instr) error {
+	if ins.Op.IsVector() {
+		return e.encodeVector(ins)
+	}
+
+	width := ins.Width
+	if width == 0 {
+		width = 64
+	}
+
+	switch ins.Op {
+	case x86.NOP:
+		// Convention: Width is the desired encoded length in bytes (0 -> 1).
+		n := ins.Width
+		if n == 0 {
+			n = 1
+		}
+		if n < 1 || n > 9 {
+			return cantEncode("nop length %d", n)
+		}
+		e.buf = append(e.buf, nops[n-1]...)
+		return nil
+
+	case x86.ADD, x86.ADC, x86.SUB, x86.SBB, x86.AND, x86.OR, x86.XOR, x86.CMP:
+		return e.encodeALU(ins, width)
+
+	case x86.TEST:
+		return e.encodeTest(ins, width)
+
+	case x86.MOV:
+		return e.encodeMov(ins, width)
+
+	case x86.MOVZX, x86.MOVSX:
+		return e.encodeMovx(ins, width)
+
+	case x86.LEA:
+		if len(ins.Args) != 2 || ins.Args[0].Kind != KReg || ins.Args[1].Kind != KMem {
+			return cantEncode("lea needs reg, mem")
+		}
+		e.gprWidthPrefixes(width)
+		e.setR(ins.Args[0].Reg)
+		e.setMem(ins.Args[1].Mem)
+		e.opcode(0x8D)
+		return e.modRMMem(ins.Args[0].Reg.Enc(), ins.Args[1].Mem)
+
+	case x86.INC, x86.DEC:
+		return e.encodeIncDec(ins, width)
+
+	case x86.NOT, x86.NEG, x86.MUL1, x86.IMUL1, x86.DIV, x86.IDIV:
+		return e.encodeGrp3(ins, width, grp3Digit[ins.Op])
+
+	case x86.IMUL:
+		return e.encodeImul(ins, width)
+
+	case x86.SHL, x86.SHR, x86.SAR, x86.ROL, x86.ROR:
+		return e.encodeShift(ins, width)
+
+	case x86.POPCNT:
+		if len(ins.Args) != 2 || ins.Args[0].Kind != KReg {
+			return cantEncode("popcnt needs reg, r/m")
+		}
+		e.pF3 = true
+		e.gprWidthPrefixes(width)
+		e.setR(ins.Args[0].Reg)
+		return e.encodeRM(ins.Args[0].Reg, ins.Args[1], 0x0F, 0xB8)
+
+	case x86.CMOVCC:
+		if len(ins.Args) != 2 || ins.Args[0].Kind != KReg {
+			return cantEncode("cmovcc needs reg, r/m")
+		}
+		e.gprWidthPrefixes(width)
+		e.setR(ins.Args[0].Reg)
+		return e.encodeRM(ins.Args[0].Reg, ins.Args[1], 0x0F, 0x40|byte(ins.Cond))
+
+	case x86.SETCC:
+		if len(ins.Args) != 1 {
+			return cantEncode("setcc needs one r/m operand")
+		}
+		return e.encodeM(ins.Args[0], 8, 0, 0x0F, 0x90|byte(ins.Cond))
+
+	case x86.PUSH:
+		return e.encodePush(ins)
+
+	case x86.POP:
+		if len(ins.Args) != 1 || ins.Args[0].Kind != KReg {
+			return cantEncode("pop needs a register")
+		}
+		r := ins.Args[0].Reg
+		e.setB(r)
+		e.opcode(0x58 | byte(r.Enc()&7))
+		return nil
+
+	case x86.JCC:
+		return e.encodeBranch(ins, true)
+
+	case x86.JMP:
+		return e.encodeBranch(ins, false)
+	}
+	return cantEncode("unsupported op %v", ins.Op)
+}
+
+// encodeRM emits opcode bytes for a reg, r/m instruction (RM direction).
+func (e *encoder) encodeRM(reg x86.Reg, rm Operand, opBytes ...byte) error {
+	switch rm.Kind {
+	case KReg:
+		e.setB(rm.Reg)
+		e.opcode(opBytes...)
+		e.modRMReg(reg.Enc(), rm.Reg)
+		return nil
+	case KMem:
+		e.setMem(rm.Mem)
+		e.opcode(opBytes...)
+		return e.modRMMem(reg.Enc(), rm.Mem)
+	}
+	return cantEncode("bad r/m operand")
+}
+
+// encodeM emits a /digit instruction with a single r/m operand.
+func (e *encoder) encodeM(rm Operand, width, digit int, opBytes ...byte) error {
+	e.gprWidthPrefixes(width)
+	switch rm.Kind {
+	case KReg:
+		e.rex8(rm.Reg, width)
+		e.setB(rm.Reg)
+		e.opcode(opBytes...)
+		e.modRMReg(digit, rm.Reg)
+		return nil
+	case KMem:
+		e.setMem(rm.Mem)
+		e.opcode(opBytes...)
+		return e.modRMMem(digit, rm.Mem)
+	}
+	return cantEncode("bad r/m operand")
+}
+
+// rex8 forces a REX prefix for 8-bit access to SPL/BPL/SIL/DIL.
+func (e *encoder) rex8(r x86.Reg, width int) {
+	if width == 8 && r.IsGPR() && r.Enc() >= 4 && r.Enc() <= 7 {
+		e.needREX = true
+	}
+}
+
+func (e *encoder) encodeALU(ins Instr, width int) error {
+	if len(ins.Args) != 2 {
+		return cantEncode("%v needs two operands", ins.Op)
+	}
+	dst, src := ins.Args[0], ins.Args[1]
+	base := aluBase[ins.Op]
+
+	switch {
+	case src.Kind == KImm:
+		digit := grp1Digit[ins.Op]
+		e.gprWidthPrefixes(width)
+		if width == 8 {
+			if err := e.encodeMTail(dst, digit, 0x80); err != nil {
+				return err
+			}
+			e.emitImm(src.Imm, 1)
+			return nil
+		}
+		if src.Imm >= -128 && src.Imm <= 127 {
+			if err := e.encodeMTail(dst, digit, 0x83); err != nil {
+				return err
+			}
+			e.emitImm(src.Imm, 1)
+			return nil
+		}
+		if err := e.encodeMTail(dst, digit, 0x81); err != nil {
+			return err
+		}
+		e.emitImm(src.Imm, immZLen(width))
+		return nil
+
+	case dst.Kind == KReg && src.Kind == KReg:
+		// MR direction: op rm, reg.
+		e.gprWidthPrefixes(width)
+		e.rex8(dst.Reg, width)
+		e.rex8(src.Reg, width)
+		e.setR(src.Reg)
+		e.setB(dst.Reg)
+		op := base + 1
+		if width == 8 {
+			op = base
+		}
+		e.opcode(op)
+		e.modRMReg(src.Reg.Enc(), dst.Reg)
+		return nil
+
+	case dst.Kind == KReg && src.Kind == KMem:
+		e.gprWidthPrefixes(width)
+		e.rex8(dst.Reg, width)
+		e.setR(dst.Reg)
+		op := base + 3
+		if width == 8 {
+			op = base + 2
+		}
+		return e.encodeRM(dst.Reg, src, op)
+
+	case dst.Kind == KMem && src.Kind == KReg:
+		e.gprWidthPrefixes(width)
+		e.rex8(src.Reg, width)
+		e.setR(src.Reg)
+		e.setMem(dst.Mem)
+		op := base + 1
+		if width == 8 {
+			op = base
+		}
+		e.opcode(op)
+		return e.modRMMem(src.Reg.Enc(), dst.Mem)
+	}
+	return cantEncode("%v operand combination", ins.Op)
+}
+
+// encodeMTail emits prefixes+opcode+modrm for a /digit destination (no imm).
+func (e *encoder) encodeMTail(dst Operand, digit int, op byte) error {
+	switch dst.Kind {
+	case KReg:
+		e.rex8(dst.Reg, 0)
+		e.setB(dst.Reg)
+		e.opcode(op)
+		e.modRMReg(digit, dst.Reg)
+		return nil
+	case KMem:
+		e.setMem(dst.Mem)
+		e.opcode(op)
+		return e.modRMMem(digit, dst.Mem)
+	}
+	return cantEncode("bad destination")
+}
+
+func (e *encoder) encodeTest(ins Instr, width int) error {
+	if len(ins.Args) != 2 {
+		return cantEncode("test needs two operands")
+	}
+	dst, src := ins.Args[0], ins.Args[1]
+	if src.Kind == KImm {
+		e.gprWidthPrefixes(width)
+		op := byte(0xF7)
+		immLen := immZLen(width)
+		if width == 8 {
+			op = 0xF6
+			immLen = 1
+		}
+		if err := e.encodeMTail(dst, 0, op); err != nil {
+			return err
+		}
+		e.emitImm(src.Imm, immLen)
+		return nil
+	}
+	if dst.Kind == KReg && src.Kind == KReg || dst.Kind == KMem && src.Kind == KReg {
+		e.gprWidthPrefixes(width)
+		op := byte(0x85)
+		if width == 8 {
+			op = 0x84
+		}
+		if dst.Kind == KReg {
+			e.rex8(dst.Reg, width)
+			e.rex8(src.Reg, width)
+			e.setR(src.Reg)
+			e.setB(dst.Reg)
+			e.opcode(op)
+			e.modRMReg(src.Reg.Enc(), dst.Reg)
+			return nil
+		}
+		e.rex8(src.Reg, width)
+		e.setR(src.Reg)
+		e.setMem(dst.Mem)
+		e.opcode(op)
+		return e.modRMMem(src.Reg.Enc(), dst.Mem)
+	}
+	return cantEncode("test operand combination")
+}
+
+func (e *encoder) encodeMov(ins Instr, width int) error {
+	if len(ins.Args) != 2 {
+		return cantEncode("mov needs two operands")
+	}
+	dst, src := ins.Args[0], ins.Args[1]
+
+	switch {
+	case dst.Kind == KReg && src.Kind == KImm:
+		if width == 8 {
+			e.rex8(dst.Reg, width)
+			e.setB(dst.Reg)
+			e.opcode(0xB0 | byte(dst.Reg.Enc()&7))
+			e.emitImm(src.Imm, 1)
+			return nil
+		}
+		if width == 64 && src.Imm >= -1<<31 && src.Imm < 1<<31 {
+			// C7 /0 with sign-extended imm32 is shorter than B8+r imm64.
+			e.gprWidthPrefixes(width)
+			e.setB(dst.Reg)
+			e.opcode(0xC7)
+			e.modRMReg(0, dst.Reg)
+			e.emitImm(src.Imm, 4)
+			return nil
+		}
+		e.gprWidthPrefixes(width)
+		e.setB(dst.Reg)
+		e.opcode(0xB8 | byte(dst.Reg.Enc()&7))
+		switch width {
+		case 16:
+			e.emitImm(src.Imm, 2)
+		case 64:
+			e.emitImm(src.Imm, 8)
+		default:
+			e.emitImm(src.Imm, 4)
+		}
+		return nil
+
+	case dst.Kind == KMem && src.Kind == KImm:
+		e.gprWidthPrefixes(width)
+		e.setMem(dst.Mem)
+		if width == 8 {
+			e.opcode(0xC6)
+			if err := e.modRMMem(0, dst.Mem); err != nil {
+				return err
+			}
+			e.emitImm(src.Imm, 1)
+			return nil
+		}
+		e.opcode(0xC7)
+		if err := e.modRMMem(0, dst.Mem); err != nil {
+			return err
+		}
+		e.emitImm(src.Imm, immZLen(width))
+		return nil
+
+	case dst.Kind == KReg && src.Kind == KReg:
+		e.gprWidthPrefixes(width)
+		e.rex8(dst.Reg, width)
+		e.rex8(src.Reg, width)
+		e.setR(src.Reg)
+		e.setB(dst.Reg)
+		op := byte(0x89)
+		if width == 8 {
+			op = 0x88
+		}
+		e.opcode(op)
+		e.modRMReg(src.Reg.Enc(), dst.Reg)
+		return nil
+
+	case dst.Kind == KReg && src.Kind == KMem:
+		e.gprWidthPrefixes(width)
+		e.rex8(dst.Reg, width)
+		e.setR(dst.Reg)
+		op := byte(0x8B)
+		if width == 8 {
+			op = 0x8A
+		}
+		return e.encodeRM(dst.Reg, src, op)
+
+	case dst.Kind == KMem && src.Kind == KReg:
+		e.gprWidthPrefixes(width)
+		e.rex8(src.Reg, width)
+		e.setR(src.Reg)
+		e.setMem(dst.Mem)
+		op := byte(0x89)
+		if width == 8 {
+			op = 0x88
+		}
+		e.opcode(op)
+		return e.modRMMem(src.Reg.Enc(), dst.Mem)
+	}
+	return cantEncode("mov operand combination")
+}
+
+func (e *encoder) encodeMovx(ins Instr, width int) error {
+	if len(ins.Args) != 2 || ins.Args[0].Kind != KReg {
+		return cantEncode("%v needs reg, r/m", ins.Op)
+	}
+	sw := ins.SrcWidth
+	if sw == 0 {
+		sw = 8
+	}
+	var op byte
+	switch {
+	case ins.Op == x86.MOVZX && sw == 8:
+		op = 0xB6
+	case ins.Op == x86.MOVZX && sw == 16:
+		op = 0xB7
+	case ins.Op == x86.MOVSX && sw == 8:
+		op = 0xBE
+	case ins.Op == x86.MOVSX && sw == 16:
+		op = 0xBF
+	default:
+		return cantEncode("%v source width %d", ins.Op, sw)
+	}
+	e.gprWidthPrefixes(width)
+	e.setR(ins.Args[0].Reg)
+	if ins.Args[1].Kind == KReg {
+		e.rex8(ins.Args[1].Reg, sw)
+	}
+	return e.encodeRM(ins.Args[0].Reg, ins.Args[1], 0x0F, op)
+}
+
+func (e *encoder) encodeIncDec(ins Instr, width int) error {
+	if len(ins.Args) != 1 {
+		return cantEncode("%v needs one operand", ins.Op)
+	}
+	digit := 0
+	if ins.Op == x86.DEC {
+		digit = 1
+	}
+	op := byte(0xFF)
+	if width == 8 {
+		op = 0xFE
+	}
+	return e.encodeM(ins.Args[0], width, digit, op)
+}
+
+func (e *encoder) encodeGrp3(ins Instr, width int, digit int) error {
+	if len(ins.Args) != 1 {
+		return cantEncode("%v needs one operand", ins.Op)
+	}
+	op := byte(0xF7)
+	if width == 8 {
+		op = 0xF6
+	}
+	return e.encodeM(ins.Args[0], width, digit, op)
+}
+
+func (e *encoder) encodeImul(ins Instr, width int) error {
+	switch len(ins.Args) {
+	case 2:
+		if ins.Args[0].Kind != KReg {
+			return cantEncode("imul needs reg destination")
+		}
+		e.gprWidthPrefixes(width)
+		e.setR(ins.Args[0].Reg)
+		return e.encodeRM(ins.Args[0].Reg, ins.Args[1], 0x0F, 0xAF)
+	case 3:
+		if ins.Args[0].Kind != KReg || ins.Args[2].Kind != KImm {
+			return cantEncode("imul needs reg, r/m, imm")
+		}
+		imm := ins.Args[2].Imm
+		e.gprWidthPrefixes(width)
+		e.setR(ins.Args[0].Reg)
+		if imm >= -128 && imm <= 127 {
+			if err := e.encodeRM(ins.Args[0].Reg, ins.Args[1], 0x6B); err != nil {
+				return err
+			}
+			e.emitImm(imm, 1)
+			return nil
+		}
+		if err := e.encodeRM(ins.Args[0].Reg, ins.Args[1], 0x69); err != nil {
+			return err
+		}
+		e.emitImm(imm, immZLen(width))
+		return nil
+	}
+	return cantEncode("imul arity %d", len(ins.Args))
+}
+
+func (e *encoder) encodeShift(ins Instr, width int) error {
+	if len(ins.Args) != 2 {
+		return cantEncode("shift needs two operands")
+	}
+	digit := grp2Digit[ins.Op]
+	dst, amount := ins.Args[0], ins.Args[1]
+
+	if amount.Kind == KReg {
+		if amount.Reg != x86.RCX {
+			return cantEncode("shift count register must be cl")
+		}
+		// D2 (8-bit shift by CL) is not in the decode table; D3 widths only.
+		if width == 8 {
+			return cantEncode("8-bit shift by cl not supported")
+		}
+		return e.encodeM(dst, width, digit, 0xD3)
+	}
+	if amount.Kind != KImm {
+		return cantEncode("shift amount must be imm or cl")
+	}
+	op := byte(0xC1)
+	if width == 8 {
+		op = 0xC0
+	}
+	if err := e.encodeM(dst, width, digit, op); err != nil {
+		return err
+	}
+	e.emitImm(amount.Imm, 1)
+	return nil
+}
+
+func (e *encoder) encodePush(ins Instr) error {
+	if len(ins.Args) != 1 {
+		return cantEncode("push needs one operand")
+	}
+	a := ins.Args[0]
+	switch a.Kind {
+	case KReg:
+		e.setB(a.Reg)
+		e.opcode(0x50 | byte(a.Reg.Enc()&7))
+		return nil
+	case KImm:
+		if a.Imm >= -128 && a.Imm <= 127 {
+			e.opcode(0x6A)
+			e.emitImm(a.Imm, 1)
+			return nil
+		}
+		e.opcode(0x68)
+		e.emitImm(a.Imm, 4)
+		return nil
+	case KMem:
+		e.setMem(a.Mem)
+		e.opcode(0xFF)
+		return e.modRMMem(6, a.Mem)
+	}
+	return cantEncode("push operand")
+}
+
+func (e *encoder) encodeBranch(ins Instr, cond bool) error {
+	if len(ins.Args) != 1 || ins.Args[0].Kind != KImm {
+		return cantEncode("branch needs an immediate displacement")
+	}
+	d := ins.Args[0].Imm
+	if d >= -128 && d <= 127 {
+		if cond {
+			e.opcode(0x70 | byte(ins.Cond))
+		} else {
+			e.opcode(0xEB)
+		}
+		e.emitImm(d, 1)
+		return nil
+	}
+	if cond {
+		e.opcode(0x0F, 0x80|byte(ins.Cond))
+	} else {
+		e.opcode(0xE9)
+	}
+	e.emitImm(d, 4)
+	return nil
+}
+
+func (e *encoder) encodeVector(ins Instr) error {
+	enc, ok := vecEncs[ins.Op]
+	if !ok {
+		return cantEncode("unsupported vector op %v", ins.Op)
+	}
+	isFMA := ins.Op == x86.VFMADD231PS || ins.Op == x86.VFMADD231PD
+	useVEX := ins.VEX || ins.Width == 256 || isFMA
+	vexW := ins.Op == x86.VFMADD231PD
+	vexL := ins.Width == 256
+
+	// Moves and PSHUFD never take a vvvv operand.
+	nArgsWanted := 2
+	if enc.imm8 {
+		nArgsWanted = 3
+	}
+	if useVEX && enc.vex3 {
+		nArgsWanted++
+	}
+	if len(ins.Args) != nArgsWanted {
+		return cantEncode("%v wants %d operands, got %d", ins.Op, nArgsWanted, len(ins.Args))
+	}
+
+	emitOp := func(regField int) {
+		if useVEX {
+			vvvv := byte(0)
+			if enc.vex3 {
+				// vvvv operand is Args[1] (first source).
+				vvvv = byte(ins.Args[1].Reg.Enc())
+			}
+			e.vexOpcode(enc.mmap, enc.pp, vexW, vvvv, vexL, e.pickVexOpcode(ins, enc))
+			_ = regField
+			return
+		}
+		switch enc.pp {
+		case 1:
+			e.p66 = true
+		case 2:
+			e.pF3 = true
+		case 3:
+			e.pF2 = true
+		}
+		var bytes []byte
+		switch enc.mmap {
+		case 1:
+			bytes = []byte{0x0F, e.pickLegacyOpcode(ins, enc)}
+		case 2:
+			bytes = []byte{0x0F, 0x38, e.pickLegacyOpcode(ins, enc)}
+		}
+		e.opcode(bytes...)
+	}
+
+	// Store-direction moves: mem, reg.
+	if enc.mrOp != 0 && ins.Args[0].Kind == KMem {
+		src := ins.Args[1]
+		if src.Kind != KReg {
+			return cantEncode("vector store source must be a register")
+		}
+		e.setR(src.Reg)
+		e.setMem(ins.Args[0].Mem)
+		emitOp(src.Reg.Enc())
+		return e.modRMMem(src.Reg.Enc(), ins.Args[0].Mem)
+	}
+
+	dst := ins.Args[0]
+	if dst.Kind != KReg {
+		return cantEncode("vector destination must be a register")
+	}
+	rmIdx := 1
+	if useVEX && enc.vex3 {
+		rmIdx = 2
+	}
+	rm := ins.Args[rmIdx]
+
+	e.setR(dst.Reg)
+	switch rm.Kind {
+	case KReg:
+		e.setB(rm.Reg)
+	case KMem:
+		e.setMem(rm.Mem)
+	default:
+		return cantEncode("bad vector source operand")
+	}
+	emitOp(dst.Reg.Enc())
+	switch rm.Kind {
+	case KReg:
+		e.modRMReg(dst.Reg.Enc(), rm.Reg)
+	case KMem:
+		if err := e.modRMMem(dst.Reg.Enc(), rm.Mem); err != nil {
+			return err
+		}
+	}
+	if enc.imm8 {
+		immArg := ins.Args[len(ins.Args)-1]
+		if immArg.Kind != KImm {
+			return cantEncode("%v needs a trailing imm8", ins.Op)
+		}
+		e.emitImm(immArg.Imm, 1)
+	}
+	return nil
+}
+
+// pickLegacyOpcode selects the load- or store-direction opcode for moves.
+func (e *encoder) pickLegacyOpcode(ins Instr, enc vecEnc) byte {
+	if enc.mrOp != 0 && ins.Args[0].Kind == KMem {
+		return enc.mrOp
+	}
+	return enc.op
+}
+
+func (e *encoder) pickVexOpcode(ins Instr, enc vecEnc) byte {
+	return e.pickLegacyOpcode(ins, enc)
+}

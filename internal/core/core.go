@@ -1,0 +1,257 @@
+// Package core implements Facile, the paper's primary contribution: an
+// analytical basic-block throughput model composed of independent
+// per-pipeline-component predictors (paper §4).
+//
+// The predicted (reciprocal) throughput of a basic block is the maximum over
+// a small set of per-component bounds:
+//
+//	TPU = max{Predec, Dec, Issue, Ports, Precedence}            (eq. 1)
+//	TPL = max{FE, Issue, Ports, Precedence}                     (eq. 2)
+//
+// where FE is the front-end bound selected by eq. 3 (Predec/Dec under the
+// JCC erratum, else LSD when available, else DSB). Because the combination
+// is a simple maximum, the prediction directly identifies the bottleneck
+// component(s), enables counterfactual "what if component X were infinitely
+// fast" reasoning, and each component can be computed (and timed)
+// independently.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"facile/internal/bb"
+)
+
+// Component identifies one of Facile's per-pipeline-component predictors.
+type Component uint8
+
+const (
+	Predec Component = iota
+	Dec
+	DSB
+	LSD
+	Issue
+	Ports
+	Precedence
+	NumComponents
+)
+
+var componentNames = [NumComponents]string{
+	"Predec", "Dec", "DSB", "LSD", "Issue", "Ports", "Precedence",
+}
+
+func (c Component) String() string {
+	if int(c) < len(componentNames) {
+		return componentNames[c]
+	}
+	return fmt.Sprintf("Component(%d)", uint8(c))
+}
+
+// ComponentSet is a set of components.
+type ComponentSet uint8
+
+// AllComponents contains every component.
+const AllComponents ComponentSet = 1<<NumComponents - 1
+
+// Set returns a ComponentSet containing the given components.
+func Set(cs ...Component) ComponentSet {
+	var s ComponentSet
+	for _, c := range cs {
+		s |= 1 << c
+	}
+	return s
+}
+
+// Has reports whether c is in the set.
+func (s ComponentSet) Has(c Component) bool { return s&(1<<c) != 0 }
+
+// Without returns the set with the given components removed.
+func (s ComponentSet) Without(cs ...Component) ComponentSet {
+	return s &^ Set(cs...)
+}
+
+// Mode selects the throughput notion (paper §3.1).
+type Mode uint8
+
+const (
+	// TPU: the block is unrolled; µops flow through predecoder and decoders.
+	TPU Mode = iota
+	// TPL: the block is executed as a loop; µops are streamed from the LSD
+	// or DSB (unless the JCC erratum forces the legacy decode path).
+	TPL
+)
+
+func (m Mode) String() string {
+	if m == TPU {
+		return "TPU"
+	}
+	return "TPL"
+}
+
+// Options configures prediction variants (used by the paper's Table 3
+// ablations).
+type Options struct {
+	// Include restricts which components participate in the maximum
+	// (zero value means AllComponents).
+	Include ComponentSet
+	// SimplePredec replaces the predecoder model with the simple
+	// one-16-byte-block-per-cycle model (paper §4.3).
+	SimplePredec bool
+	// SimpleDec replaces Algorithm 1 with the simple decoder model
+	// (paper §4.4).
+	SimpleDec bool
+}
+
+func (o Options) include() ComponentSet {
+	if o.Include == 0 {
+		return AllComponents
+	}
+	return o.Include
+}
+
+// Prediction is the result of a Facile prediction.
+type Prediction struct {
+	// TP is the predicted reciprocal throughput in cycles per iteration.
+	TP   float64
+	Mode Mode
+	// Components holds the individual bounds that were computed. Components
+	// excluded by Options or not applicable to the mode are absent.
+	Components map[Component]float64
+	// FrontEnd is the front-end bound FE of eq. 3 (TPL only), and
+	// FrontEndSource names the component that produced it.
+	FrontEnd       float64
+	FrontEndSource Component
+	// Bottlenecks lists every component whose bound equals TP.
+	Bottlenecks []Component
+	// CriticalChain lists instruction indices on a maximum-ratio dependence
+	// cycle when Precedence was computed (interpretability, §4.9).
+	CriticalChain []int
+	// ContendedInstrs lists instruction indices whose µops use the
+	// maximally contended port combination when Ports was computed
+	// (interpretability, §4.8).
+	ContendedInstrs []int
+	// ContendedPorts is that port combination.
+	ContendedPorts string
+}
+
+// bottleneckOrder is the tie-breaking order used when a single bottleneck is
+// reported: components closer to the front end win (paper §6.4).
+var bottleneckOrder = []Component{Predec, Dec, DSB, LSD, Issue, Ports, Precedence}
+
+// PrimaryBottleneck returns the single bottleneck component using the
+// front-end-first tie-breaking order of the paper's §6.4.
+func (p *Prediction) PrimaryBottleneck() Component {
+	const eps = 1e-9
+	for _, c := range bottleneckOrder {
+		if v, ok := p.Components[c]; ok && v >= p.TP-eps {
+			return c
+		}
+	}
+	return Precedence
+}
+
+// Predict computes the Facile throughput prediction for a prepared block.
+func Predict(block *bb.Block, mode Mode, opts Options) Prediction {
+	p := Prediction{Mode: mode, Components: make(map[Component]float64)}
+	inc := opts.include()
+
+	compute := func(c Component) float64 {
+		var v float64
+		switch c {
+		case Predec:
+			if opts.SimplePredec {
+				v = SimplePredecBound(block, mode)
+			} else {
+				v = PredecBound(block, mode)
+			}
+		case Dec:
+			if opts.SimpleDec {
+				v = SimpleDecBound(block)
+			} else {
+				v = DecBound(block)
+			}
+		case DSB:
+			v = DSBBound(block)
+		case LSD:
+			v = LSDBound(block)
+		case Issue:
+			v = IssueBound(block)
+		case Ports:
+			var detail PortsDetail
+			v, detail = PortsBoundDetail(block)
+			p.ContendedInstrs = detail.Instrs
+			p.ContendedPorts = detail.Ports
+		case Precedence:
+			var chain []int
+			v, chain = PrecedenceBound(block)
+			p.CriticalChain = chain
+		}
+		p.Components[c] = v
+		return v
+	}
+
+	tp := 0.0
+	switch mode {
+	case TPU:
+		for _, c := range []Component{Predec, Dec, Issue, Ports, Precedence} {
+			if inc.Has(c) {
+				tp = math.Max(tp, compute(c))
+			}
+		}
+	case TPL:
+		// Front-end bound FE per eq. 3.
+		fe := 0.0
+		feSrc := DSB
+		switch {
+		case block.JCCErratumAffected():
+			if inc.Has(Predec) {
+				fe = compute(Predec)
+				feSrc = Predec
+			}
+			if inc.Has(Dec) {
+				if d := compute(Dec); d > fe {
+					fe = d
+					feSrc = Dec
+				}
+			}
+		case block.Cfg.LSDEnabled && inc.Has(LSD) &&
+			block.FusedUops() <= block.Cfg.IDQSize:
+			fe = compute(LSD)
+			feSrc = LSD
+		case inc.Has(DSB):
+			fe = compute(DSB)
+			feSrc = DSB
+		}
+		p.FrontEnd = fe
+		p.FrontEndSource = feSrc
+		tp = fe
+		for _, c := range []Component{Issue, Ports, Precedence} {
+			if inc.Has(c) {
+				tp = math.Max(tp, compute(c))
+			}
+		}
+	}
+	p.TP = tp
+
+	const eps = 1e-9
+	for _, c := range bottleneckOrder {
+		if v, ok := p.Components[c]; ok && v >= tp-eps && tp > 0 {
+			p.Bottlenecks = append(p.Bottlenecks, c)
+		}
+	}
+	return p
+}
+
+// IdealizationSpeedup answers the counterfactual question of the paper's
+// Table 4: by what factor would the block speed up if component c were
+// infinitely fast? (Speedups are computed per block and aggregated by the
+// evaluation harness.)
+func IdealizationSpeedup(block *bb.Block, mode Mode, c Component) float64 {
+	base := Predict(block, mode, Options{})
+	without := Predict(block, mode, Options{Include: AllComponents.Without(c)})
+	if without.TP <= 0 {
+		return 1
+	}
+	return base.TP / without.TP
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"facile/internal/bb"
+)
+
+// DSBBound predicts the throughput bound of the decoded stream buffer
+// (µop cache), paper §4.5: the number of fused-domain µops divided by the
+// DSB width. For blocks shorter than 32 bytes the result is rounded up
+// because, after the loop branch, the CPU cannot load further µops from the
+// same 32-byte window in the same cycle.
+func DSBBound(block *bb.Block) float64 {
+	n := block.FusedUops()
+	w := block.Cfg.DSBWidth
+	if block.Len() < 32 {
+		return float64(ceilDiv(n, w))
+	}
+	return float64(n) / float64(w)
+}
+
+// LSDBound predicts the throughput bound of the loop stream detector,
+// paper §4.6. The last µop of an iteration and the first µop of the next
+// cannot be streamed in the same cycle, so small loops are limited to
+// ceil(n/issueWidth) per iteration; the LSD mitigates this by unrolling the
+// loop u times (per-microarchitecture behavior, Config.LSDUnroll):
+//
+//	LSD = ceil(n·u / issueWidth) / u
+func LSDBound(block *bb.Block) float64 {
+	n := block.FusedUops()
+	i := block.Cfg.IssueWidth
+	u := block.Cfg.LSDUnroll(n)
+	return float64(ceilDiv(n*u, i)) / float64(u)
+}
+
+// IssueBound predicts the throughput bound of the issue stage (renamer),
+// paper §4.7: fused-domain µops after unlamination, divided by the issue
+// width.
+func IssueBound(block *bb.Block) float64 {
+	return float64(block.IssueUops()) / float64(block.Cfg.IssueWidth)
+}

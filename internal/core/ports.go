@@ -1,0 +1,125 @@
+package core
+
+import (
+	"facile/internal/bb"
+	"facile/internal/uarch"
+)
+
+// PortsDetail carries the interpretability payload of the Ports component:
+// the maximally contended port combination and the instructions whose µops
+// are restricted to it.
+type PortsDetail struct {
+	Ports  string
+	Instrs []int
+}
+
+// PortsBound predicts the throughput bound due to execution-port contention
+// (paper §4.8), assuming the renamer distributes µops optimally.
+func PortsBound(block *bb.Block) float64 {
+	v, _ := PortsBoundDetail(block)
+	return v
+}
+
+// PortsBoundDetail is PortsBound plus interpretability detail.
+//
+// If a set of µops can collectively only be dispatched to port combination
+// pc, the throughput is at least |set|/|pc| cycles. Instead of considering
+// every subset of µops, only the port combinations of *pairs* of µops are
+// considered (PC' = {pc ∪ pc' | pc, pc' ∈ PC}); this heuristic yields the
+// same bound as the full linear program on all generated benchmark blocks
+// (verified in tests against PortsBoundExact).
+func PortsBoundDetail(block *bb.Block) (float64, PortsDetail) {
+	uops := block.ExecUops()
+	if len(uops) == 0 {
+		return 0, PortsDetail{}
+	}
+
+	// Distinct port combinations in use.
+	seen := make(map[uarch.PortMask]bool, 8)
+	var pcs []uarch.PortMask
+	for _, u := range uops {
+		if u.Ports != 0 && !seen[u.Ports] {
+			seen[u.Ports] = true
+			pcs = append(pcs, u.Ports)
+		}
+	}
+
+	// Pairwise unions (the pair (pc, pc) yields pc itself).
+	unionSeen := make(map[uarch.PortMask]bool, 16)
+	var unions []uarch.PortMask
+	for i := 0; i < len(pcs); i++ {
+		for j := i; j < len(pcs); j++ {
+			u := pcs[i].Union(pcs[j])
+			if !unionSeen[u] {
+				unionSeen[u] = true
+				unions = append(unions, u)
+			}
+		}
+	}
+
+	best := 0.0
+	var bestPC uarch.PortMask
+	for _, pc := range unions {
+		cnt := 0
+		for _, u := range uops {
+			if u.Ports != 0 && u.Ports.SubsetOf(pc) {
+				cnt++
+			}
+		}
+		bound := float64(cnt) / float64(pc.Count())
+		if bound > best {
+			best = bound
+			bestPC = pc
+		}
+	}
+
+	detail := PortsDetail{Ports: bestPC.String()}
+	for k := range block.Insts {
+		ins := &block.Insts[k]
+		if ins.FusedWithPrev || ins.Desc.Eliminated {
+			continue
+		}
+		for _, u := range ins.Desc.Uops {
+			if u.Ports != 0 && u.Ports.SubsetOf(bestPC) {
+				detail.Instrs = append(detail.Instrs, k)
+				break
+			}
+		}
+	}
+	return best, detail
+}
+
+// PortsBoundExact computes the exact port-contention bound by enumerating
+// every subset of the used ports (the LP-dual bound). It is exponential in
+// the number of distinct ports and exists to validate the pairwise
+// heuristic in tests and as a reference for the documentation.
+func PortsBoundExact(block *bb.Block) float64 {
+	uops := block.ExecUops()
+	if len(uops) == 0 {
+		return 0
+	}
+	var universe uarch.PortMask
+	for _, u := range uops {
+		universe |= u.Ports
+	}
+	ports := universe.Ports()
+	best := 0.0
+	for bits := 1; bits < 1<<len(ports); bits++ {
+		var pc uarch.PortMask
+		for i, p := range ports {
+			if bits&(1<<i) != 0 {
+				pc |= 1 << p
+			}
+		}
+		cnt := 0
+		for _, u := range uops {
+			if u.Ports != 0 && u.Ports.SubsetOf(pc) {
+				cnt++
+			}
+		}
+		if bound := float64(cnt) / float64(pc.Count()); bound > best {
+			best = bound
+		}
+	}
+	return best
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"facile/internal/bb"
+	"facile/internal/cycleratio"
+	"facile/internal/x86"
+)
+
+// PrecedenceBound predicts the throughput bound due to read-after-write
+// precedence constraints across loop iterations (paper §4.9).
+//
+// It builds a weighted dependence graph whose nodes are the values consumed
+// and produced by the block's instructions. Within an instruction, each
+// consumed value is connected to each produced value with an edge weighted
+// by the consumption-to-production latency (the load latency is added on
+// paths starting at address registers). Producer-to-consumer edges carry
+// weight 0 and an iteration count: 0 for intra-iteration flows, 1 for flows
+// that wrap to the next iteration. The bound is the maximum cycle ratio
+// (latency / iterations) over all cycles, computed with Howard's algorithm.
+//
+// The second return value lists the instruction indices on a critical
+// dependence chain (interpretability).
+func PrecedenceBound(block *bb.Block) (float64, []int) {
+	g, nodeInstr := BuildDependenceGraph(block)
+	res, err := cycleratio.MaxRatio(g)
+	if err != nil || !res.HasCycle {
+		return 0, nil
+	}
+	var chain []int
+	seen := make(map[int]bool)
+	for _, ei := range res.Cycle {
+		k := nodeInstr[g.Edges[ei].From]
+		if !seen[k] {
+			seen[k] = true
+			chain = append(chain, k)
+		}
+	}
+	return res.Ratio, chain
+}
+
+// BuildDependenceGraph constructs the value dependence graph of the block.
+// The returned slice maps each node to the index of the instruction it
+// belongs to.
+func BuildDependenceGraph(block *bb.Block) (*cycleratio.Graph, []int) {
+	type valNode struct {
+		reg x86.Reg
+		id  int
+	}
+	g := &cycleratio.Graph{}
+	var nodeInstr []int
+	newNode := func(instr int) int {
+		id := g.N
+		g.N++
+		nodeInstr = append(nodeInstr, instr)
+		return id
+	}
+
+	n := len(block.Insts)
+	consumed := make([][]valNode, n)
+	produced := make([][]valNode, n)
+	var writers [x86.NumRegs][]int // reg -> instruction indices that write it
+	effs := make([]x86.Effects, n)
+
+	lookup := func(vs []valNode, r x86.Reg) (int, bool) {
+		for _, v := range vs {
+			if v.reg == r {
+				return v.id, true
+			}
+		}
+		return 0, false
+	}
+
+	flagsReg := x86.RegFlags
+
+	// Pass 1: create nodes, record writers.
+	for k := range block.Insts {
+		ins := &block.Insts[k]
+		eff := ins.Inst.Effects()
+		effs[k] = eff
+
+		addConsumed := func(r x86.Reg) {
+			if _, ok := lookup(consumed[k], r); !ok {
+				consumed[k] = append(consumed[k], valNode{r, newNode(k)})
+			}
+		}
+		addProduced := func(r x86.Reg) {
+			if _, ok := lookup(produced[k], r); !ok {
+				produced[k] = append(produced[k], valNode{r, newNode(k)})
+				writers[r] = append(writers[r], k)
+			}
+		}
+		for _, r := range eff.RegReads {
+			addConsumed(r)
+		}
+		for _, r := range eff.AddrReads {
+			addConsumed(r)
+		}
+		if eff.ReadsFlags {
+			addConsumed(flagsReg)
+		}
+		for _, r := range eff.RegWrites {
+			addProduced(r)
+		}
+		if eff.WritesFlags {
+			addProduced(flagsReg)
+		}
+	}
+
+	// Pass 2: intra-instruction latency edges (consumed -> produced).
+	for k := range block.Insts {
+		ins := &block.Insts[k]
+		lat := ins.Desc.Latency
+		addrExtra := 0
+		if ins.Desc.Load {
+			// Address registers feed the load µop first.
+			addrExtra = block.Cfg.LoadLat
+		}
+		eff := &effs[k]
+		for _, c := range consumed[k] {
+			w := float64(lat)
+			if isAddrRead(eff, c.reg) {
+				// A register feeding address generation reaches the result
+				// through the load µop; if it is also a data input, the
+				// address path is the longer (binding) one.
+				w = float64(lat + addrExtra)
+			}
+			for _, p := range produced[k] {
+				g.AddEdge(c.id, p.id, w, 0)
+			}
+		}
+	}
+
+	// Pass 3: producer -> consumer dataflow edges. Each consumed value is
+	// connected to its actual (program-order) producer; the edge carries
+	// iteration count 1 when the flow wraps around the loop.
+	for k := range block.Insts {
+		for _, c := range consumed[k] {
+			ws := writers[c.reg]
+			if len(ws) == 0 {
+				continue // live-in value, produced outside the loop
+			}
+			j, iterCount := -1, 0
+			for i := len(ws) - 1; i >= 0; i-- {
+				if ws[i] < k {
+					j = ws[i]
+					break
+				}
+			}
+			if j < 0 {
+				// The flow wraps to the previous iteration.
+				j = ws[len(ws)-1]
+				iterCount = 1
+			}
+			from, _ := lookup(produced[j], c.reg)
+			g.AddEdge(from, c.id, 0, iterCount)
+		}
+	}
+
+	return g, nodeInstr
+}
+
+func isAddrRead(eff *x86.Effects, r x86.Reg) bool {
+	for _, a := range eff.AddrReads {
+		if a == r {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"facile/internal/bb"
+	"facile/internal/bhive"
+	"facile/internal/uarch"
+)
+
+// Property-based tests over generated corpora: these pin the structural
+// invariants of the model rather than specific values.
+
+func corpusBlocks(t testing.TB, seed int64, n int, cfg *uarch.Config, loop bool) []*bb.Block {
+	t.Helper()
+	var blocks []*bb.Block
+	for _, bm := range bhive.Generate(seed, n) {
+		code := bm.Code
+		if loop {
+			code = bm.LoopCode
+		}
+		block, err := bb.Build(cfg, code)
+		if err != nil {
+			continue
+		}
+		blocks = append(blocks, block)
+	}
+	return blocks
+}
+
+// TestQuickExcludingComponentNeverIncreasesTP: removing a max-combined
+// component can only lower (or keep) the prediction. Note that this holds
+// for every component under TPU, but under TPL only for Issue, Ports, and
+// Precedence: the front-end bound of eq. 3 is a *selection*, so excluding
+// e.g. the LSD legitimately makes a loop fall back to a slower DSB bound.
+func TestQuickExcludingComponentNeverIncreasesTP(t *testing.T) {
+	f := func(seed int64, archIdx uint8, compRaw uint8, loopRaw bool) bool {
+		arches := uarch.All()
+		cfg := arches[int(archIdx)%len(arches)]
+		comp := Component(compRaw % uint8(NumComponents))
+		mode := TPU
+		if loopRaw {
+			mode = TPL
+			switch comp {
+			case Issue, Ports, Precedence:
+			default:
+				return true // front-end components are selected, not maxed
+			}
+		}
+		blocks := corpusBlocks(t, seed%1000, 4, cfg, loopRaw)
+		for _, block := range blocks {
+			full := Predict(block, mode, Options{})
+			without := Predict(block, mode, Options{Include: AllComponents.Without(comp)})
+			if without.TP > full.TP+1e-9 {
+				t.Logf("%s %v w/o %v: %v > %v", cfg.Name, mode, comp, without.TP, full.TP)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickComponentsNonNegative: every component bound is finite and >= 0.
+func TestQuickComponentsNonNegative(t *testing.T) {
+	f := func(seed int64, archIdx uint8, loopRaw bool) bool {
+		arches := uarch.All()
+		cfg := arches[int(archIdx)%len(arches)]
+		mode := TPU
+		if loopRaw {
+			mode = TPL
+		}
+		for _, block := range corpusBlocks(t, seed%1000, 4, cfg, loopRaw) {
+			p := Predict(block, mode, Options{})
+			if !(p.TP >= 0) || p.TP > 1e6 {
+				return false
+			}
+			for _, v := range p.Components {
+				if !(v >= 0) || v > 1e6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPortsPairwiseMatchesExact: the pairwise port-combination
+// heuristic equals the exhaustive LP-dual bound on generated blocks — the
+// paper's claim that the heuristic "leads to the same bound on all of the
+// BHive benchmarks".
+func TestQuickPortsPairwiseMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	arches := uarch.All()
+	checked := 0
+	for trial := 0; trial < 40; trial++ {
+		cfg := arches[rng.Intn(len(arches))]
+		for _, block := range corpusBlocks(t, rng.Int63n(5000), 6, cfg, rng.Intn(2) == 0) {
+			heur := PortsBound(block)
+			exact := PortsBoundExact(block)
+			if heur > exact+1e-9 {
+				t.Fatalf("%s: pairwise %v exceeds exact %v (unsound)", cfg.Name, heur, exact)
+			}
+			if exact > heur+1e-9 {
+				t.Fatalf("%s: pairwise %v below exact %v on corpus block\n%s",
+					cfg.Name, heur, exact, block.String())
+			}
+			checked++
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("only %d blocks checked", checked)
+	}
+}
+
+// TestQuickBoundMonotoneInBlockConcatenation: appending instructions can
+// only increase the Issue bound (µop counts are additive).
+func TestQuickBoundMonotoneInBlockConcatenation(t *testing.T) {
+	f := func(seed int64) bool {
+		blocks := corpusBlocks(t, seed%2000, 2, uarch.SKL, false)
+		if len(blocks) < 2 {
+			return true
+		}
+		a, bB := blocks[0], blocks[1]
+		combined, err := bb.Build(uarch.SKL, append(append([]byte{}, a.Code...), bB.Code...))
+		if err != nil {
+			return true
+		}
+		return IssueBound(combined) >= IssueBound(a)-1e-9 &&
+			IssueBound(combined) >= IssueBound(bB)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLSDDominatesIssueFusedDomain: LSD >= fused-domain µops / issue
+// width (the LSD can never beat a perfectly-packed renamer).
+func TestQuickLSDDominatesIssueFusedDomain(t *testing.T) {
+	f := func(seed int64, archIdx uint8) bool {
+		arches := uarch.All()
+		cfg := arches[int(archIdx)%len(arches)]
+		for _, block := range corpusBlocks(t, seed%2000, 4, cfg, true) {
+			lower := float64(block.FusedUops()) / float64(cfg.IssueWidth)
+			if LSDBound(block) < lower-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPredictDeterministic: predictions are pure functions of the
+// input.
+func TestQuickPredictDeterministic(t *testing.T) {
+	f := func(seed int64, loopRaw bool) bool {
+		mode := TPU
+		if loopRaw {
+			mode = TPL
+		}
+		for _, block := range corpusBlocks(t, seed%3000, 3, uarch.RKL, loopRaw) {
+			a := Predict(block, mode, Options{})
+			b := Predict(block, mode, Options{})
+			if a.TP != b.TP || len(a.Components) != len(b.Components) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

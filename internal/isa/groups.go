@@ -1,0 +1,66 @@
+package isa
+
+import "facile/internal/uarch"
+
+// FusedGroups partitions the unfused-domain µops (indices into Desc.Uops)
+// into fused-domain µops, mirroring the FusedUops accounting:
+//
+//   - a load micro-fuses with the first compute µop,
+//   - store-address and store-data micro-fuse with each other,
+//   - additional compute µops are separate fused µops.
+//
+// Instructions without execution µops (NOP, eliminated) return a single
+// empty group.
+func (d *Desc) FusedGroups() [][]int {
+	return d.groups(false)
+}
+
+// IssueGroups is FusedGroups after unlamination: when unlaminate is true,
+// micro-fused memory µops are split into separate issue slots.
+func (d *Desc) IssueGroups(unlaminate bool) [][]int {
+	return d.groups(unlaminate)
+}
+
+func (d *Desc) groups(unlaminate bool) [][]int {
+	if len(d.Uops) == 0 {
+		return [][]int{{}}
+	}
+	var groups [][]int
+	i := 0
+	n := len(d.Uops)
+
+	// Leading load µop.
+	hasLoad := d.Load && d.Uops[0].Role == uarch.RoleLoad
+	storeUops := 0
+	if d.Store {
+		storeUops = 2
+	}
+	computeLo := 0
+	if hasLoad {
+		computeLo = 1
+	}
+	computeHi := n - storeUops
+
+	if hasLoad {
+		if computeLo == computeHi || unlaminate {
+			// Pure load, or unlaminated: the load stands alone.
+			groups = append(groups, []int{0})
+			i = 1
+		} else {
+			// Load micro-fused with the first compute µop.
+			groups = append(groups, []int{0, 1})
+			i = 2
+		}
+	}
+	for ; i < computeHi; i++ {
+		groups = append(groups, []int{i})
+	}
+	if d.Store {
+		if unlaminate {
+			groups = append(groups, []int{computeHi}, []int{computeHi + 1})
+		} else {
+			groups = append(groups, []int{computeHi, computeHi + 1})
+		}
+	}
+	return groups
+}

@@ -1,0 +1,196 @@
+// Package isa is the instruction-properties database: for a decoded
+// instruction and a target microarchitecture it provides the µop breakdown,
+// execution-port candidates, latencies, decoder constraints, and fusion /
+// elimination behavior.
+//
+// It is the stand-in for the uops.info instruction database (DESIGN.md §1).
+// Values follow public uops.info / Agner Fog data where known and are
+// otherwise plausible reconstructions; because the reference simulator uses
+// the same database, predictor-versus-measurement comparisons exercise the
+// same structure as the paper's.
+package isa
+
+import (
+	"fmt"
+
+	"facile/internal/uarch"
+	"facile/internal/x86"
+)
+
+// Uop is one unfused-domain µop.
+type Uop struct {
+	Role  uarch.Role
+	Ports uarch.PortMask
+	// RecTP is the number of cycles the µop occupies its execution port
+	// (> 1 only for non-pipelined units such as dividers). The analytical
+	// model deliberately ignores this (idealizing assumption); the reference
+	// simulator honors it.
+	RecTP int
+}
+
+// Desc describes the microarchitectural behavior of one instruction on one
+// microarchitecture.
+type Desc struct {
+	// FusedUops is the number of fused-domain µops produced by decoding
+	// (after micro-fusion, before unlamination).
+	FusedUops int
+	// IssueUops is the number of µops the renamer issues (after
+	// unlamination of indexed micro-fused µops, where applicable).
+	IssueUops int
+	// Uops are the unfused-domain µops that are dispatched to execution
+	// ports. Eliminated instructions and NOPs have none.
+	Uops []Uop
+	// Latency is the data-source to result latency of the compute part.
+	// For instructions with a memory source, the load latency
+	// (Config.LoadLat) is added on paths that start at address registers.
+	Latency int
+	// Eliminated: handled at rename (zeroing idiom or eliminated move);
+	// Latency is 0 and Uops is empty.
+	Eliminated bool
+	// Complex: must be decoded by the complex decoder.
+	Complex bool
+	// AvailSimple is the number of simple decoders that can still be used
+	// in the same cycle after this instruction occupies the complex decoder
+	// (the uops.info "nAvailableSimpleDecoders" attribute).
+	AvailSimple int
+	// Unlaminated: the renamer splits the micro-fused µops of this
+	// instruction (IssueUops == len(Uops) > FusedUops).
+	Unlaminated bool
+	// MacroFusible: may macro-fuse with a suitable following conditional jump.
+	MacroFusible bool
+	// FusibleJCC: a conditional jump that can be the second half of a pair.
+	FusibleJCC bool
+	Load       bool
+	Store      bool
+}
+
+// TotalRecTP returns the sum of port-occupancy cycles of the µops (used by
+// the simulator's divider model; 0 for instructions without µops).
+func (d *Desc) TotalRecTP() int {
+	t := 0
+	for _, u := range d.Uops {
+		t += u.RecTP
+	}
+	return t
+}
+
+// ErrUnsupported is returned for instructions the target microarchitecture
+// cannot execute (e.g. FMA on Sandy Bridge).
+type ErrUnsupported struct {
+	Op   x86.Op
+	Arch string
+}
+
+func (e *ErrUnsupported) Error() string {
+	return fmt.Sprintf("isa: %v not supported on %s", e.Op, e.Arch)
+}
+
+// Lookup builds the Desc for inst on cfg.
+func Lookup(cfg *uarch.Config, inst *x86.Inst) (*Desc, error) {
+	d := &Desc{AvailSimple: cfg.NumDecoders - 1}
+
+	eff := inst.Effects()
+	d.Load = eff.Load
+	d.Store = eff.Store
+
+	// NOP: one fused-domain µop that occupies no execution port.
+	if inst.Op == x86.NOP {
+		d.FusedUops = 1
+		d.IssueUops = 1
+		return d, nil
+	}
+
+	// Zeroing idioms are handled at rename.
+	if inst.IsZeroIdiom() {
+		d.FusedUops = 1
+		d.IssueUops = 1
+		d.Eliminated = true
+		return d, nil
+	}
+
+	// Register-to-register moves may be eliminated at rename.
+	if inst.IsRegMove() {
+		d.FusedUops = 1
+		d.IssueUops = 1
+		elim := cfg.MoveElimGPR
+		role := uarch.RoleALU
+		if inst.Op.IsVector() {
+			elim = cfg.MoveElimVec
+			role = uarch.RoleVecMove
+		}
+		if elim {
+			d.Eliminated = true
+			return d, nil
+		}
+		d.Uops = []Uop{{Role: role, Ports: cfg.PortsFor(role), RecTP: 1}}
+		d.Latency = 1
+		return d, nil
+	}
+
+	compute, lat, err := computeUops(cfg, inst)
+	if err != nil {
+		return nil, err
+	}
+	d.Latency = lat
+
+	// Assemble the unfused-domain µop list: load first, compute, then the
+	// store pair.
+	var uops []Uop
+	mk := func(role uarch.Role, recTP int) Uop {
+		return Uop{Role: role, Ports: cfg.PortsFor(role), RecTP: recTP}
+	}
+	if eff.Load {
+		uops = append(uops, mk(uarch.RoleLoad, 1))
+	}
+	uops = append(uops, compute...)
+	if eff.Store {
+		uops = append(uops, mk(uarch.RoleStoreAddr, 1), mk(uarch.RoleStoreData, 1))
+	}
+	d.Uops = uops
+
+	// Fused-domain µop count (micro-fusion).
+	nc := len(compute)
+	switch {
+	case !eff.Load && !eff.Store:
+		d.FusedUops = max(1, nc)
+	case eff.Load && !eff.Store:
+		// The load micro-fuses with the first compute µop.
+		d.FusedUops = max(1, nc)
+	case !eff.Load && eff.Store:
+		// Store-address and store-data micro-fuse.
+		d.FusedUops = nc + 1
+	default: // load && store (RMW)
+		d.FusedUops = max(1, nc) + 1
+	}
+
+	// Unlamination: micro-fused µops with indexed addressing are split by
+	// the renamer on the affected microarchitectures.
+	d.IssueUops = d.FusedUops
+	if inst.IsMem && inst.Mem.IsIndexed() && cfg.UnlaminateIndexed &&
+		d.FusedUops < len(d.Uops) {
+		d.IssueUops = len(d.Uops)
+		d.Unlaminated = true
+	}
+
+	// Decoder constraints.
+	if d.FusedUops > 1 {
+		d.Complex = true
+		d.AvailSimple = cfg.NumDecoders - 1 - max(0, d.FusedUops-2)
+		if d.AvailSimple < 0 {
+			d.AvailSimple = 0
+		}
+	}
+
+	// Macro-fusion.
+	d.MacroFusible = macroFusibleFirst(cfg, inst, eff)
+	d.FusibleJCC = inst.Op == x86.JCC
+
+	return d, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,201 @@
+// Package metrics implements the accuracy metrics of the paper's evaluation
+// (§6.2): the mean absolute percentage error (MAPE) and Kendall's tau-b rank
+// correlation coefficient, plus small timing-statistics helpers used by the
+// efficiency experiments.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// MAPE returns the mean absolute percentage error of predictions relative to
+// measurements: mean over i of |m_i - p_i| / m_i. Pairs with a zero
+// measurement are skipped (they carry no relative information).
+func MAPE(measured, predicted []float64) float64 {
+	if len(measured) != len(predicted) {
+		panic("metrics: MAPE length mismatch")
+	}
+	sum := 0.0
+	n := 0
+	for i := range measured {
+		if measured[i] == 0 {
+			continue
+		}
+		sum += math.Abs(measured[i]-predicted[i]) / measured[i]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// KendallTau returns Kendall's tau-b between the two value sequences,
+// handling ties, in O(n log n) time (Knight's algorithm).
+func KendallTau(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("metrics: KendallTau length mismatch")
+	}
+	n := len(x)
+	if n < 2 {
+		return 1
+	}
+
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if x[idx[a]] != x[idx[b]] {
+			return x[idx[a]] < x[idx[b]]
+		}
+		return y[idx[a]] < y[idx[b]]
+	})
+
+	// Ties in x (n1) and joint ties (n3).
+	var n1, n3 int64
+	for i := 0; i < n; {
+		j := i
+		for j < n && x[idx[j]] == x[idx[i]] {
+			j++
+		}
+		cnt := int64(j - i)
+		n1 += cnt * (cnt - 1) / 2
+		// Joint ties within the x-tied group.
+		for a := i; a < j; {
+			b := a
+			for b < j && y[idx[b]] == y[idx[a]] {
+				b++
+			}
+			c := int64(b - a)
+			n3 += c * (c - 1) / 2
+			a = b
+		}
+		i = j
+	}
+
+	// Sort the y sequence (in x-order) by merge sort, counting swaps.
+	ys := make([]float64, n)
+	for i, id := range idx {
+		ys[i] = y[id]
+	}
+	swaps := mergeCountSwaps(ys)
+
+	// Ties in y (n2).
+	sorted := append([]float64(nil), y...)
+	sort.Float64s(sorted)
+	var n2 int64
+	for i := 0; i < n; {
+		j := i
+		for j < n && sorted[j] == sorted[i] {
+			j++
+		}
+		cnt := int64(j - i)
+		n2 += cnt * (cnt - 1) / 2
+		i = j
+	}
+
+	n0 := int64(n) * int64(n-1) / 2
+	num := float64(n0-n1-n2+n3) - 2*float64(swaps)
+	den := math.Sqrt(float64(n0-n1)) * math.Sqrt(float64(n0-n2))
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// mergeCountSwaps counts the inversions removed by merge-sorting ys in
+// place. Equal elements are not counted as inversions.
+func mergeCountSwaps(ys []float64) int64 {
+	n := len(ys)
+	if n < 2 {
+		return 0
+	}
+	buf := make([]float64, n)
+	var sortRange func(lo, hi int) int64
+	sortRange = func(lo, hi int) int64 {
+		if hi-lo < 2 {
+			return 0
+		}
+		mid := (lo + hi) / 2
+		sw := sortRange(lo, mid) + sortRange(mid, hi)
+		i, j, k := lo, mid, lo
+		for i < mid && j < hi {
+			if ys[j] < ys[i] {
+				sw += int64(mid - i)
+				buf[k] = ys[j]
+				j++
+			} else {
+				buf[k] = ys[i]
+				i++
+			}
+			k++
+		}
+		for i < mid {
+			buf[k] = ys[i]
+			i++
+			k++
+		}
+		for j < hi {
+			buf[k] = ys[j]
+			j++
+			k++
+		}
+		copy(ys[lo:hi], buf[lo:hi])
+		return sw
+	}
+	return sortRange(0, n)
+}
+
+// Round2 rounds to two decimal places, matching the paper's treatment of
+// measurements and predictions.
+func Round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+// Percentile returns the p-th percentile (0..100) of values (nearest-rank).
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}
+
+// Mean returns the arithmetic mean.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// GeoMean returns the geometric mean of positive values.
+func GeoMean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	n := 0
+	for _, v := range values {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}

@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMAPEBasic(t *testing.T) {
+	m := []float64{1, 2, 4}
+	p := []float64{1.1, 1.8, 4}
+	got := MAPE(m, p)
+	want := (0.1/1 + 0.2/2 + 0) / 3
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MAPE = %v, want %v", got, want)
+	}
+}
+
+func TestMAPEPerfect(t *testing.T) {
+	v := []float64{1, 2, 3}
+	if MAPE(v, v) != 0 {
+		t.Fatal("MAPE of identical sequences must be 0")
+	}
+}
+
+// kendallNaive is the O(n^2) tau-b reference.
+func kendallNaive(x, y []float64) float64 {
+	n := len(x)
+	var c, d, tx, ty int64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := x[i] - x[j]
+			dy := y[i] - y[j]
+			switch {
+			case dx == 0 && dy == 0:
+				tx++
+				ty++
+			case dx == 0:
+				tx++
+			case dy == 0:
+				ty++
+			case dx*dy > 0:
+				c++
+			default:
+				d++
+			}
+		}
+	}
+	n0 := int64(n) * int64(n-1) / 2
+	den := math.Sqrt(float64(n0-tx)) * math.Sqrt(float64(n0-ty))
+	if den == 0 {
+		return 0
+	}
+	return float64(c-d) / den
+}
+
+func TestKendallPerfectCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	if got := KendallTau(x, x); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("tau = %v, want 1", got)
+	}
+	y := []float64{5, 4, 3, 2, 1}
+	if got := KendallTau(x, y); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("tau = %v, want -1", got)
+	}
+}
+
+func TestKendallMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 300; iter++ {
+		n := 2 + rng.Intn(60)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			// Coarse values to generate plenty of ties.
+			x[i] = float64(rng.Intn(8))
+			y[i] = float64(rng.Intn(8))
+		}
+		fast := KendallTau(x, y)
+		slow := kendallNaive(x, y)
+		if math.Abs(fast-slow) > 1e-9 {
+			t.Fatalf("iter %d: fast %v != naive %v (x=%v y=%v)", iter, fast, slow, x, y)
+		}
+	}
+}
+
+func TestKendallQuickProperties(t *testing.T) {
+	// tau(x, y) == tau(y, x), and tau is invariant under strictly
+	// monotonic transformations.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64() * 10
+			y[i] = rng.Float64() * 10
+		}
+		t1 := KendallTau(x, y)
+		t2 := KendallTau(y, x)
+		if math.Abs(t1-t2) > 1e-9 {
+			return false
+		}
+		// Monotonic transform of y.
+		y2 := make([]float64, n)
+		for i := range y {
+			y2[i] = 3*y[i] + 1
+		}
+		return math.Abs(KendallTau(x, y2)-t1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRound2(t *testing.T) {
+	cases := map[float64]float64{
+		1.004: 1.0, 1.006: 1.01, 2.676: 2.68, 0.333: 0.33,
+	}
+	for in, want := range cases {
+		if got := Round2(in); math.Abs(got-want) > 1e-9 {
+			t.Errorf("Round2(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	v := []float64{1, 2, 3, 4}
+	if m := Mean(v); math.Abs(m-2.5) > 1e-12 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v", g)
+	}
+	if p := Percentile(v, 50); p != 2 {
+		t.Fatalf("Percentile(50) = %v", p)
+	}
+	if p := Percentile(v, 100); p != 4 {
+		t.Fatalf("Percentile(100) = %v", p)
+	}
+}

@@ -1,0 +1,342 @@
+package pipesim
+
+import (
+	"facile/internal/bb"
+)
+
+// --- DSB source -------------------------------------------------------------
+
+// dsbSource streams fused-domain µops from the µop cache at DSBWidth per
+// cycle. For blocks shorter than 32 bytes, delivery stops at the iteration
+// boundary: after the taken branch, no µops from the same 32-byte window can
+// be delivered in the same cycle.
+type dsbSource struct {
+	units    []*unit
+	width    int
+	boundary bool // enforce the iteration-boundary rule
+	unitIdx  int
+	groupIdx int
+	iter     int
+}
+
+func newDSBSource(block *bb.Block, units []*unit) *dsbSource {
+	return &dsbSource{
+		units:    units,
+		width:    block.Cfg.DSBWidth,
+		boundary: block.Len() < 32,
+	}
+}
+
+func (d *dsbSource) tick(_ int, space int, emit func(fusedUop)) {
+	budget := d.width
+	if space < budget {
+		budget = space
+	}
+	for budget > 0 {
+		u := d.units[d.unitIdx]
+		emit(fusedUop{unit: u, iter: d.iter, groupIdx: d.groupIdx, first: d.groupIdx == 0})
+		budget--
+		d.groupIdx++
+		if d.groupIdx == len(u.groups) {
+			d.groupIdx = 0
+			d.unitIdx++
+			if d.unitIdx == len(d.units) {
+				d.unitIdx = 0
+				d.iter++
+				if d.boundary {
+					return // iteration boundary ends this cycle's delivery
+				}
+			}
+		}
+	}
+}
+
+// --- LSD source -------------------------------------------------------------
+
+// lsdSource streams fused-domain µops from the locked IDQ at IssueWidth per
+// cycle. The last µop of the (unrolled) loop body and the first µop of the
+// next cannot be streamed in the same cycle; the LSD unrolls small loops to
+// mitigate this (Config.LSDUnroll).
+type lsdSource struct {
+	units    []*unit
+	width    int
+	unroll   int
+	unitIdx  int
+	groupIdx int
+	copyIdx  int
+	iter     int
+}
+
+func newLSDSource(block *bb.Block, units []*unit) *lsdSource {
+	return &lsdSource{
+		units:  units,
+		width:  block.Cfg.IssueWidth,
+		unroll: block.Cfg.LSDUnroll(block.FusedUops()),
+	}
+}
+
+func (l *lsdSource) tick(_ int, space int, emit func(fusedUop)) {
+	budget := l.width
+	if space < budget {
+		budget = space
+	}
+	for budget > 0 {
+		u := l.units[l.unitIdx]
+		emit(fusedUop{unit: u, iter: l.iter, groupIdx: l.groupIdx, first: l.groupIdx == 0})
+		budget--
+		l.groupIdx++
+		if l.groupIdx == len(u.groups) {
+			l.groupIdx = 0
+			l.unitIdx++
+			if l.unitIdx == len(l.units) {
+				l.unitIdx = 0
+				l.iter++
+				l.copyIdx++
+				if l.copyIdx == l.unroll {
+					l.copyIdx = 0
+					return // unrolled-body boundary ends the cycle
+				}
+			}
+		}
+	}
+}
+
+// --- Legacy source (predecoder + decoders) ----------------------------------
+
+// pitem is one predecode work item in a 16-byte block: either a completed
+// instruction (emitted to the IQ) or a placeholder for an instruction whose
+// nominal opcode lies in this block but whose last byte is in the next block
+// (it consumes a predecode slot in both blocks).
+type pitem struct {
+	instrIdx    int // index into block.Insts; -1 for placeholders
+	copyInBlock int // which unrolled copy the instruction belongs to
+	placeholder bool
+}
+
+type pblock struct {
+	items []pitem
+	lcp   int
+}
+
+type iqEntry struct {
+	instrIdx int
+	iter     int
+}
+
+// legacySource models the legacy decode pipeline: 16-byte fetch blocks,
+// 5-wide predecode with LCP and boundary-crossing penalties, a finite IQ,
+// and decode-group formation over 1 complex + n simple decoders with
+// macro-fusion.
+type legacySource struct {
+	block *bb.Block
+	units []*unit
+	loop  bool
+
+	// Index from instruction index to its decode unit (nil for the fused-away
+	// jcc, which is consumed together with its predecessor).
+	unitOf []*unit
+
+	pblocks []pblock
+	period  int // iterations per predecode pattern period
+
+	// Predecode state.
+	curBlock     int
+	pending      []pitem
+	prevCycles   int // predecode cycles spent on the previous block
+	curCycles    int
+	lcpStall     int
+	branchBubble int
+	periodCount  int
+
+	iq []iqEntry
+}
+
+func newLegacySource(block *bb.Block, units []*unit, loop bool) *legacySource {
+	s := &legacySource{block: block, units: units, loop: loop}
+
+	s.unitOf = make([]*unit, len(block.Insts))
+	for _, u := range units {
+		s.unitOf[u.idx] = u
+	}
+
+	l := block.Len()
+	u := 1
+	if !loop {
+		u = lcmInt(l, 16) / l
+	}
+	s.period = u
+	nBlocks := (u*l + 15) / 16
+	s.pblocks = make([]pblock, nBlocks)
+	for c := 0; c < u; c++ {
+		base := c * l
+		for k := range block.Insts {
+			ins := &block.Insts[k]
+			opcodeB := (base + ins.Off + ins.Inst.OpcodeOff) / 16
+			lastB := (base + ins.End() - 1) / 16
+			s.pblocks[lastB].items = append(s.pblocks[lastB].items,
+				pitem{instrIdx: k, copyInBlock: c})
+			if opcodeB != lastB {
+				s.pblocks[opcodeB].items = append(s.pblocks[opcodeB].items,
+					pitem{instrIdx: k, copyInBlock: c, placeholder: true})
+			}
+			if ins.Inst.HasLCP {
+				s.pblocks[opcodeB].lcp++
+			}
+		}
+	}
+
+	s.curBlock = -1 // advance on first cycle
+	return s
+}
+
+func lcmInt(a, b int) int {
+	g := a
+	x := b
+	for x != 0 {
+		g, x = x, g%x
+	}
+	return a / g * b
+}
+
+func (s *legacySource) tick(cycle int, space int, emit func(fusedUop)) {
+	s.decodeStep(space, emit)
+	s.predecodeStep()
+}
+
+// predecodeStep advances the predecoder by one cycle.
+func (s *legacySource) predecodeStep() {
+	if s.branchBubble > 0 {
+		s.branchBubble--
+		return
+	}
+	if s.lcpStall > 0 {
+		s.lcpStall--
+		return
+	}
+	if len(s.pending) == 0 {
+		s.advanceBlock()
+		if s.lcpStall > 0 {
+			s.lcpStall--
+			return
+		}
+	}
+
+	// Predecode up to PredecWidth items; all completed instructions must fit
+	// into the IQ, otherwise the predecoder stalls this cycle.
+	w := s.block.Cfg.PredecWidth
+	if w > len(s.pending) {
+		w = len(s.pending)
+	}
+	completed := 0
+	for i := 0; i < w; i++ {
+		if !s.pending[i].placeholder {
+			completed++
+		}
+	}
+	if len(s.iq)+completed > s.block.Cfg.IQSize {
+		return // IQ backpressure
+	}
+	lastInstrOfIter := -1
+	for i := 0; i < w; i++ {
+		it := s.pending[i]
+		if !it.placeholder {
+			iter := s.periodCount*s.period + it.copyInBlock
+			s.iq = append(s.iq, iqEntry{instrIdx: it.instrIdx, iter: iter})
+			if s.loop && it.instrIdx == len(s.block.Insts)-1 {
+				lastInstrOfIter = it.instrIdx
+			}
+		}
+	}
+	s.pending = s.pending[w:]
+	s.curCycles++
+	if lastInstrOfIter >= 0 {
+		// Taken-branch redirect: one fetch-bubble cycle before the next
+		// iteration's first block.
+		s.branchBubble = 1
+	}
+}
+
+func (s *legacySource) advanceBlock() {
+	s.curBlock++
+	if s.curBlock == len(s.pblocks) {
+		s.curBlock = 0
+		s.periodCount++
+	}
+	pb := &s.pblocks[s.curBlock]
+	s.pending = append(s.pending[:0], pb.items...)
+	s.prevCycles = s.curCycles
+	s.curCycles = 0
+	if pb.lcp > 0 {
+		stall := 3*pb.lcp - (s.prevCycles - 1)
+		if stall < 0 {
+			stall = 0
+		}
+		s.lcpStall = stall
+	}
+}
+
+// decodeStep forms one decode group from the IQ and emits the decoded fused
+// µops into the IDQ.
+func (s *legacySource) decodeStep(space int, emit func(fusedUop)) {
+	cfg := s.block.Cfg
+	nDec := cfg.NumDecoders
+	decoderPos := 0
+	avail := 0
+
+	for len(s.iq) > 0 {
+		head := s.iq[0]
+		u := s.unitOf[head.instrIdx]
+		if u == nil {
+			// A fused-away jcc alone at the IQ head (its partner was
+			// consumed): should not happen, but drop defensively.
+			s.iq = s.iq[1:]
+			continue
+		}
+		// A macro-fused pair needs both halves in the IQ.
+		need := 1
+		if u.hasJcc {
+			if len(s.iq) < 2 {
+				return
+			}
+			need = 2
+		}
+		// IDQ space for all fused µops of the unit.
+		if space < len(u.groups) {
+			return
+		}
+
+		if decoderPos == 0 {
+			// First instruction of the group: decoder 0.
+			if u.complex {
+				avail = u.availSimple
+			} else {
+				avail = nDec - 1
+			}
+		} else {
+			if u.complex {
+				return // complex instruction must wait for decoder 0
+			}
+			if avail == 0 {
+				return
+			}
+			if u.fusible && decoderPos == nDec-1 && !cfg.FusibleOnLastDecoder {
+				return // cannot decode a fusible instruction on the last decoder
+			}
+			avail--
+		}
+
+		// Decode the unit.
+		s.iq = s.iq[need:]
+		for g := range u.groups {
+			emit(fusedUop{unit: u, iter: head.iter, groupIdx: g, first: g == 0})
+			space--
+		}
+		decoderPos++
+		if u.isBranch {
+			return // a branch ends the decode group
+		}
+		if decoderPos >= nDec {
+			return
+		}
+	}
+}

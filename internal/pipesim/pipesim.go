@@ -1,0 +1,108 @@
+// Package pipesim is a cycle-accurate simulator of the high-level pipeline
+// model of the paper's Figure 1: predecoder, instruction queue, decoders,
+// DSB, LSD, and IDQ in the front end; renamer/issue, scheduler, execution
+// ports, and in-order retirement in the back end.
+//
+// It plays two roles in this reproduction (DESIGN.md §1):
+//
+//   - it is the stand-in for the uiCA baseline predictor (a detailed
+//     simulation-based model), and
+//   - together with deterministic measurement noise (internal/bhive) it is
+//     the stand-in for the hardware measurements of the BHive profiler.
+//
+// Unlike Facile, the simulator models second-order effects the analytical
+// model idealizes away: finite buffer sizes, greedy (non-optimal) port
+// assignment, divider occupancy (Uop.RecTP), decode-group formation, the
+// taken-branch fetch bubble on the legacy path, and the interaction between
+// all of these. This difference is the structural source of Facile's
+// residual prediction error, as on real hardware.
+package pipesim
+
+import (
+	"math"
+
+	"facile/internal/bb"
+)
+
+// Result is the outcome of a simulation.
+type Result struct {
+	// TP is the steady-state reciprocal throughput in cycles per iteration.
+	TP float64
+	// WarmupCycles and MeasuredIters describe the measurement window.
+	WarmupCycles  int
+	MeasuredIters int
+}
+
+// Options control the simulation.
+type Options struct {
+	// Loop selects the TPL notion of throughput (the block ends in a branch
+	// and is executed as a loop, streaming from LSD/DSB when possible);
+	// otherwise the TPU notion is used (the block is unrolled and always
+	// flows through predecoder and decoders).
+	Loop bool
+	// WarmupIters and MeasureIters size the measurement window.
+	// Zero values select defaults that scale with block size.
+	WarmupIters  int
+	MeasureIters int
+}
+
+// Run simulates the block and returns its steady-state throughput.
+func Run(block *bb.Block, opts Options) Result {
+	warm := opts.WarmupIters
+	meas := opts.MeasureIters
+	if warm == 0 || meas == 0 {
+		// Scale the window down for large blocks to bound simulation cost.
+		n := len(block.Insts)
+		budget := 6000 // instruction instances
+		iters := budget / max(1, n)
+		iters = clamp(iters, 24, 200)
+		if warm == 0 {
+			warm = iters / 3
+		}
+		if meas == 0 {
+			meas = iters - iters/3
+		}
+	}
+
+	s := newSim(block, opts.Loop)
+	total := warm + meas
+
+	// retireStamp[i] = cycle at which iteration i fully retired.
+	retireStamps := make([]int, 0, total)
+	const maxCycles = 1 << 22
+	for cycle := 0; len(retireStamps) < total && cycle < maxCycles; cycle++ {
+		s.tick(cycle)
+		for s.itersRetired > len(retireStamps) {
+			retireStamps = append(retireStamps, cycle)
+		}
+	}
+	if len(retireStamps) < total {
+		// The pipeline deadlocked (a modeling bug); report a huge value so
+		// it is visible rather than silently wrong.
+		return Result{TP: math.Inf(1)}
+	}
+	start := retireStamps[warm-1]
+	end := retireStamps[total-1]
+	return Result{
+		TP:            float64(end-start) / float64(meas),
+		WarmupCycles:  start,
+		MeasuredIters: meas,
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

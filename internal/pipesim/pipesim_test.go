@@ -1,0 +1,227 @@
+package pipesim
+
+import (
+	"math"
+	"testing"
+
+	"facile/internal/asm"
+	"facile/internal/bb"
+	"facile/internal/core"
+	"facile/internal/uarch"
+	"facile/internal/x86"
+)
+
+func mustBlock(t *testing.T, cfg *uarch.Config, instrs []asm.Instr) *bb.Block {
+	t.Helper()
+	code, err := asm.EncodeBlock(instrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block, err := bb.Build(cfg, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return block
+}
+
+func near(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+func TestSimIndependentAdds(t *testing.T) {
+	// Four independent adds per iteration on SKL: issue width 4, four ALU
+	// ports, decode 4/cycle => ~1 cycle per iteration under unrolling.
+	instrs := []asm.Instr{
+		asm.Mk(x86.ADD, 64, asm.R(x86.RAX), asm.I(1)),
+		asm.Mk(x86.ADD, 64, asm.R(x86.RBX), asm.I(1)),
+		asm.Mk(x86.ADD, 64, asm.R(x86.RDX), asm.I(1)),
+		asm.Mk(x86.ADD, 64, asm.R(x86.RSI), asm.I(1)),
+	}
+	block := mustBlock(t, uarch.SKL, instrs)
+	res := Run(block, Options{})
+	if !near(res.TP, 1.0, 0.15) {
+		t.Fatalf("TP = %v, want ~1.0", res.TP)
+	}
+}
+
+func TestSimDependencyChain(t *testing.T) {
+	// imul rax, rax: latency 3 loop-carried chain.
+	block := mustBlock(t, uarch.SKL, []asm.Instr{
+		asm.Mk(x86.IMUL, 64, asm.R(x86.RAX), asm.R(x86.RAX)),
+	})
+	res := Run(block, Options{})
+	if !near(res.TP, 3.0, 0.15) {
+		t.Fatalf("TP = %v, want ~3.0", res.TP)
+	}
+}
+
+func TestSimPortContention(t *testing.T) {
+	// Three independent imuls: all need p1 => 3 cycles per iteration.
+	instrs := []asm.Instr{
+		asm.Mk(x86.IMUL, 64, asm.R(x86.RAX), asm.R(x86.RBX)),
+		asm.Mk(x86.IMUL, 64, asm.R(x86.RCX), asm.R(x86.RBX)),
+		asm.Mk(x86.IMUL, 64, asm.R(x86.RDX), asm.R(x86.RBX)),
+	}
+	block := mustBlock(t, uarch.SKL, instrs)
+	res := Run(block, Options{})
+	if !near(res.TP, 3.0, 0.2) {
+		t.Fatalf("TP = %v, want ~3.0", res.TP)
+	}
+}
+
+func TestSimDividerOccupancy(t *testing.T) {
+	// Independent divps: the divider is not pipelined in our model
+	// (RecTP 3 on SKL), so throughput is ~3 cycles even though the µop
+	// count is 1. Facile's idealized Ports model predicts 1 here; the
+	// simulator must be slower.
+	instrs := []asm.Instr{
+		asm.Mk(x86.DIVPS, 128, asm.R(x86.X0), asm.R(x86.X8)),
+	}
+	block := mustBlock(t, uarch.SKL, instrs)
+	res := Run(block, Options{})
+	if res.TP < 2.5 {
+		t.Fatalf("TP = %v, want >= 2.5 (divider occupancy)", res.TP)
+	}
+}
+
+func TestSimLoopLSD(t *testing.T) {
+	// Small loop on HSW: LSD path. 3 fused µops (2 dependency-free movs +
+	// fused test/jnz; test reads a live-in register, so there is no
+	// loop-carried chain), unrolled by the LSD => ~0.75 cycles/iter.
+	instrs := []asm.Instr{
+		asm.Mk(x86.MOV, 64, asm.R(x86.RAX), asm.I(1)),
+		asm.Mk(x86.MOV, 64, asm.R(x86.RBX), asm.I(2)),
+		asm.Mk(x86.TEST, 64, asm.R(x86.RCX), asm.R(x86.RCX)),
+		asm.MkCC(x86.JCC, x86.CondNE, 64, asm.I(-14)),
+	}
+	block := mustBlock(t, uarch.HSW, instrs)
+	res := Run(block, Options{Loop: true})
+	if !near(res.TP, 0.75, 0.15) {
+		t.Fatalf("TP = %v, want ~0.75", res.TP)
+	}
+}
+
+func TestSimLoopDSB(t *testing.T) {
+	// SKL (LSD disabled): the same loop streams from the DSB. 3 fused
+	// µops, block < 32 bytes => DSB delivers one iteration per cycle
+	// => ~1 cycle/iter.
+	instrs := []asm.Instr{
+		asm.Mk(x86.ADD, 64, asm.R(x86.RAX), asm.I(1)),
+		asm.Mk(x86.ADD, 64, asm.R(x86.RBX), asm.I(1)),
+		asm.Mk(x86.DEC, 64, asm.R(x86.RCX)),
+		asm.MkCC(x86.JCC, x86.CondNE, 64, asm.I(-12)),
+	}
+	block := mustBlock(t, uarch.SKL, instrs)
+	res := Run(block, Options{Loop: true})
+	if !near(res.TP, 1.0, 0.15) {
+		t.Fatalf("TP = %v, want ~1.0", res.TP)
+	}
+}
+
+func TestSimTPUDecodeBound(t *testing.T) {
+	// Five 1-µop instructions on SKL (4 decoders) under unrolling: the
+	// decoders limit throughput to 1.25 cycles/iter (issue: 5/4 = 1.25 too).
+	var instrs []asm.Instr
+	regs := []x86.Reg{x86.RAX, x86.RBX, x86.RDX, x86.RSI, x86.RDI}
+	for _, r := range regs {
+		instrs = append(instrs, asm.Mk(x86.ADD, 64, asm.R(r), asm.I(1)))
+	}
+	block := mustBlock(t, uarch.SKL, instrs)
+	res := Run(block, Options{})
+	if !near(res.TP, 1.25, 0.15) {
+		t.Fatalf("TP = %v, want ~1.25", res.TP)
+	}
+}
+
+func TestSimLCPPenalty(t *testing.T) {
+	// An LCP-heavy block must be predecode-bound under unrolling.
+	instrs := []asm.Instr{
+		asm.Mk(x86.ADD, 16, asm.R(x86.RAX), asm.I(0x1234)), // LCP
+		asm.Mk(x86.ADD, 16, asm.R(x86.RBX), asm.I(0x1234)), // LCP
+	}
+	block := mustBlock(t, uarch.SKL, instrs)
+	res := Run(block, Options{})
+	// Analytical: 2 LCP instructions cost ~3 cycles each, minus overlap.
+	if res.TP < 4.0 {
+		t.Fatalf("TP = %v, want >= 4 (LCP-bound)", res.TP)
+	}
+}
+
+func TestSimPointerChase(t *testing.T) {
+	block := mustBlock(t, uarch.SKL, []asm.Instr{
+		asm.Mk(x86.MOV, 64, asm.R(x86.RAX), asm.M(x86.RAX, 0)),
+	})
+	res := Run(block, Options{})
+	if !near(res.TP, 5.0, 0.3) {
+		t.Fatalf("TP = %v, want ~5.0 (load latency)", res.TP)
+	}
+}
+
+// TestSimFacileOptimism checks the paper's key observation (§6.2, Figure 3):
+// Facile is optimistic — it never predicts more cycles than the detailed
+// simulation measures.
+func TestSimFacileOptimism(t *testing.T) {
+	blocks := [][]asm.Instr{
+		{
+			asm.Mk(x86.ADD, 64, asm.R(x86.RAX), asm.I(1)),
+			asm.Mk(x86.IMUL, 64, asm.R(x86.RBX), asm.R(x86.RAX)),
+			asm.Mk(x86.MOV, 64, asm.R(x86.RCX), asm.M(x86.RSI, 8)),
+			asm.Mk(x86.ADD, 64, asm.R(x86.RDX), asm.R(x86.RCX)),
+		},
+		{
+			asm.Mk(x86.ADDPS, 128, asm.R(x86.X0), asm.R(x86.X1)),
+			asm.Mk(x86.MULPS, 128, asm.R(x86.X2), asm.R(x86.X3)),
+			asm.Mk(x86.ADDPS, 128, asm.R(x86.X4), asm.R(x86.X5)),
+		},
+		{
+			asm.Mk(x86.MOV, 64, asm.M(x86.RDI, 0), asm.R(x86.RAX)),
+			asm.Mk(x86.MOV, 64, asm.M(x86.RDI, 8), asm.R(x86.RBX)),
+			asm.Mk(x86.MOV, 64, asm.R(x86.RCX), asm.M(x86.RSI, 0)),
+			asm.Mk(x86.ADD, 64, asm.R(x86.RCX), asm.I(3)),
+		},
+		{
+			asm.Mk(x86.ADD, 16, asm.R(x86.RAX), asm.I(0x1234)),
+			asm.Mk(x86.SHL, 64, asm.R(x86.RBX), asm.I(3)),
+			asm.Mk(x86.SAR, 64, asm.R(x86.RDX), asm.I(1)),
+		},
+	}
+	for _, cfg := range []*uarch.Config{uarch.SNB, uarch.HSW, uarch.SKL, uarch.RKL} {
+		for bi, instrs := range blocks {
+			block := mustBlock(t, cfg, instrs)
+			sim := Run(block, Options{})
+			facile := core.Predict(block, core.TPU, core.Options{})
+			if facile.TP > sim.TP+0.1 {
+				t.Errorf("%s block %d: Facile %v > sim %v (must be optimistic)",
+					cfg.Name, bi, facile.TP, sim.TP)
+			}
+		}
+	}
+}
+
+// TestSimCloseToFacileOnSimpleBlocks: on blocks without divider pressure or
+// alignment pathologies, the simulator and the analytical model should agree
+// closely (this is why Facile achieves ~1% MAPE).
+func TestSimCloseToFacileOnSimpleBlocks(t *testing.T) {
+	blocks := [][]asm.Instr{
+		{
+			asm.Mk(x86.ADD, 64, asm.R(x86.RAX), asm.I(1)),
+			asm.Mk(x86.ADD, 64, asm.R(x86.RBX), asm.I(1)),
+			asm.Mk(x86.ADD, 64, asm.R(x86.RDX), asm.I(1)),
+			asm.Mk(x86.ADD, 64, asm.R(x86.RSI), asm.I(1)),
+		},
+		{
+			asm.Mk(x86.IMUL, 64, asm.R(x86.RAX), asm.R(x86.RAX)),
+		},
+		{
+			asm.Mk(x86.IMUL, 64, asm.R(x86.RAX), asm.R(x86.RBX)),
+			asm.Mk(x86.IMUL, 64, asm.R(x86.RCX), asm.R(x86.RBX)),
+			asm.Mk(x86.IMUL, 64, asm.R(x86.RDX), asm.R(x86.RBX)),
+		},
+	}
+	for bi, instrs := range blocks {
+		block := mustBlock(t, uarch.SKL, instrs)
+		sim := Run(block, Options{})
+		facile := core.Predict(block, core.TPU, core.Options{})
+		if math.Abs(sim.TP-facile.TP) > 0.2*math.Max(1, facile.TP) {
+			t.Errorf("block %d: sim %v vs facile %v, want close", bi, sim.TP, facile.TP)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package uarch
+
+import (
+	"math/bits"
+	"strings"
+)
+
+// PortMask is a set of execution ports, one bit per port (bit 0 = port 0).
+// Each port accepts at most one µop per cycle.
+type PortMask uint16
+
+// P builds a PortMask from port numbers.
+func P(ports ...int) PortMask {
+	var m PortMask
+	for _, p := range ports {
+		m |= 1 << p
+	}
+	return m
+}
+
+// Count returns the number of ports in the mask.
+func (m PortMask) Count() int { return bits.OnesCount16(uint16(m)) }
+
+// Has reports whether port p is in the mask.
+func (m PortMask) Has(p int) bool { return m&(1<<p) != 0 }
+
+// Union returns the union of the two masks.
+func (m PortMask) Union(o PortMask) PortMask { return m | o }
+
+// SubsetOf reports whether every port in m is also in o.
+func (m PortMask) SubsetOf(o PortMask) bool { return m&^o == 0 }
+
+// Ports returns the port numbers in the mask, in ascending order.
+func (m PortMask) Ports() []int {
+	var out []int
+	for p := 0; p < 16; p++ {
+		if m.Has(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// String renders the mask uiCA-style, e.g. "p015".
+func (m PortMask) String() string {
+	if m == 0 {
+		return "p-"
+	}
+	var sb strings.Builder
+	sb.WriteByte('p')
+	for p := 0; p < 16; p++ {
+		if m.Has(p) {
+			if p < 10 {
+				sb.WriteByte(byte('0' + p))
+			} else {
+				sb.WriteByte(byte('A' + p - 10))
+			}
+		}
+	}
+	return sb.String()
+}
+
+// Role names a class of µops that share an execution-port assignment on a
+// given microarchitecture. The instruction database describes µops in terms
+// of roles; each Config maps roles to concrete port masks.
+type Role uint8
+
+const (
+	RoleALU        Role = iota // simple integer ALU
+	RoleShift                  // shifts/rotates (and cmov/setcc port class)
+	RoleBranch                 // taken/untaken jumps
+	RoleMul                    // integer multiplier
+	RoleDiv                    // integer divider
+	RoleLEA                    // fast LEA
+	RoleSlowLEA                // three-component LEA
+	RoleLoad                   // load ports
+	RoleStoreAddr              // store-address generation
+	RoleStoreData              // store-data
+	RoleVecALU                 // vector integer add/logic
+	RoleVecFPAdd               // vector FP add
+	RoleVecFPMul               // vector FP multiply
+	RoleVecFMA                 // fused multiply-add
+	RoleVecDiv                 // vector FP divide/sqrt unit
+	RoleVecShuffle             // vector shuffles
+	RoleVecMove                // vector register moves that execute
+	NumRoles
+)
+
+var roleNames = [NumRoles]string{
+	"alu", "shift", "branch", "mul", "div", "lea", "slowlea",
+	"load", "staddr", "stdata", "vecalu", "fpadd", "fpmul", "fma",
+	"vecdiv", "shuffle", "vecmove",
+}
+
+func (r Role) String() string {
+	if int(r) < len(roleNames) {
+		return roleNames[r]
+	}
+	return "role?"
+}

@@ -1,0 +1,124 @@
+package x86
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mnemonic returns the instruction mnemonic including any condition suffix.
+func (i *Inst) Mnemonic() string {
+	switch i.Op {
+	case JCC:
+		return "j" + i.Cond.String()
+	case CMOVCC:
+		return "cmov" + i.Cond.String()
+	case SETCC:
+		return "set" + i.Cond.String()
+	}
+	name := i.Op.String()
+	if i.VEX && !strings.HasPrefix(name, "v") {
+		name = "v" + name
+	}
+	return name
+}
+
+// String renders the instruction in Intel-like syntax (destination first),
+// for debugging and reports.
+func (i *Inst) String() string {
+	var sb strings.Builder
+	sb.WriteString(i.Mnemonic())
+
+	regName := func(r Reg) string {
+		if r.IsGPR() {
+			return sizedGPRName(r, i.Width)
+		}
+		if r.IsVec() && i.Width == 256 {
+			return "y" + strings.TrimPrefix(r.String(), "x")
+		}
+		return r.String()
+	}
+	memStr := func() string { return i.Mem.String() }
+
+	var ops []string
+	switch i.Form {
+	case FormMR:
+		if i.IsMem {
+			ops = []string{memStr(), regName(i.RegOp)}
+		} else {
+			ops = []string{regName(i.RM), regName(i.RegOp)}
+		}
+	case FormRM:
+		if i.IsMem {
+			ops = []string{regName(i.RegOp), memStr()}
+		} else {
+			ops = []string{regName(i.RegOp), regName(i.RM)}
+		}
+	case FormRMI:
+		if i.IsMem {
+			ops = []string{regName(i.RegOp), memStr(), fmt.Sprintf("%d", i.Imm)}
+		} else {
+			ops = []string{regName(i.RegOp), regName(i.RM), fmt.Sprintf("%d", i.Imm)}
+		}
+	case FormVRM:
+		src2 := regName(i.RM)
+		if i.IsMem {
+			src2 = memStr()
+		}
+		ops = []string{regName(i.RegOp), regName(i.VReg), src2}
+	case FormVRMI:
+		src2 := regName(i.RM)
+		if i.IsMem {
+			src2 = memStr()
+		}
+		ops = []string{regName(i.RegOp), regName(i.VReg), src2, fmt.Sprintf("%d", i.Imm)}
+	case FormMI:
+		dst := regName(i.RM)
+		if i.IsMem {
+			dst = memStr()
+		}
+		if i.HasImm {
+			ops = []string{dst, fmt.Sprintf("%d", i.Imm)}
+		} else {
+			ops = []string{dst}
+		}
+	case FormM:
+		dst := regName(i.RM)
+		if i.IsMem {
+			dst = memStr()
+		}
+		ops = []string{dst}
+		if i.UsesCL {
+			ops = append(ops, "cl")
+		} else if i.HasImm {
+			ops = append(ops, fmt.Sprintf("%d", i.Imm))
+		}
+	case FormOI:
+		ops = []string{regName(i.RegOp), fmt.Sprintf("%d", i.Imm)}
+	case FormO:
+		ops = []string{regName(i.RegOp)}
+	case FormI:
+		if i.RegOp != RegNone {
+			ops = []string{regName(i.RegOp), fmt.Sprintf("%d", i.Imm)}
+		} else {
+			ops = []string{fmt.Sprintf("%d", i.Imm)}
+		}
+	case FormD:
+		ops = []string{fmt.Sprintf(".%+d", i.Imm)}
+	case FormZO:
+	}
+
+	if len(ops) > 0 {
+		sb.WriteByte(' ')
+		sb.WriteString(strings.Join(ops, ", "))
+	}
+	return sb.String()
+}
+
+// BlockString renders a sequence of instructions, one per line.
+func BlockString(insts []Inst) string {
+	var sb strings.Builder
+	for idx := range insts {
+		fmt.Fprintf(&sb, "%s\n", insts[idx].String())
+	}
+	return sb.String()
+}

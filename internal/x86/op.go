@@ -1,0 +1,201 @@
+package x86
+
+import "fmt"
+
+// Op identifies an operation at mnemonic granularity. Condition codes are
+// factored out into Inst.Cond (JCC, CMOVCC, SETCC), and the SSE "PS/PD/SS/SD"
+// data-type variants are separate Ops because their performance properties
+// differ.
+type Op uint16
+
+const (
+	OpInvalid Op = iota
+
+	// GPR integer ALU.
+	ADD
+	ADC
+	SUB
+	SBB
+	AND
+	OR
+	XOR
+	CMP
+	TEST
+	MOV
+	MOVZX
+	MOVSX
+	LEA
+	INC
+	DEC
+	NEG
+	NOT
+	IMUL  // two/three operand forms (0F AF, 69, 6B)
+	MUL1  // one-operand MUL r/m (F7 /4)
+	IMUL1 // one-operand IMUL r/m (F7 /5)
+	DIV   // unsigned divide (F7 /6)
+	IDIV  // signed divide (F7 /7)
+	SHL
+	SHR
+	SAR
+	ROL
+	ROR
+	POPCNT
+	CMOVCC
+	SETCC
+	PUSH
+	POP
+	NOP
+
+	// Control flow.
+	JCC
+	JMP
+
+	// SSE / AVX floating point.
+	MOVAPS
+	MOVAPD
+	MOVUPS
+	MOVUPD
+	MOVSS
+	MOVSD
+	MOVDQA
+	MOVDQU
+	ADDPS
+	ADDPD
+	ADDSS
+	ADDSD
+	SUBPS
+	SUBPD
+	SUBSS
+	SUBSD
+	MULPS
+	MULPD
+	MULSS
+	MULSD
+	DIVPS
+	DIVPD
+	DIVSS
+	DIVSD
+	SQRTPS
+	SQRTPD
+	SQRTSS
+	SQRTSD
+	ANDPS
+	ANDPD
+	ORPS
+	ORPD
+	XORPS
+	XORPD
+	SHUFPS
+	SHUFPD
+
+	// SSE / AVX integer.
+	PXOR
+	PAND
+	POR
+	PADDD
+	PADDQ
+	PSUBD
+	PMULLD
+	PSHUFD
+
+	// FMA (VEX only).
+	VFMADD231PS
+	VFMADD231PD
+
+	NumOps
+)
+
+var opNames = [NumOps]string{
+	OpInvalid: "invalid",
+	ADD:       "add", ADC: "adc", SUB: "sub", SBB: "sbb",
+	AND: "and", OR: "or", XOR: "xor", CMP: "cmp", TEST: "test",
+	MOV: "mov", MOVZX: "movzx", MOVSX: "movsx", LEA: "lea",
+	INC: "inc", DEC: "dec", NEG: "neg", NOT: "not",
+	IMUL: "imul", MUL1: "mul", IMUL1: "imul1", DIV: "div", IDIV: "idiv",
+	SHL: "shl", SHR: "shr", SAR: "sar", ROL: "rol", ROR: "ror",
+	POPCNT: "popcnt", CMOVCC: "cmov", SETCC: "set",
+	PUSH: "push", POP: "pop", NOP: "nop",
+	JCC: "j", JMP: "jmp",
+	MOVAPS: "movaps", MOVAPD: "movapd", MOVUPS: "movups", MOVUPD: "movupd",
+	MOVSS: "movss", MOVSD: "movsd", MOVDQA: "movdqa", MOVDQU: "movdqu",
+	ADDPS: "addps", ADDPD: "addpd", ADDSS: "addss", ADDSD: "addsd",
+	SUBPS: "subps", SUBPD: "subpd", SUBSS: "subss", SUBSD: "subsd",
+	MULPS: "mulps", MULPD: "mulpd", MULSS: "mulss", MULSD: "mulsd",
+	DIVPS: "divps", DIVPD: "divpd", DIVSS: "divss", DIVSD: "divsd",
+	SQRTPS: "sqrtps", SQRTPD: "sqrtpd", SQRTSS: "sqrtss", SQRTSD: "sqrtsd",
+	ANDPS: "andps", ANDPD: "andpd", ORPS: "orps", ORPD: "orpd",
+	XORPS: "xorps", XORPD: "xorpd", SHUFPS: "shufps", SHUFPD: "shufpd",
+	PXOR: "pxor", PAND: "pand", POR: "por",
+	PADDD: "paddd", PADDQ: "paddq", PSUBD: "psubd", PMULLD: "pmulld",
+	PSHUFD:      "pshufd",
+	VFMADD231PS: "vfmadd231ps", VFMADD231PD: "vfmadd231pd",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint16(op))
+}
+
+// IsVector reports whether op operates on vector registers.
+func (op Op) IsVector() bool { return op >= MOVAPS && op < NumOps }
+
+// IsBranch reports whether op is a control-flow instruction.
+func (op Op) IsBranch() bool { return op == JCC || op == JMP }
+
+// Cond is an x86 condition code (the low nibble of Jcc/CMOVcc/SETcc opcodes).
+type Cond uint8
+
+const (
+	CondO  Cond = 0x0 // overflow
+	CondNO Cond = 0x1
+	CondB  Cond = 0x2 // below (carry)
+	CondAE Cond = 0x3
+	CondE  Cond = 0x4 // equal (zero)
+	CondNE Cond = 0x5
+	CondBE Cond = 0x6
+	CondA  Cond = 0x7
+	CondS  Cond = 0x8 // sign
+	CondNS Cond = 0x9
+	CondP  Cond = 0xA // parity
+	CondNP Cond = 0xB
+	CondL  Cond = 0xC // less (signed)
+	CondGE Cond = 0xD
+	CondLE Cond = 0xE
+	CondG  Cond = 0xF
+)
+
+var condNames = [16]string{
+	"o", "no", "b", "ae", "e", "ne", "be", "a",
+	"s", "ns", "p", "np", "l", "ge", "le", "g",
+}
+
+func (c Cond) String() string {
+	if c < 16 {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cc(%d)", uint8(c))
+}
+
+// UsesCarry reports whether the condition reads the carry flag. Macro-fusion
+// of INC/DEC with a Jcc is not possible for carry-reading conditions because
+// INC/DEC do not write CF.
+func (c Cond) UsesCarry() bool {
+	switch c {
+	case CondB, CondAE, CondBE, CondA:
+		return true
+	}
+	return false
+}
+
+// IsSignedOrZero reports whether the condition reads only SF/ZF/OF (the
+// conditions CMP/ADD/SUB can macro-fuse with on pre-SKL microarchitectures in
+// our model).
+func (c Cond) IsSignedOrZero() bool {
+	switch c {
+	case CondE, CondNE, CondL, CondGE, CondLE, CondG, CondS, CondNS:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,85 @@
+package x86
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickDecodeNeverPanics: the decoder must handle arbitrary byte
+// sequences gracefully — either a well-formed instruction or an error,
+// never a panic, and never an out-of-range length.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		inst, err := Decode(raw)
+		if err != nil {
+			return true
+		}
+		if inst.Len <= 0 || inst.Len > 15 || inst.Len > len(raw) {
+			t.Logf("bad length %d for % x", inst.Len, raw)
+			return false
+		}
+		if inst.OpcodeOff < 0 || inst.OpcodeOff >= inst.Len {
+			t.Logf("bad opcode offset %d for % x", inst.OpcodeOff, raw)
+			return false
+		}
+		// Formatting and effects must not panic either.
+		_ = inst.String()
+		_ = inst.Effects()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDecodeStableUnderSuffix: decoding is prefix-deterministic —
+// appending bytes after a complete instruction never changes its decoding.
+func TestQuickDecodeStableUnderSuffix(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(raw []byte, extra byte) bool {
+		inst, err := Decode(raw)
+		if err != nil {
+			return true
+		}
+		longer := append(append([]byte{}, raw[:inst.Len]...), extra, byte(rng.Intn(256)))
+		inst2, err := Decode(longer)
+		if err != nil {
+			t.Logf("decoding failed after suffix: % x", longer)
+			return false
+		}
+		return inst2.Len == inst.Len && inst2.Op == inst.Op &&
+			inst2.Width == inst.Width && inst2.HasLCP == inst.HasLCP
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEffectsWellFormed: effects reference only valid registers.
+func TestQuickEffectsWellFormed(t *testing.T) {
+	f := func(raw []byte) bool {
+		inst, err := Decode(raw)
+		if err != nil {
+			return true
+		}
+		eff := inst.Effects()
+		for _, rs := range [][]Reg{eff.RegReads, eff.RegWrites, eff.AddrReads} {
+			for _, r := range rs {
+				if r == RegNone || r >= NumRegs {
+					return false
+				}
+			}
+		}
+		// Loads/stores require a memory operand (except push/pop, whose
+		// stack access is implicit).
+		if (eff.Load || eff.Store) && !inst.IsMem &&
+			inst.Op != PUSH && inst.Op != POP {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}

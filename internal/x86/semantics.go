@@ -1,0 +1,362 @@
+package x86
+
+// Effects summarizes an instruction's architectural reads and writes at the
+// granularity used by the dependence models.
+//
+// Memory dependences are intentionally absent: per the modeling assumptions
+// shared by all basic-block throughput predictors (paper §3.3), loads and
+// stores are assumed not to alias, so only the address registers of memory
+// operands matter. Stack-pointer updates of PUSH/POP are assumed to be
+// handled by the stack engine and create no dependence (DESIGN.md §5).
+type Effects struct {
+	// RegReads are data inputs (registers whose value flows into the result).
+	RegReads []Reg
+	// RegWrites are registers whose value is produced by the instruction.
+	RegWrites []Reg
+	// AddrReads are registers read for address generation of a memory
+	// operand; their consumers are the load/store-address µops.
+	AddrReads   []Reg
+	ReadsFlags  bool
+	WritesFlags bool
+	Load        bool // performs a memory read
+	Store       bool // performs a memory write
+}
+
+// destBehavior classifies how an operation treats its destination operand.
+type destBehavior uint8
+
+const (
+	destRW        destBehavior = iota // dest is read and written (add, shifts, ...)
+	destWriteOnly                     // dest is overwritten (mov, lea, movzx, ...)
+	destNone                          // no register result (cmp, test, jcc, store)
+)
+
+type opSem struct {
+	dest        destBehavior
+	readsFlags  bool
+	writesFlags bool
+}
+
+var opSems = map[Op]opSem{
+	ADD:    {destRW, false, true},
+	ADC:    {destRW, true, true},
+	SUB:    {destRW, false, true},
+	SBB:    {destRW, true, true},
+	AND:    {destRW, false, true},
+	OR:     {destRW, false, true},
+	XOR:    {destRW, false, true},
+	CMP:    {destNone, false, true},
+	TEST:   {destNone, false, true},
+	MOV:    {destWriteOnly, false, false},
+	MOVZX:  {destWriteOnly, false, false},
+	MOVSX:  {destWriteOnly, false, false},
+	LEA:    {destWriteOnly, false, false},
+	INC:    {destRW, false, true},
+	DEC:    {destRW, false, true},
+	NEG:    {destRW, false, true},
+	NOT:    {destRW, false, false},
+	IMUL:   {destRW, false, true}, // FormRMI overrides dest to write-only
+	MUL1:   {destNone, false, true},
+	IMUL1:  {destNone, false, true},
+	DIV:    {destNone, false, true},
+	IDIV:   {destNone, false, true},
+	SHL:    {destRW, false, true},
+	SHR:    {destRW, false, true},
+	SAR:    {destRW, false, true},
+	ROL:    {destRW, false, true},
+	ROR:    {destRW, false, true},
+	POPCNT: {destWriteOnly, false, true},
+	CMOVCC: {destRW, true, false},
+	SETCC:  {destWriteOnly, true, false},
+	PUSH:   {destNone, false, false},
+	POP:    {destWriteOnly, false, false},
+	NOP:    {destNone, false, false},
+	JCC:    {destNone, true, false},
+	JMP:    {destNone, false, false},
+
+	MOVAPS: {destWriteOnly, false, false},
+	MOVAPD: {destWriteOnly, false, false},
+	MOVUPS: {destWriteOnly, false, false},
+	MOVUPD: {destWriteOnly, false, false},
+	MOVSS:  {destWriteOnly, false, false},
+	MOVSD:  {destWriteOnly, false, false},
+	MOVDQA: {destWriteOnly, false, false},
+	MOVDQU: {destWriteOnly, false, false},
+
+	ADDPS: {destRW, false, false}, ADDPD: {destRW, false, false},
+	ADDSS: {destRW, false, false}, ADDSD: {destRW, false, false},
+	SUBPS: {destRW, false, false}, SUBPD: {destRW, false, false},
+	SUBSS: {destRW, false, false}, SUBSD: {destRW, false, false},
+	MULPS: {destRW, false, false}, MULPD: {destRW, false, false},
+	MULSS: {destRW, false, false}, MULSD: {destRW, false, false},
+	DIVPS: {destRW, false, false}, DIVPD: {destRW, false, false},
+	DIVSS: {destRW, false, false}, DIVSD: {destRW, false, false},
+	SQRTPS: {destWriteOnly, false, false}, SQRTPD: {destWriteOnly, false, false},
+	SQRTSS: {destRW, false, false}, SQRTSD: {destRW, false, false},
+	ANDPS: {destRW, false, false}, ANDPD: {destRW, false, false},
+	ORPS: {destRW, false, false}, ORPD: {destRW, false, false},
+	XORPS: {destRW, false, false}, XORPD: {destRW, false, false},
+	SHUFPS: {destRW, false, false}, SHUFPD: {destRW, false, false},
+
+	PXOR: {destRW, false, false}, PAND: {destRW, false, false},
+	POR:   {destRW, false, false},
+	PADDD: {destRW, false, false}, PADDQ: {destRW, false, false},
+	PSUBD: {destRW, false, false}, PMULLD: {destRW, false, false},
+	PSHUFD: {destWriteOnly, false, false},
+
+	VFMADD231PS: {destRW, false, false},
+	VFMADD231PD: {destRW, false, false},
+}
+
+// IsZeroIdiom reports whether the instruction is a recognized zeroing idiom
+// (XOR/SUB/PXOR/XORPS/... of a register with itself). Zeroing idioms are
+// dependency-breaking and are executed by the renamer on the modeled
+// microarchitectures: they consume no execution port and read nothing.
+func (i *Inst) IsZeroIdiom() bool {
+	if i.IsMem || i.RegOp == RegNone || i.RM == RegNone || i.RegOp != i.RM {
+		return false
+	}
+	switch i.Op {
+	case XOR, SUB, PXOR, PSUBD, XORPS, XORPD:
+		return i.Form == FormMR || i.Form == FormRM
+	}
+	return false
+}
+
+// IsRegMove reports whether the instruction is a plain register-to-register
+// move, the candidate class for move elimination by the renamer.
+func (i *Inst) IsRegMove() bool {
+	if i.IsMem {
+		return false
+	}
+	switch i.Op {
+	case MOV:
+		return (i.Form == FormMR || i.Form == FormRM) && i.Width >= 32
+	case MOVAPS, MOVAPD, MOVUPS, MOVUPD, MOVDQA, MOVDQU:
+		return i.Form == FormMR || i.Form == FormRM
+	}
+	return false
+}
+
+// Effects computes the architectural reads and writes of the instruction.
+func (i *Inst) Effects() Effects {
+	var eff Effects
+	sem, ok := opSems[i.Op]
+	if !ok {
+		return eff
+	}
+	eff.ReadsFlags = sem.readsFlags
+	eff.WritesFlags = sem.writesFlags
+
+	if i.Op == NOP {
+		return eff
+	}
+
+	// Zero idioms read nothing and break dependences.
+	if i.IsZeroIdiom() {
+		eff.RegWrites = append(eff.RegWrites, i.RegOp)
+		eff.WritesFlags = sem.writesFlags // xor still writes flags
+		return eff
+	}
+
+	addReads := func(rs ...Reg) {
+		for _, r := range rs {
+			if r != RegNone && r != RegRIP {
+				eff.RegReads = append(eff.RegReads, r)
+			}
+		}
+	}
+	addWrites := func(rs ...Reg) {
+		for _, r := range rs {
+			if r != RegNone {
+				eff.RegWrites = append(eff.RegWrites, r)
+			}
+		}
+	}
+	memRead := func() {
+		eff.Load = true
+		if i.Mem.Base != RegNone && i.Mem.Base != RegRIP {
+			eff.AddrReads = append(eff.AddrReads, i.Mem.Base)
+		}
+		if i.Mem.Index != RegNone {
+			eff.AddrReads = append(eff.AddrReads, i.Mem.Index)
+		}
+	}
+	memWrite := func() {
+		eff.Store = true
+		if i.Mem.Base != RegNone && i.Mem.Base != RegRIP {
+			eff.AddrReads = append(eff.AddrReads, i.Mem.Base)
+		}
+		if i.Mem.Index != RegNone {
+			eff.AddrReads = append(eff.AddrReads, i.Mem.Index)
+		}
+	}
+
+	dest := sem.dest
+	if i.Op == IMUL && (i.Form == FormRMI || i.Form == FormVRMI) {
+		dest = destWriteOnly // imul r, r/m, imm does not read the destination
+	}
+
+	switch i.Form {
+	case FormMR:
+		// rm OP= reg (or cmp/test: read both).
+		addReads(i.RegOp)
+		if i.IsMem {
+			switch dest {
+			case destRW:
+				memRead()
+				memWrite()
+			case destWriteOnly:
+				memWrite()
+			case destNone:
+				memRead()
+			}
+		} else {
+			if dest == destRW || dest == destNone {
+				addReads(i.RM)
+			}
+			if dest != destNone {
+				addWrites(i.RM)
+			}
+		}
+
+	case FormRM, FormRMI:
+		// reg OP= rm.
+		if i.IsMem {
+			if i.Op != LEA {
+				memRead()
+			} else {
+				// LEA computes the address but performs no access.
+				if i.Mem.Base != RegNone && i.Mem.Base != RegRIP {
+					addReads(i.Mem.Base)
+				}
+				if i.Mem.Index != RegNone {
+					addReads(i.Mem.Index)
+				}
+			}
+		} else {
+			addReads(i.RM)
+		}
+		if dest == destRW {
+			addReads(i.RegOp)
+		}
+		if dest != destNone {
+			addWrites(i.RegOp)
+		}
+
+	case FormVRM, FormVRMI:
+		// reg = vvvv OP rm; FMA additionally reads the destination.
+		addReads(i.VReg)
+		if i.IsMem {
+			memRead()
+		} else {
+			addReads(i.RM)
+		}
+		if dest == destRW {
+			addReads(i.RegOp)
+		}
+		addWrites(i.RegOp)
+
+	case FormMI, FormM:
+		switch i.Op {
+		case PUSH:
+			if i.IsMem {
+				memRead()
+				// push m: load then store to the stack.
+				eff.Store = true
+			} else {
+				addReads(i.RM)
+				eff.Store = true
+			}
+		case POP:
+			eff.Load = true
+			if i.IsMem {
+				memWrite()
+			} else {
+				addWrites(i.RM)
+			}
+		case SETCC:
+			if i.IsMem {
+				memWrite()
+			} else {
+				addWrites(i.RM)
+			}
+		case MUL1, IMUL1:
+			addReads(RAX)
+			if i.IsMem {
+				memRead()
+			} else {
+				addReads(i.RM)
+			}
+			addWrites(RAX, RDX)
+		case DIV, IDIV:
+			addReads(RAX, RDX)
+			if i.IsMem {
+				memRead()
+			} else {
+				addReads(i.RM)
+			}
+			addWrites(RAX, RDX)
+		case MOV: // mov r/m, imm
+			if i.IsMem {
+				memWrite()
+			} else {
+				addWrites(i.RM)
+			}
+		default:
+			// Unary RMW or rm-OP-imm (inc, not, shifts, add rm: destRW).
+			if i.UsesCL {
+				addReads(RCX)
+			}
+			if i.IsMem {
+				switch dest {
+				case destRW:
+					memRead()
+					memWrite()
+				case destWriteOnly:
+					memWrite()
+				case destNone:
+					memRead()
+				}
+			} else {
+				if dest == destRW || dest == destNone {
+					addReads(i.RM)
+				}
+				if dest != destNone {
+					addWrites(i.RM)
+				}
+			}
+		}
+
+	case FormOI:
+		addWrites(i.RegOp)
+
+	case FormO:
+		switch i.Op {
+		case PUSH:
+			addReads(i.RegOp)
+			eff.Store = true
+		case POP:
+			eff.Load = true
+			addWrites(i.RegOp)
+		}
+
+	case FormI:
+		switch i.Op {
+		case PUSH:
+			eff.Store = true
+		default: // accumulator OP imm
+			if dest == destRW || dest == destNone {
+				addReads(i.RegOp)
+			}
+			if dest != destNone {
+				addWrites(i.RegOp)
+			}
+		}
+
+	case FormD, FormZO:
+		// Branch or nop: flags handled above.
+	}
+
+	return eff
+}

@@ -1,0 +1,286 @@
+package x86
+
+// immKind describes how an instruction's immediate is encoded.
+type immKind uint8
+
+const (
+	immNone immKind = iota
+	imm8            // always one byte
+	immZ            // 2 bytes with 16-bit operand size, otherwise 4 (LCP-sensitive)
+	immV            // 2 / 4 / 8 bytes for 16 / 32 / 64-bit operand size (MOV B8+r)
+)
+
+// widthKind describes how the operand width is determined.
+type widthKind uint8
+
+const (
+	w8  widthKind = iota // fixed 8-bit
+	wV                   // 16 / 32 / 64 by prefixes (default 32)
+	w64                  // fixed 64-bit (push/pop, branches)
+	wX                   // vector: 128, or 256 with VEX.L
+)
+
+// entry describes one opcode-table slot.
+type entry struct {
+	op    Op
+	form  Form
+	imm   immKind
+	width widthKind
+	// group >= 0 selects the real entry from groups[group][modrm.reg].
+	group int8
+	// vex3: with a VEX prefix, the instruction gains a vvvv source operand
+	// (FormRM becomes FormVRM, FormRMI becomes FormVRMI).
+	vex3 bool
+	// memWidth8/16: memory access is narrower than Width (MOVZX/MOVSX).
+	memWidth int
+	// condFromOpcode: low nibble of the opcode is a condition code.
+	cond bool
+	// valid distinguishes a populated entry from a zero one.
+	valid bool
+}
+
+func e(op Op, form Form, imm immKind, width widthKind) entry {
+	return entry{op: op, form: form, imm: imm, width: width, group: -1, valid: true}
+}
+
+func eg(group int8, form Form, imm immKind, width widthKind) entry {
+	return entry{form: form, imm: imm, width: width, group: group, valid: true}
+}
+
+// pfxEntry resolves a two-byte (0F) or 0F38 opcode whose meaning depends on
+// the mandatory prefix (none / 66 / F3 / F2).
+type pfxEntry struct {
+	np, p66, pF3, pF2 entry
+}
+
+// Group indices.
+const (
+	grp1   = 0 // 80/81/83: ADD OR ADC SBB AND SUB XOR CMP
+	grp2   = 1 // C0/C1/D1/D3: ROL ROR - - SHL SHR SHL SAR
+	grp3b  = 2 // F6: TEST - NOT NEG MUL IMUL DIV IDIV (8-bit)
+	grp3v  = 3 // F7: same, operand-size
+	grp4   = 4 // FE: INC DEC (8-bit)
+	grp5   = 5 // FF: INC DEC - - - - PUSH -
+	grpNop = 6 // 0F 1F: NOP
+)
+
+var groups = [7][8]entry{
+	grp1: {
+		e(ADD, FormMI, immNone, wV), e(OR, FormMI, immNone, wV),
+		e(ADC, FormMI, immNone, wV), e(SBB, FormMI, immNone, wV),
+		e(AND, FormMI, immNone, wV), e(SUB, FormMI, immNone, wV),
+		e(XOR, FormMI, immNone, wV), e(CMP, FormMI, immNone, wV),
+	},
+	grp2: {
+		e(ROL, FormMI, immNone, wV), e(ROR, FormMI, immNone, wV),
+		{}, {},
+		e(SHL, FormMI, immNone, wV), e(SHR, FormMI, immNone, wV),
+		e(SHL, FormMI, immNone, wV), e(SAR, FormMI, immNone, wV),
+	},
+	grp3b: {
+		e(TEST, FormMI, imm8, w8), {},
+		e(NOT, FormM, immNone, w8), e(NEG, FormM, immNone, w8),
+		e(MUL1, FormM, immNone, w8), e(IMUL1, FormM, immNone, w8),
+		e(DIV, FormM, immNone, w8), e(IDIV, FormM, immNone, w8),
+	},
+	grp3v: {
+		e(TEST, FormMI, immZ, wV), {},
+		e(NOT, FormM, immNone, wV), e(NEG, FormM, immNone, wV),
+		e(MUL1, FormM, immNone, wV), e(IMUL1, FormM, immNone, wV),
+		e(DIV, FormM, immNone, wV), e(IDIV, FormM, immNone, wV),
+	},
+	grp4: {
+		e(INC, FormM, immNone, w8), e(DEC, FormM, immNone, w8),
+		{}, {}, {}, {}, {}, {},
+	},
+	grp5: {
+		e(INC, FormM, immNone, wV), e(DEC, FormM, immNone, wV),
+		{}, {}, {}, {},
+		e(PUSH, FormM, immNone, w64), {},
+	},
+	grpNop: {
+		e(NOP, FormM, immNone, wV),
+		{}, {}, {}, {}, {}, {}, {},
+	},
+}
+
+// oneByte is the legacy one-byte opcode map (only supported opcodes are
+// populated).
+var oneByte = buildOneByte()
+
+func buildOneByte() [256]entry {
+	var t [256]entry
+
+	// The eight classic ALU operations share an encoding pattern at
+	// base+0 .. base+5.
+	alu := []struct {
+		base byte
+		op   Op
+	}{
+		{0x00, ADD}, {0x08, OR}, {0x10, ADC}, {0x18, SBB},
+		{0x20, AND}, {0x28, SUB}, {0x30, XOR}, {0x38, CMP},
+	}
+	for _, a := range alu {
+		t[a.base+0] = e(a.op, FormMR, immNone, w8)
+		t[a.base+1] = e(a.op, FormMR, immNone, wV)
+		t[a.base+2] = e(a.op, FormRM, immNone, w8)
+		t[a.base+3] = e(a.op, FormRM, immNone, wV)
+		t[a.base+4] = e(a.op, FormI, imm8, w8)
+		t[a.base+5] = e(a.op, FormI, immZ, wV)
+	}
+
+	for r := 0; r < 8; r++ {
+		t[0x50+r] = e(PUSH, FormO, immNone, w64)
+		t[0x58+r] = e(POP, FormO, immNone, w64)
+	}
+
+	t[0x68] = e(PUSH, FormI, immZ, w64)
+	t[0x69] = e(IMUL, FormRMI, immZ, wV)
+	t[0x6A] = e(PUSH, FormI, imm8, w64)
+	t[0x6B] = e(IMUL, FormRMI, imm8, wV)
+
+	for cc := 0; cc < 16; cc++ {
+		ent := e(JCC, FormD, imm8, w64)
+		ent.cond = true
+		t[0x70+cc] = ent
+	}
+
+	t[0x80] = eg(grp1, FormMI, imm8, w8)
+	t[0x81] = eg(grp1, FormMI, immZ, wV)
+	t[0x83] = eg(grp1, FormMI, imm8, wV)
+
+	t[0x84] = e(TEST, FormMR, immNone, w8)
+	t[0x85] = e(TEST, FormMR, immNone, wV)
+
+	t[0x88] = e(MOV, FormMR, immNone, w8)
+	t[0x89] = e(MOV, FormMR, immNone, wV)
+	t[0x8A] = e(MOV, FormRM, immNone, w8)
+	t[0x8B] = e(MOV, FormRM, immNone, wV)
+	t[0x8D] = e(LEA, FormRM, immNone, wV)
+
+	t[0x90] = e(NOP, FormZO, immNone, wV)
+
+	t[0xA8] = e(TEST, FormI, imm8, w8)
+	t[0xA9] = e(TEST, FormI, immZ, wV)
+
+	for r := 0; r < 8; r++ {
+		t[0xB0+r] = e(MOV, FormOI, imm8, w8)
+		t[0xB8+r] = e(MOV, FormOI, immV, wV)
+	}
+
+	t[0xC0] = eg(grp2, FormMI, imm8, w8)
+	t[0xC1] = eg(grp2, FormMI, imm8, wV)
+	t[0xC6] = e(MOV, FormMI, imm8, w8)     // /0 only; other /r unsupported
+	t[0xC7] = e(MOV, FormMI, immZ, wV)     // /0 only
+	t[0xD1] = eg(grp2, FormM, immNone, wV) // shift by 1
+	t[0xD3] = eg(grp2, FormM, immNone, wV) // shift by CL
+
+	t[0xE9] = e(JMP, FormD, immZ, w64)
+	t[0xEB] = e(JMP, FormD, imm8, w64)
+
+	t[0xF6] = eg(grp3b, FormM, immNone, w8)
+	t[0xF7] = eg(grp3v, FormM, immNone, wV)
+	t[0xFE] = eg(grp4, FormM, immNone, w8)
+	t[0xFF] = eg(grp5, FormM, immNone, wV)
+
+	return t
+}
+
+// twoByte is the 0F-escape opcode map. Entries whose meaning depends on a
+// mandatory prefix use all four slots.
+var twoByte = buildTwoByte()
+
+func buildTwoByte() [256]pfxEntry {
+	var t [256]pfxEntry
+
+	vec := func(op Op, form Form) entry {
+		ent := e(op, form, immNone, wX)
+		ent.vex3 = false
+		return ent
+	}
+	vec3 := func(op Op, form Form) entry {
+		ent := e(op, form, immNone, wX)
+		ent.vex3 = true
+		return ent
+	}
+	vec3i := func(op Op, form Form) entry {
+		ent := e(op, form, imm8, wX)
+		ent.vex3 = true
+		return ent
+	}
+
+	t[0x10] = pfxEntry{np: vec(MOVUPS, FormRM), p66: vec(MOVUPD, FormRM), pF3: vec(MOVSS, FormRM), pF2: vec(MOVSD, FormRM)}
+	t[0x11] = pfxEntry{np: vec(MOVUPS, FormMR), p66: vec(MOVUPD, FormMR), pF3: vec(MOVSS, FormMR), pF2: vec(MOVSD, FormMR)}
+	t[0x1F] = pfxEntry{np: eg(grpNop, FormM, immNone, wV), p66: eg(grpNop, FormM, immNone, wV)}
+	t[0x28] = pfxEntry{np: vec(MOVAPS, FormRM), p66: vec(MOVAPD, FormRM)}
+	t[0x29] = pfxEntry{np: vec(MOVAPS, FormMR), p66: vec(MOVAPD, FormMR)}
+
+	for cc := 0; cc < 16; cc++ {
+		ent := e(CMOVCC, FormRM, immNone, wV)
+		ent.cond = true
+		t[0x40+cc] = pfxEntry{np: ent, p66: ent}
+	}
+
+	t[0x51] = pfxEntry{np: vec(SQRTPS, FormRM), p66: vec(SQRTPD, FormRM), pF3: vec(SQRTSS, FormRM), pF2: vec(SQRTSD, FormRM)}
+	t[0x54] = pfxEntry{np: vec3(ANDPS, FormRM), p66: vec3(ANDPD, FormRM)}
+	t[0x56] = pfxEntry{np: vec3(ORPS, FormRM), p66: vec3(ORPD, FormRM)}
+	t[0x57] = pfxEntry{np: vec3(XORPS, FormRM), p66: vec3(XORPD, FormRM)}
+	t[0x58] = pfxEntry{np: vec3(ADDPS, FormRM), p66: vec3(ADDPD, FormRM), pF3: vec3(ADDSS, FormRM), pF2: vec3(ADDSD, FormRM)}
+	t[0x59] = pfxEntry{np: vec3(MULPS, FormRM), p66: vec3(MULPD, FormRM), pF3: vec3(MULSS, FormRM), pF2: vec3(MULSD, FormRM)}
+	t[0x5C] = pfxEntry{np: vec3(SUBPS, FormRM), p66: vec3(SUBPD, FormRM), pF3: vec3(SUBSS, FormRM), pF2: vec3(SUBSD, FormRM)}
+	t[0x5E] = pfxEntry{np: vec3(DIVPS, FormRM), p66: vec3(DIVPD, FormRM), pF3: vec3(DIVSS, FormRM), pF2: vec3(DIVSD, FormRM)}
+
+	t[0x6F] = pfxEntry{p66: vec(MOVDQA, FormRM), pF3: vec(MOVDQU, FormRM)}
+	t[0x70] = pfxEntry{p66: func() entry { ent := e(PSHUFD, FormRMI, imm8, wX); return ent }()}
+	t[0x7F] = pfxEntry{p66: vec(MOVDQA, FormMR), pF3: vec(MOVDQU, FormMR)}
+
+	for cc := 0; cc < 16; cc++ {
+		jent := e(JCC, FormD, immZ, w64)
+		jent.cond = true
+		t[0x80+cc] = pfxEntry{np: jent, p66: jent}
+		sent := e(SETCC, FormM, immNone, w8)
+		sent.cond = true
+		t[0x90+cc] = pfxEntry{np: sent, p66: sent}
+	}
+
+	t[0xAF] = pfxEntry{np: e(IMUL, FormRM, immNone, wV), p66: e(IMUL, FormRM, immNone, wV)}
+
+	mzx8 := e(MOVZX, FormRM, immNone, wV)
+	mzx8.memWidth = 8
+	mzx16 := e(MOVZX, FormRM, immNone, wV)
+	mzx16.memWidth = 16
+	msx8 := e(MOVSX, FormRM, immNone, wV)
+	msx8.memWidth = 8
+	msx16 := e(MOVSX, FormRM, immNone, wV)
+	msx16.memWidth = 16
+	t[0xB6] = pfxEntry{np: mzx8, p66: mzx8}
+	t[0xB7] = pfxEntry{np: mzx16, p66: mzx16}
+	t[0xB8] = pfxEntry{pF3: e(POPCNT, FormRM, immNone, wV)}
+	t[0xBE] = pfxEntry{np: msx8, p66: msx8}
+	t[0xBF] = pfxEntry{np: msx16, p66: msx16}
+
+	t[0xC6] = pfxEntry{np: vec3i(SHUFPS, FormRMI), p66: vec3i(SHUFPD, FormRMI)}
+
+	t[0xD4] = pfxEntry{p66: vec3(PADDQ, FormRM)}
+	t[0xDB] = pfxEntry{p66: vec3(PAND, FormRM)}
+	t[0xEB] = pfxEntry{p66: vec3(POR, FormRM)}
+	t[0xEF] = pfxEntry{p66: vec3(PXOR, FormRM)}
+	t[0xFA] = pfxEntry{p66: vec3(PSUBD, FormRM)}
+	t[0xFE] = pfxEntry{p66: vec3(PADDD, FormRM)}
+
+	return t
+}
+
+// threeByte38 is the 0F 38 opcode map.
+var threeByte38 = buildThreeByte38()
+
+func buildThreeByte38() map[byte]pfxEntry {
+	t := make(map[byte]pfxEntry)
+	pmulld := e(PMULLD, FormRM, immNone, wX)
+	pmulld.vex3 = true
+	t[0x40] = pfxEntry{p66: pmulld}
+	// VFMADD231PS/PD: VEX.66.0F38 B8; W bit selects PS/PD (resolved in decode).
+	fma := e(VFMADD231PS, FormVRM, immNone, wX)
+	t[0xB8] = pfxEntry{p66: fma}
+	return t
+}

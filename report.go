@@ -1,0 +1,108 @@
+package facile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Explain produces a human-readable bottleneck report for the block: the
+// disassembly, the per-component bounds, the bottleneck analysis with the
+// supporting instructions (critical dependence chain or contended port
+// group), and the counterfactual speedups.
+func Explain(code []byte, arch string, mode Mode) (string, error) {
+	pred, err := Predict(code, arch, mode)
+	if err != nil {
+		return "", err
+	}
+	speedups, err := Speedups(code, arch, mode)
+	if err != nil {
+		return "", err
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Facile throughput report — %s, %s\n", pred.Arch, pred.Mode)
+	fmt.Fprintf(&sb, "Predicted: %.2f cycles/iteration\n\n", pred.CyclesPerIteration)
+
+	sb.WriteString("Block:\n")
+	critical := map[int]bool{}
+	contended := map[int]bool{}
+	primary := ""
+	if len(pred.Bottlenecks) > 0 {
+		primary = pred.Bottlenecks[0]
+	}
+	if primary == "Precedence" {
+		for _, k := range pred.CriticalChain {
+			critical[k] = true
+		}
+	}
+	if primary == "Ports" {
+		for _, k := range pred.ContendedInstrs {
+			contended[k] = true
+		}
+	}
+	for k, line := range pred.Instructions {
+		marker := "   "
+		switch {
+		case critical[k]:
+			marker = " D " // on the critical dependence cycle
+		case contended[k]:
+			marker = " P " // restricted to the contended ports
+		}
+		fmt.Fprintf(&sb, "  %2d%s%s\n", k, marker, line)
+	}
+
+	sb.WriteString("\nComponent bounds (cycles/iteration):\n")
+	names := make([]string, 0, len(pred.Components))
+	for name := range pred.Components {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return componentOrder(names[i]) < componentOrder(names[j])
+	})
+	for _, name := range names {
+		mark := " "
+		for _, b := range pred.Bottlenecks {
+			if b == name {
+				mark = "*"
+			}
+		}
+		fmt.Fprintf(&sb, "  %s %-11s %8.2f\n", mark, name, pred.Components[name])
+	}
+	if pred.FrontEndSource != "" {
+		fmt.Fprintf(&sb, "  front end served by: %s\n", pred.FrontEndSource)
+	}
+
+	if primary != "" {
+		fmt.Fprintf(&sb, "\nPrimary bottleneck: %s\n", primary)
+		switch primary {
+		case "Precedence":
+			fmt.Fprintf(&sb, "  loop-carried dependence chain through instructions %v (marked D)\n", pred.CriticalChain)
+		case "Ports":
+			fmt.Fprintf(&sb, "  contention on ports %s by instructions %v (marked P)\n", pred.ContendedPorts, pred.ContendedInstrs)
+		}
+	}
+
+	sb.WriteString("\nCounterfactual speedups (component made infinitely fast):\n")
+	cnames := make([]string, 0, len(speedups))
+	for name := range speedups {
+		cnames = append(cnames, name)
+	}
+	sort.Slice(cnames, func(i, j int) bool {
+		return componentOrder(cnames[i]) < componentOrder(cnames[j])
+	})
+	for _, name := range cnames {
+		fmt.Fprintf(&sb, "  %-11s %.2fx\n", name, speedups[name])
+	}
+	return sb.String(), nil
+}
+
+func componentOrder(name string) int {
+	order := []string{"Predec", "Dec", "DSB", "LSD", "Issue", "Ports", "Precedence"}
+	for i, n := range order {
+		if n == name {
+			return i
+		}
+	}
+	return len(order)
+}
