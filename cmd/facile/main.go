@@ -56,14 +56,21 @@ func main() {
 		fatal(fmt.Errorf("unknown mode %q (want loop or unroll)", *mode))
 	}
 
+	// All queries below share one engine, so the block is decoded and
+	// predicted once even when -explain and -simulate are both requested.
+	engine, err := facile.NewEngine(facile.EngineConfig{Archs: []string{*arch}})
+	if err != nil {
+		fatal(err)
+	}
+
 	if *explain {
-		report, err := facile.Explain(code, *arch, m)
+		report, err := engine.Explain(code, *arch, m)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Print(report)
 	} else {
-		pred, err := facile.Predict(code, *arch, m)
+		pred, err := engine.Predict(code, *arch, m)
 		if err != nil {
 			fatal(err)
 		}
@@ -74,7 +81,7 @@ func main() {
 	}
 
 	if *sim {
-		tp, err := facile.Simulate(code, *arch, m)
+		tp, err := engine.Simulate(code, *arch, m)
 		if err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,278 @@
+package facile
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"facile/internal/bb"
+	"facile/internal/lru"
+	"facile/internal/uarch"
+)
+
+// DefaultCacheSize is the prediction-cache capacity used when EngineConfig
+// leaves CacheSize unset.
+const DefaultCacheSize = 4096
+
+// EngineConfig configures an Engine. The zero value is a valid
+// configuration: all microarchitectures, DefaultCacheSize cache entries, and
+// one worker per CPU for batches.
+type EngineConfig struct {
+	// Archs restricts the engine to a subset of microarchitectures
+	// (names as returned by Archs). Empty means all of them.
+	Archs []string
+	// CacheSize bounds the prediction LRU (entries). Values <= 0 select
+	// DefaultCacheSize.
+	CacheSize int
+	// Workers is the PredictBatch worker-pool size. Values <= 0 select
+	// runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// Engine is a reusable, concurrency-safe prediction engine. Constructed once
+// per microarchitecture set, it amortizes all per-call setup that the
+// one-shot Predict path pays every time:
+//
+//   - per-microarchitecture configuration and instruction descriptors are
+//     resolved once and shared across calls (via bb.Builder memoization);
+//   - decoded blocks and their predictions are memoized in a bounded LRU
+//     keyed by (code bytes, microarchitecture, mode) — repeated queries,
+//     e.g. from a superoptimizer revisiting candidates or a BHive-scale
+//     evaluation, become cache hits;
+//   - PredictBatch fans independent requests across a worker pool while
+//     keeping result order deterministic.
+//
+// Cached results are shared between callers: the Prediction values returned
+// by an Engine (and their Components/Bottlenecks/Instructions fields) must
+// be treated as read-only.
+type Engine struct {
+	builders map[string]*bb.Builder
+	archs    []string // configured order
+	cache    *lru.Cache[engineKey, *engineEntry]
+	workers  int
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// engineKey identifies one memoized prediction.
+type engineKey struct {
+	arch string
+	mode Mode
+	code string // raw block bytes
+}
+
+// engineEntry is a single-flight cache slot: the first caller computes the
+// block and prediction under once; concurrent callers for the same key block
+// on once and then share the result. Decode/lookup errors are cached too, so
+// repeatedly querying an undecodable block stays cheap.
+type engineEntry struct {
+	once  sync.Once
+	block *bb.Block
+	pred  Prediction
+	err   error
+
+	simOnce sync.Once
+	sim     float64
+}
+
+// NewEngine constructs an Engine for the configured microarchitecture set.
+// It fails if cfg names an unknown microarchitecture.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	names := cfg.Archs
+	if len(names) == 0 {
+		names = Archs()
+	}
+	e := &Engine{builders: make(map[string]*bb.Builder, len(names))}
+	for _, name := range names {
+		if _, dup := e.builders[name]; dup {
+			continue
+		}
+		uc, err := uarch.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		e.builders[name] = bb.NewBuilder(uc)
+		e.archs = append(e.archs, name)
+	}
+	size := cfg.CacheSize
+	if size <= 0 {
+		size = DefaultCacheSize
+	}
+	e.cache = lru.New[engineKey, *engineEntry](size)
+	e.workers = cfg.Workers
+	if e.workers <= 0 {
+		e.workers = runtime.GOMAXPROCS(0)
+	}
+	return e, nil
+}
+
+// Archs returns the microarchitectures this engine serves, in configured
+// order.
+func (e *Engine) Archs() []string {
+	out := make([]string, len(e.archs))
+	copy(out, e.archs)
+	return out
+}
+
+// entry returns the single-flight cache slot for (code, arch, mode),
+// computing the decoded block and prediction on first use.
+func (e *Engine) entry(code []byte, arch string, mode Mode) (*engineEntry, error) {
+	bd, ok := e.builders[arch]
+	if !ok {
+		if _, err := uarch.ByName(arch); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("facile: engine not configured for microarchitecture %q", arch)
+	}
+	if len(code) == 0 {
+		return nil, fmt.Errorf("facile: empty basic block")
+	}
+	key := engineKey{arch: arch, mode: mode, code: string(code)}
+	ent, existed := e.cache.GetOrAdd(key, func() *engineEntry { return &engineEntry{} })
+	if existed {
+		e.hits.Add(1)
+	} else {
+		e.misses.Add(1)
+	}
+	ent.once.Do(func() {
+		block, err := bd.Build(code)
+		if err != nil {
+			ent.err = err
+			return
+		}
+		ent.block = block
+		ent.pred = predictBlock(block, arch, mode)
+	})
+	return ent, nil
+}
+
+// Predict computes (or recalls) the throughput prediction for the block.
+// The returned Prediction may be shared with other callers and must be
+// treated as read-only.
+func (e *Engine) Predict(code []byte, arch string, mode Mode) (Prediction, error) {
+	ent, err := e.entry(code, arch, mode)
+	if err != nil {
+		return Prediction{}, err
+	}
+	if ent.err != nil {
+		return Prediction{}, ent.err
+	}
+	return ent.pred, nil
+}
+
+// BatchRequest is one prediction request of a batch.
+type BatchRequest struct {
+	Code []byte
+	Arch string
+	Mode Mode
+}
+
+// BatchResult is the outcome of one BatchRequest.
+type BatchResult struct {
+	Prediction Prediction
+	Err        error
+}
+
+// PredictBatch predicts every request, fanning the work across the engine's
+// worker pool. Result ordering is deterministic: out[i] always corresponds
+// to reqs[i], regardless of worker scheduling. Per-request failures are
+// reported in the corresponding BatchResult; they do not affect other
+// requests.
+func (e *Engine) PredictBatch(reqs []BatchRequest) []BatchResult {
+	out := make([]BatchResult, len(reqs))
+	do := func(i int) {
+		out[i].Prediction, out[i].Err = e.Predict(reqs[i].Code, reqs[i].Arch, reqs[i].Mode)
+	}
+	workers := e.workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers <= 1 {
+		for i := range reqs {
+			do(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(reqs) {
+					return
+				}
+				do(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Speedups answers the counterfactual question of the paper's Table 4,
+// reusing the engine's cached decoded block.
+func (e *Engine) Speedups(code []byte, arch string, mode Mode) (map[string]float64, error) {
+	ent, err := e.entry(code, arch, mode)
+	if err != nil {
+		return nil, err
+	}
+	if ent.err != nil {
+		return nil, ent.err
+	}
+	return speedupsForBlock(ent.block, mode), nil
+}
+
+// Explain produces the human-readable bottleneck report, reusing the
+// engine's cached decoded block and prediction.
+func (e *Engine) Explain(code []byte, arch string, mode Mode) (string, error) {
+	ent, err := e.entry(code, arch, mode)
+	if err != nil {
+		return "", err
+	}
+	if ent.err != nil {
+		return "", ent.err
+	}
+	return renderReport(ent.pred, speedupsForBlock(ent.block, mode)), nil
+}
+
+// Simulate runs the reference cycle-accurate pipeline simulator on the
+// engine's cached decoded block; the result is memoized alongside the
+// prediction.
+func (e *Engine) Simulate(code []byte, arch string, mode Mode) (float64, error) {
+	ent, err := e.entry(code, arch, mode)
+	if err != nil {
+		return 0, err
+	}
+	if ent.err != nil {
+		return 0, ent.err
+	}
+	ent.simOnce.Do(func() { ent.sim = simulateBlock(ent.block, mode) })
+	return ent.sim, nil
+}
+
+// EngineStats is a snapshot of the engine's cache accounting.
+type EngineStats struct {
+	// Hits and Misses count cache lookups by outcome. A lookup that joins a
+	// computation already in flight counts as a hit.
+	Hits, Misses uint64
+	// Evictions counts entries displaced from the bounded LRU.
+	Evictions uint64
+	// Entries is the current number of cached predictions.
+	Entries int
+}
+
+// Stats returns a snapshot of the engine's cache accounting.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Hits:      e.hits.Load(),
+		Misses:    e.misses.Load(),
+		Evictions: e.cache.Evicted(),
+		Entries:   e.cache.Len(),
+	}
+}

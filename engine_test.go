@@ -1,0 +1,350 @@
+package facile_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"facile"
+	"facile/internal/bhive"
+	"facile/internal/eval"
+)
+
+func newTestEngine(t *testing.T, cfg facile.EngineConfig) *facile.Engine {
+	t.Helper()
+	e, err := facile.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEngineMatchesPredict(t *testing.T) {
+	e := newTestEngine(t, facile.EngineConfig{})
+	codes := [][]byte{
+		decode(t, "4801d8480fafc3"),
+		decode(t, "480fafc348ffc975f7"),
+		decode(t, "4803074883c70848ffc975f2"),
+	}
+	for _, arch := range facile.Archs() {
+		for _, mode := range []facile.Mode{facile.Unroll, facile.Loop} {
+			for _, code := range codes {
+				want, err := facile.Predict(code, arch, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Query twice: the second answer comes from the cache.
+				for pass := 0; pass < 2; pass++ {
+					got, err := e.Predict(code, arch, mode)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got.CyclesPerIteration != want.CyclesPerIteration {
+						t.Fatalf("%s/%v pass %d: engine %v, Predict %v",
+							arch, mode, pass, got.CyclesPerIteration, want.CyclesPerIteration)
+					}
+					if len(got.Bottlenecks) == 0 || got.Bottlenecks[0] != want.Bottlenecks[0] {
+						t.Fatalf("%s/%v: bottleneck mismatch: %v vs %v",
+							arch, mode, got.Bottlenecks, want.Bottlenecks)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEngineCacheAccounting(t *testing.T) {
+	e := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}})
+	a := decode(t, "4801d8")
+	b := decode(t, "480fafc3")
+
+	if _, err := e.Predict(a, "SKL", facile.Loop); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Predict(a, "SKL", facile.Loop); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Predict(b, "SKL", facile.Loop); err != nil {
+		t.Fatal(err)
+	}
+	// Same code, different mode: a distinct cache entry.
+	if _, err := e.Predict(a, "SKL", facile.Unroll); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Misses != 3 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 3 misses / 1 hit", st)
+	}
+	if st.Entries != 3 {
+		t.Fatalf("entries = %d, want 3", st.Entries)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("evictions = %d, want 0", st.Evictions)
+	}
+}
+
+func TestEngineCacheEviction(t *testing.T) {
+	e := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}, CacheSize: 2})
+	codes := [][]byte{
+		decode(t, "4801d8"),
+		decode(t, "480fafc3"),
+		decode(t, "48ffc9"),
+	}
+	for _, code := range codes {
+		if _, err := e.Predict(code, "SKL", facile.Loop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.Entries != 2 {
+		t.Fatalf("entries = %d, want capacity 2", st.Entries)
+	}
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	// The evicted (least recently used) entry is recomputed on demand.
+	if _, err := e.Predict(codes[0], "SKL", facile.Loop); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Misses != 4 {
+		t.Fatalf("misses = %d, want 4 (re-miss after eviction)", st.Misses)
+	}
+}
+
+func TestEngineErrorsCached(t *testing.T) {
+	e := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}})
+	bad := []byte{0xD9, 0xC0} // x87, undecodable
+	for i := 0; i < 2; i++ {
+		if _, err := e.Predict(bad, "SKL", facile.Loop); err == nil {
+			t.Fatal("undecodable block must error")
+		}
+	}
+	st := e.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("error entries must be cached: %+v", st)
+	}
+}
+
+func TestEngineArchRestriction(t *testing.T) {
+	e := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL", "RKL"}})
+	if got := e.Archs(); len(got) != 2 || got[0] != "SKL" || got[1] != "RKL" {
+		t.Fatalf("Archs() = %v", got)
+	}
+	code := decode(t, "4801d8")
+	// SNB exists but is outside this engine's configured set.
+	if _, err := e.Predict(code, "SNB", facile.Loop); err == nil {
+		t.Fatal("unconfigured arch must error")
+	}
+	// Entirely unknown arch names error too.
+	if _, err := e.Predict(code, "???", facile.Loop); err == nil {
+		t.Fatal("unknown arch must error")
+	}
+	if _, err := facile.NewEngine(facile.EngineConfig{Archs: []string{"NOPE"}}); err == nil {
+		t.Fatal("NewEngine with unknown arch must error")
+	}
+}
+
+func TestEnginePredictBatchOrderingAndErrors(t *testing.T) {
+	e := newTestEngine(t, facile.EngineConfig{})
+	corpus := bhive.Generate(eval.DefaultSeed, 40)
+	var reqs []facile.BatchRequest
+	for i, bm := range corpus {
+		arch := facile.Archs()[i%len(facile.Archs())]
+		reqs = append(reqs, facile.BatchRequest{Code: bm.LoopCode, Arch: arch, Mode: facile.Loop})
+	}
+	// Interleave failures: empty code and an unknown arch.
+	reqs = append(reqs, facile.BatchRequest{Code: nil, Arch: "SKL", Mode: facile.Loop})
+	reqs = append(reqs, facile.BatchRequest{Code: decode(t, "90"), Arch: "???", Mode: facile.Loop})
+
+	results := e.PredictBatch(reqs)
+	if len(results) != len(reqs) {
+		t.Fatalf("got %d results for %d requests", len(results), len(reqs))
+	}
+	for i, res := range results[:len(corpus)] {
+		want, err := facile.Predict(reqs[i].Code, reqs[i].Arch, reqs[i].Mode)
+		if (err == nil) != (res.Err == nil) {
+			t.Fatalf("req %d: error mismatch: %v vs %v", i, err, res.Err)
+		}
+		if err == nil && res.Prediction.CyclesPerIteration != want.CyclesPerIteration {
+			t.Fatalf("req %d: %v, want %v", i, res.Prediction.CyclesPerIteration, want.CyclesPerIteration)
+		}
+	}
+	if results[len(reqs)-2].Err == nil {
+		t.Fatal("empty block request must fail")
+	}
+	if results[len(reqs)-1].Err == nil {
+		t.Fatal("unknown arch request must fail")
+	}
+}
+
+// TestEngineConcurrent hammers one engine from many goroutines with
+// overlapping keys; run with -race. Every result must equal the one-shot
+// prediction for its request.
+func TestEngineConcurrent(t *testing.T) {
+	e := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL", "RKL"}, CacheSize: 16})
+	corpus := bhive.Generate(eval.DefaultSeed, 30)
+	want := make(map[int]float64)
+	var reqs []facile.BatchRequest
+	for i, bm := range corpus {
+		arch := "SKL"
+		if i%2 == 1 {
+			arch = "RKL"
+		}
+		req := facile.BatchRequest{Code: bm.LoopCode, Arch: arch, Mode: facile.Loop}
+		p, err := facile.Predict(req.Code, req.Arch, req.Mode)
+		if err != nil {
+			continue
+		}
+		want[len(reqs)] = p.CyclesPerIteration
+		reqs = append(reqs, req)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 5; round++ {
+				for i, res := range e.PredictBatch(reqs) {
+					if res.Err != nil {
+						t.Errorf("req %d: %v", i, res.Err)
+						return
+					}
+					if res.Prediction.CyclesPerIteration != want[i] {
+						t.Errorf("req %d: got %v, want %v", i,
+							res.Prediction.CyclesPerIteration, want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestEngineSpeedupsExplainSimulate(t *testing.T) {
+	e := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}})
+	code := decode(t, "480fafc348ffc975f7")
+
+	wantSp, err := facile.Speedups(code, "SKL", facile.Loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSp, err := e.Speedups(code, "SKL", facile.Loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotSp) != len(wantSp) {
+		t.Fatalf("speedups: %v vs %v", gotSp, wantSp)
+	}
+	for k, v := range wantSp {
+		if gotSp[k] != v {
+			t.Fatalf("speedup[%s] = %v, want %v", k, gotSp[k], v)
+		}
+	}
+
+	wantRep, err := facile.Explain(code, "SKL", facile.Loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRep, err := e.Explain(code, "SKL", facile.Loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRep != wantRep {
+		t.Fatalf("engine report differs from one-shot report:\n%s\nvs\n%s", gotRep, wantRep)
+	}
+
+	wantSim, err := facile.Simulate(code, "SKL", facile.Loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSim, err := e.Simulate(code, "SKL", facile.Loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSim != wantSim {
+		t.Fatalf("engine sim %v, one-shot sim %v", gotSim, wantSim)
+	}
+}
+
+func TestEngineErrorPaths(t *testing.T) {
+	e := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}})
+	bad := []byte{0xD9, 0xC0}
+
+	if _, err := e.Speedups(nil, "SKL", facile.Loop); err == nil {
+		t.Fatal("Engine.Speedups on empty input must error")
+	}
+	if _, err := e.Speedups(bad, "SKL", facile.Loop); err == nil {
+		t.Fatal("Engine.Speedups on undecodable input must error")
+	}
+	if _, err := e.Explain(bad, "SKL", facile.Loop); err == nil {
+		t.Fatal("Engine.Explain on undecodable input must error")
+	}
+	if _, err := e.Simulate(nil, "SKL", facile.Loop); err == nil {
+		t.Fatal("Engine.Simulate on empty input must error")
+	}
+
+	// The one-shot wrappers share the same error behavior.
+	if _, err := facile.Speedups(nil, "SKL", facile.Loop); err == nil {
+		t.Fatal("Speedups on empty input must error")
+	}
+	if _, err := facile.Speedups(bad, "SKL", facile.Loop); err == nil {
+		t.Fatal("Speedups on undecodable input must error")
+	}
+	if _, err := facile.Disassemble(nil); err == nil {
+		t.Fatal("Disassemble on empty input must error")
+	}
+	if _, err := facile.Disassemble(bad); err == nil {
+		t.Fatal("Disassemble on undecodable input must error")
+	}
+}
+
+// TestEngineBatchFasterThanOneShot is a coarse regression guard for the
+// engine's amortization on repeated workloads; BenchmarkEngineVsPredict
+// quantifies the speedup properly.
+func TestEngineBatchFasterThanOneShot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	corpus := bhive.Generate(eval.DefaultSeed, 50)
+	var reqs []facile.BatchRequest
+	for _, bm := range corpus {
+		if _, err := facile.Predict(bm.LoopCode, "SKL", facile.Loop); err != nil {
+			continue
+		}
+		reqs = append(reqs, facile.BatchRequest{Code: bm.LoopCode, Arch: "SKL", Mode: facile.Loop})
+	}
+	if len(reqs) == 0 {
+		t.Fatal("no valid corpus blocks")
+	}
+	distinct := len(reqs)
+	for len(reqs) < 1000 {
+		reqs = append(reqs, reqs[len(reqs)%distinct])
+	}
+
+	start := time.Now()
+	for _, r := range reqs {
+		if _, err := facile.Predict(r.Code, r.Arch, r.Mode); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oneShot := time.Since(start)
+
+	e := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}})
+	start = time.Now()
+	for _, res := range e.PredictBatch(reqs) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	batched := time.Since(start)
+
+	t.Logf("one-shot %v, engine %v (%.1fx)", oneShot, batched,
+		float64(oneShot)/float64(batched))
+	// The benchmark shows >5x; assert a conservative 2x here so the test is
+	// robust to loaded CI machines and -race overhead.
+	if batched*2 > oneShot {
+		t.Fatalf("engine batch (%v) not at least 2x faster than one-shot (%v)", batched, oneShot)
+	}
+}

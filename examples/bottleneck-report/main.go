@@ -67,13 +67,17 @@ func main() {
 		},
 	}
 
+	engine, err := facile.NewEngine(facile.EngineConfig{Archs: []string{"SKL"}})
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, c := range cases {
 		code, err := asm.EncodeBlock(c.instrs)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("==== %s ====\n", c.title)
-		report, err := facile.Explain(code, "SKL", c.mode)
+		report, err := engine.Explain(code, "SKL", c.mode)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -30,18 +30,30 @@ func main() {
 		fmt.Printf("  %d: %s\n", i, line)
 	}
 
-	fmt.Println("\nPredicted loop throughput (cycles/iteration):")
-	for _, arch := range facile.Archs() {
-		pred, err := facile.Predict(code, arch, facile.Loop)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("  %-4s %5.2f   bottleneck: %v\n",
-			arch, pred.CyclesPerIteration, pred.Bottlenecks)
+	// One engine serves all microarchitectures; the batch call fans the
+	// per-arch predictions across a worker pool and returns them in order.
+	engine, err := facile.NewEngine(facile.EngineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	archs := engine.Archs()
+	reqs := make([]facile.BatchRequest, len(archs))
+	for i, arch := range archs {
+		reqs[i] = facile.BatchRequest{Code: code, Arch: arch, Mode: facile.Loop}
 	}
 
-	// Cross-check one prediction against the reference simulator.
-	sim, err := facile.Simulate(code, "SKL", facile.Loop)
+	fmt.Println("\nPredicted loop throughput (cycles/iteration):")
+	for i, res := range engine.PredictBatch(reqs) {
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		fmt.Printf("  %-4s %5.2f   bottleneck: %v\n",
+			archs[i], res.Prediction.CyclesPerIteration, res.Prediction.Bottlenecks)
+	}
+
+	// Cross-check one prediction against the reference simulator; the engine
+	// reuses the block it already decoded for the prediction above.
+	sim, err := engine.Simulate(code, "SKL", facile.Loop)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -89,25 +89,39 @@ func candidatesForMul(k int64) []candidate {
 
 func main() {
 	arch := "SKL"
+	// A search loop queries the cost model for many candidates that share
+	// instructions (and often repeat outright); the engine memoizes decoded
+	// blocks and descriptor derivation across the whole search.
+	engine, err := facile.NewEngine(facile.EngineConfig{Archs: []string{arch}})
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, k := range []int64{3, 5, 6, 8, 10, 1000} {
 		fmt.Printf("==== rax = rbx * %d on %s ====\n", k, arch)
-		best := ""
-		bestTP := 0.0
-		for _, cand := range candidatesForMul(k) {
+		cands := candidatesForMul(k)
+		reqs := make([]facile.BatchRequest, len(cands))
+		for i, cand := range cands {
 			code, err := asm.EncodeBlock(cand.instrs)
 			if err != nil {
 				log.Fatal(err)
 			}
-			pred, err := facile.Predict(code, arch, facile.Unroll)
-			if err != nil {
-				log.Fatal(err)
+			reqs[i] = facile.BatchRequest{Code: code, Arch: arch, Mode: facile.Unroll}
+		}
+		best := ""
+		bestTP := 0.0
+		for i, res := range engine.PredictBatch(reqs) {
+			if res.Err != nil {
+				log.Fatal(res.Err)
 			}
 			fmt.Printf("  %-36s %5.2f cyc/iter  bottleneck %v\n",
-				cand.name, pred.CyclesPerIteration, pred.Bottlenecks)
-			if best == "" || pred.CyclesPerIteration < bestTP {
-				best, bestTP = cand.name, pred.CyclesPerIteration
+				cands[i].name, res.Prediction.CyclesPerIteration, res.Prediction.Bottlenecks)
+			if best == "" || res.Prediction.CyclesPerIteration < bestTP {
+				best, bestTP = cands[i].name, res.Prediction.CyclesPerIteration
 			}
 		}
 		fmt.Printf("  -> selected: %s (%.2f cycles)\n\n", best, bestTP)
 	}
+	stats := engine.Stats()
+	fmt.Printf("engine cache: %d entries, %d hits, %d misses\n",
+		stats.Entries, stats.Hits, stats.Misses)
 }

@@ -38,16 +38,23 @@ func main() {
 		fmt.Println("  " + l)
 	}
 
+	// One engine for all generations: the kernel is decoded and predicted
+	// once per arch, and the second table below is served from the cache.
+	engine, err := facile.NewEngine(facile.EngineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("\n%-5s %8s  %-12s %s\n", "uArch", "cyc/it", "bottleneck", "speedup if component idealized")
 	archs := facile.ArchInfos()
 	// Oldest first.
 	for i := len(archs) - 1; i >= 0; i-- {
 		arch := archs[i].Name
-		pred, err := facile.Predict(code, arch, facile.Loop)
+		pred, err := engine.Predict(code, arch, facile.Loop)
 		if err != nil {
 			log.Fatal(err)
 		}
-		sp, err := facile.Speedups(code, arch, facile.Loop)
+		sp, err := engine.Speedups(code, arch, facile.Loop)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -71,7 +78,7 @@ func main() {
 	fmt.Println()
 	for i := len(archs) - 1; i >= 0; i-- {
 		arch := archs[i].Name
-		pred, err := facile.Predict(code, arch, facile.Loop)
+		pred, err := engine.Predict(code, arch, facile.Loop)
 		if err != nil {
 			log.Fatal(err)
 		}

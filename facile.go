@@ -122,8 +122,20 @@ func prepare(code []byte, arch string) (*bb.Block, error) {
 	return bb.Build(cfg, code)
 }
 
+func coreMode(mode Mode) core.Mode {
+	if mode == Loop {
+		return core.TPL
+	}
+	return core.TPU
+}
+
 // Predict computes the Facile throughput prediction for the basic block
 // encoded in code on the given microarchitecture.
+//
+// Predict is the one-shot path: it decodes the block and derives all
+// per-instruction state from scratch on every call. Bulk workloads — batch
+// evaluation, superoptimizer search loops, repeated queries — should use an
+// Engine, which shares that state across calls and memoizes predictions.
 func Predict(code []byte, arch string, mode Mode) (Prediction, error) {
 	block, err := prepare(code, arch)
 	if err != nil {
@@ -133,11 +145,7 @@ func Predict(code []byte, arch string, mode Mode) (Prediction, error) {
 }
 
 func predictBlock(block *bb.Block, arch string, mode Mode) Prediction {
-	m := core.TPU
-	if mode == Loop {
-		m = core.TPL
-	}
-	p := core.Predict(block, m, core.Options{})
+	p := core.Predict(block, coreMode(mode), core.Options{})
 
 	out := Prediction{
 		CyclesPerIteration: round2(p.TP),
@@ -171,19 +179,18 @@ func Speedups(code []byte, arch string, mode Mode) (map[string]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := core.TPU
-	if mode == Loop {
-		m = core.TPL
+	return speedupsForBlock(block, mode), nil
+}
+
+func speedupsForBlock(block *bb.Block, mode Mode) map[string]float64 {
+	m := coreMode(mode)
+	comps := core.SpeedupComponents(m)
+	sp := core.IdealizationSpeedups(block, m, comps)
+	out := make(map[string]float64, len(sp))
+	for c, v := range sp {
+		out[c.String()] = v
 	}
-	comps := []core.Component{core.Predec, core.Dec, core.Issue, core.Ports, core.Precedence}
-	if mode == Loop {
-		comps = append(comps, core.DSB, core.LSD)
-	}
-	out := make(map[string]float64, len(comps))
-	for _, c := range comps {
-		out[c.String()] = core.IdealizationSpeedup(block, m, c)
-	}
-	return out, nil
+	return out
 }
 
 // Simulate runs the reference cycle-accurate pipeline simulator (the uiCA
@@ -194,13 +201,20 @@ func Simulate(code []byte, arch string, mode Mode) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	return simulateBlock(block, mode), nil
+}
+
+func simulateBlock(block *bb.Block, mode Mode) float64 {
 	res := pipesim.Run(block, pipesim.Options{Loop: mode == Loop})
-	return round2(res.TP), nil
+	return round2(res.TP)
 }
 
 // Disassemble decodes the block and returns one line per instruction in
-// Intel-like syntax.
+// Intel-like syntax. Empty input is an error, matching Predict.
 func Disassemble(code []byte) ([]string, error) {
+	if len(code) == 0 {
+		return nil, fmt.Errorf("facile: empty basic block")
+	}
 	insts, err := x86.DecodeBlock(code)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,3 @@
+module facile
+
+go 1.24

@@ -9,8 +9,14 @@ import (
 	"facile/internal/uarch"
 )
 
+// trainingData prepares n blocks with simulated measurements. Measuring runs
+// the cycle-accurate substrate per block, which dominates this suite's
+// runtime, so tests that need it are gated behind -short.
 func trainingData(t testing.TB, n int) ([]*bb.Block, []float64) {
 	t.Helper()
+	if tt, ok := t.(*testing.T); ok && testing.Short() {
+		tt.Skip("measurement-substrate test skipped in -short mode")
+	}
 	corpus := bhive.Generate(4242, n)
 	var blocks []*bb.Block
 	var meas []float64

@@ -37,7 +37,20 @@ type Block struct {
 }
 
 // Build decodes code and resolves descriptors and macro-fusion for cfg.
+// It is the one-shot path: every descriptor is derived from scratch. Bulk
+// workloads should construct a Builder once per microarchitecture and reuse
+// it, which memoizes descriptor derivation across blocks.
 func Build(cfg *uarch.Config, code []byte) (*Block, error) {
+	return assemble(cfg, code, func(inst *x86.Inst, _ []byte) (*isa.Desc, error) {
+		return isa.Lookup(cfg, inst)
+	})
+}
+
+// assemble decodes code and assembles the block, resolving each instruction's
+// descriptor through lookup (which receives the instruction and its raw
+// encoding bytes). Descriptors returned by lookup are treated as immutable:
+// macro-fusion rewrites work on copies, so lookup may hand out shared ones.
+func assemble(cfg *uarch.Config, code []byte, lookup func(*x86.Inst, []byte) (*isa.Desc, error)) (*Block, error) {
 	insts, err := x86.DecodeBlock(code)
 	if err != nil {
 		return nil, err
@@ -48,7 +61,7 @@ func Build(cfg *uarch.Config, code []byte) (*Block, error) {
 	b := &Block{Cfg: cfg, Code: code, Insts: make([]Instr, len(insts))}
 	off := 0
 	for k := range insts {
-		desc, err := isa.Lookup(cfg, &insts[k])
+		desc, err := lookup(&insts[k], code[off:off+insts[k].Len])
 		if err != nil {
 			return nil, fmt.Errorf("bb: instruction %d (%s): %w", k, insts[k].String(), err)
 		}

@@ -1,0 +1,70 @@
+package bb
+
+import (
+	"sync"
+
+	"facile/internal/isa"
+	"facile/internal/uarch"
+	"facile/internal/x86"
+)
+
+// maxDescCacheEntries bounds the Builder's descriptor memo. The set of
+// distinct instruction encodings seen by a real workload is small (BHive has
+// a few thousand), so the bound exists only as a safety valve; once reached,
+// new encodings are derived without being retained.
+const maxDescCacheEntries = 1 << 16
+
+// Builder prepares basic blocks for one microarchitecture while sharing the
+// immutable per-instruction state across blocks: descriptor derivation
+// (µop breakdown, port assignment, decoder constraints, fusion flags) is
+// memoized by instruction encoding, so bulk workloads — batch evaluation,
+// superoptimizer search loops — pay it once per distinct instruction rather
+// than once per occurrence. A Builder is safe for concurrent use.
+type Builder struct {
+	cfg *uarch.Config
+
+	mu    sync.RWMutex
+	descs map[string]*isa.Desc
+}
+
+// NewBuilder returns a Builder preparing blocks for cfg.
+func NewBuilder(cfg *uarch.Config) *Builder {
+	return &Builder{cfg: cfg, descs: make(map[string]*isa.Desc)}
+}
+
+// Cfg returns the microarchitecture the Builder prepares blocks for.
+func (bd *Builder) Cfg() *uarch.Config { return bd.cfg }
+
+// Build decodes code and resolves descriptors and macro-fusion, reusing
+// memoized descriptors for instruction encodings seen before.
+func (bd *Builder) Build(code []byte) (*Block, error) {
+	return assemble(bd.cfg, code, bd.lookup)
+}
+
+// DescCacheLen returns the number of memoized instruction descriptors.
+func (bd *Builder) DescCacheLen() int {
+	bd.mu.RLock()
+	defer bd.mu.RUnlock()
+	return len(bd.descs)
+}
+
+func (bd *Builder) lookup(inst *x86.Inst, enc []byte) (*isa.Desc, error) {
+	bd.mu.RLock()
+	d, ok := bd.descs[string(enc)]
+	bd.mu.RUnlock()
+	if ok {
+		return d, nil
+	}
+	d, err := isa.Lookup(bd.cfg, inst)
+	if err != nil {
+		return nil, err
+	}
+	bd.mu.Lock()
+	if len(bd.descs) < maxDescCacheEntries {
+		// A concurrent builder may have stored the same encoding already;
+		// both descriptors are identical, so last-write-wins is fine.
+		bd.descs[string(enc)] = d
+	}
+	bd.mu.Unlock()
+	return d, nil
+}

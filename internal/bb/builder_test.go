@@ -1,0 +1,124 @@
+package bb
+
+import (
+	"encoding/hex"
+	"reflect"
+	"sync"
+	"testing"
+
+	"facile/internal/uarch"
+)
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	code, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code
+}
+
+// TestBuilderMatchesBuild checks that the memoized path produces blocks
+// identical to the one-shot path, including macro-fusion rewrites.
+func TestBuilderMatchesBuild(t *testing.T) {
+	codes := [][]byte{
+		mustHex(t, "4801d8480fafc3"),       // add rax,rbx; imul rax,rbx
+		mustHex(t, "480fafc348ffc975f7"),   // imul; dec; jne (macro-fusible)
+		mustHex(t, "4803074883c70848ffc9"), // load + pointer bump + dec
+		mustHex(t, "90909090"),             // nops
+	}
+	for _, cfg := range uarch.All() {
+		bd := NewBuilder(cfg)
+		for _, code := range codes {
+			want, errWant := Build(cfg, code)
+			// Build twice so the second pass exercises the memoized hits.
+			for pass := 0; pass < 2; pass++ {
+				got, errGot := bd.Build(code)
+				if (errWant == nil) != (errGot == nil) {
+					t.Fatalf("%s: error mismatch: %v vs %v", cfg.Name, errWant, errGot)
+				}
+				if errWant != nil {
+					continue
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("%s pass %d: builder block differs from one-shot block\nwant %+v\ngot  %+v",
+						cfg.Name, pass, want, got)
+				}
+			}
+		}
+	}
+}
+
+func TestBuilderMemoizes(t *testing.T) {
+	bd := NewBuilder(uarch.SKL)
+	code := mustHex(t, "4801d84801d84801d8") // the same add three times
+	if _, err := bd.Build(code); err != nil {
+		t.Fatal(err)
+	}
+	if n := bd.DescCacheLen(); n != 1 {
+		t.Fatalf("DescCacheLen = %d, want 1 (one distinct encoding)", n)
+	}
+	// Identical instructions must share one memoized descriptor.
+	block, err := bd.Build(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if block.Insts[0].Desc != block.Insts[1].Desc {
+		t.Fatal("identical encodings should share a descriptor")
+	}
+}
+
+// TestBuilderFusionDoesNotPoisonCache checks that the macro-fusion rewrite
+// (which retargets the compute µop to the branch ports) does not leak into
+// the shared memoized descriptor.
+func TestBuilderFusionDoesNotPoisonCache(t *testing.T) {
+	bd := NewBuilder(uarch.SKL)
+	fused := mustHex(t, "48ffc975fb") // dec rcx; jne  (fuses)
+	alone := mustHex(t, "48ffc9")     // dec rcx alone
+	blockFused, err := bd.Build(fused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !blockFused.Insts[0].FusedWithNext {
+		t.Fatal("dec+jne should macro-fuse on SKL")
+	}
+	blockAlone, err := bd.Build(alone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Build(uarch.SKL, alone)
+	if !reflect.DeepEqual(want.Insts[0].Desc, blockAlone.Insts[0].Desc) {
+		t.Fatalf("memoized descriptor was mutated by fusion:\nwant %+v\ngot  %+v",
+			want.Insts[0].Desc, blockAlone.Insts[0].Desc)
+	}
+}
+
+func TestBuilderConcurrent(t *testing.T) {
+	bd := NewBuilder(uarch.RKL)
+	codes := [][]byte{
+		mustHex(t, "4801d8"),
+		mustHex(t, "480fafc3"),
+		mustHex(t, "48030748ffc975f8"),
+		mustHex(t, "90"),
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				code := codes[i%len(codes)]
+				block, err := bd.Build(code)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(block.Insts) == 0 {
+					t.Error("empty block")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -248,10 +248,32 @@ func Predict(block *bb.Block, mode Mode, opts Options) Prediction {
 // infinitely fast? (Speedups are computed per block and aggregated by the
 // evaluation harness.)
 func IdealizationSpeedup(block *bb.Block, mode Mode, c Component) float64 {
+	return IdealizationSpeedups(block, mode, []Component{c})[c]
+}
+
+// IdealizationSpeedups computes the idealization speedup for every component
+// in comps, sharing a single baseline prediction across all of them (the
+// one-at-a-time IdealizationSpeedup recomputes the baseline per component).
+func IdealizationSpeedups(block *bb.Block, mode Mode, comps []Component) map[Component]float64 {
 	base := Predict(block, mode, Options{})
-	without := Predict(block, mode, Options{Include: AllComponents.Without(c)})
-	if without.TP <= 0 {
-		return 1
+	out := make(map[Component]float64, len(comps))
+	for _, c := range comps {
+		without := Predict(block, mode, Options{Include: AllComponents.Without(c)})
+		if without.TP <= 0 {
+			out[c] = 1
+			continue
+		}
+		out[c] = base.TP / without.TP
 	}
-	return base.TP / without.TP
+	return out
+}
+
+// SpeedupComponents returns the component set for which idealization
+// speedups are meaningful in the given mode (the paper's Table 4 columns).
+func SpeedupComponents(mode Mode) []Component {
+	comps := []Component{Predec, Dec, Issue, Ports, Precedence}
+	if mode == TPL {
+		comps = append(comps, DSB, LSD)
+	}
+	return comps
 }

@@ -66,7 +66,7 @@ func MaxRatio(g *Graph) (Result, error) {
 
 	var best Result
 	for _, comp := range sccSubgraphs(core) {
-		res, ok := howard(comp.g)
+		res, _, ok := howard(comp.g)
 		if !ok {
 			ratio, err := maxRatioBF(comp.g)
 			if err != nil {

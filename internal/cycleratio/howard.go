@@ -4,14 +4,15 @@ import "math"
 
 // howard runs Howard's policy-iteration algorithm for the maximum cycle
 // ratio [Dasdan 2004; Howard 1960]. Every node of the input graph must have
-// at least one outgoing edge (guaranteed by prune). Returns ok == false if
-// the iteration fails to converge within the safety bound, in which case the
-// caller falls back to the reference solver.
-func howard(g *Graph) (Result, bool) {
+// at least one outgoing edge (guaranteed by prune). The second result is the
+// number of policy iterations performed (diagnostics). Returns ok == false
+// if the iteration fails to converge within the safety bound, in which case
+// the caller falls back to the reference solver.
+func howard(g *Graph) (Result, int, bool) {
 	const eps = 1e-9
 	n := g.N
 	if n == 0 {
-		return Result{}, true
+		return Result{}, 0, true
 	}
 
 	// Outgoing adjacency as edge indices.
@@ -37,7 +38,6 @@ func howard(g *Graph) (Result, bool) {
 	// has not converged by ~4n rounds something is cycling and the caller's
 	// Bellman-Ford fallback is both correct and cheaper than persisting.
 	maxIter := 4*n + 64
-	lastIterations = 0
 
 	var lambda float64
 	var critCycle []int
@@ -168,17 +168,12 @@ func howard(g *Graph) (Result, bool) {
 				improved = true
 			}
 		}
-		lastIterations = iter + 1
 		if !improved {
-			return Result{Ratio: lambda, Cycle: critCycle, HasCycle: true}, true
+			return Result{Ratio: lambda, Cycle: critCycle, HasCycle: true}, iter + 1, true
 		}
 	}
-	return Result{}, false
+	return Result{}, maxIter, false
 }
-
-// lastIterations records the policy-iteration count of the most recent
-// howard() call (diagnostics only; not safe for concurrent use).
-var lastIterations int
 
 func orderNodes(n int) []int {
 	out := make([]int, n)

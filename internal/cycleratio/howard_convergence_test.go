@@ -24,12 +24,13 @@ func TestHowardConvergenceStatistics(t *testing.T) {
 		}
 		total++
 		for _, comp := range sccSubgraphs(core) {
-			if _, ok := howard(comp.g); !ok {
+			_, iters, ok := howard(comp.g)
+			if !ok {
 				fails++
 				continue
 			}
-			if lastIterations > worst {
-				worst = lastIterations
+			if iters > worst {
+				worst = iters
 			}
 		}
 	}
@@ -75,7 +76,7 @@ func TestHowardConvergesOnDependenceShapedGraphs(t *testing.T) {
 		// MaxRatio solves per strongly connected component; each component
 		// must converge without the Bellman-Ford fallback.
 		for _, comp := range sccSubgraphs(core) {
-			if _, ok := howard(comp.g); !ok {
+			if _, _, ok := howard(comp.g); !ok {
 				fails++
 			}
 		}

@@ -17,6 +17,16 @@ const (
 	testTrainN  = 160
 )
 
+// skipIfShort gates the experiment-pipeline tests: each one simulates a
+// corpus on the measurement substrate, which takes seconds. `go test -short`
+// skips them; CI runs the full suite on the main-branch job.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment pipeline test skipped in -short mode")
+	}
+}
+
 func TestTable1ListsAllArches(t *testing.T) {
 	text := Table1()
 	for _, name := range []string{"Rocket Lake", "Skylake", "Sandy Bridge", "i9-11900"} {
@@ -27,6 +37,7 @@ func TestTable1ListsAllArches(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
+	skipIfShort(t)
 	rows, text := Table2(testCorpusN, testTrainN, []*uarch.Config{uarch.SKL})
 	if !strings.Contains(text, "Facile") {
 		t.Fatal("missing Facile row")
@@ -68,6 +79,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
+	skipIfShort(t)
 	rows, _ := Table3(testCorpusN, []*uarch.Config{uarch.RKL})
 	get := func(variant string) VariantRow {
 		for _, r := range rows {
@@ -109,6 +121,7 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestTable4Shape(t *testing.T) {
+	skipIfShort(t)
 	rows, _ := Table4(testCorpusN, []*uarch.Config{uarch.SNB, uarch.RKL})
 	for _, row := range rows {
 		for c, sp := range row.Speedups {
@@ -129,6 +142,7 @@ func TestTable4Shape(t *testing.T) {
 }
 
 func TestFigure3Renders(t *testing.T) {
+	skipIfShort(t)
 	text := Figure3(80, uarch.RKL)
 	for _, want := range []string{"FIGURE 3", "Facile", "uiCA", "llvm-mca", "CQA"} {
 		if !strings.Contains(text, want) {
@@ -138,6 +152,7 @@ func TestFigure3Renders(t *testing.T) {
 }
 
 func TestFigure4ComponentCosts(t *testing.T) {
+	skipIfShort(t)
 	tpu, tpl, text := Figure4(60, uarch.SKL)
 	if !strings.Contains(text, "Precedence") {
 		t.Fatal("missing Precedence timing")
@@ -163,6 +178,7 @@ func TestFigure4ComponentCosts(t *testing.T) {
 }
 
 func TestFigure5FacileFastest(t *testing.T) {
+	skipIfShort(t)
 	rows, _ := Figure5(60, 60, uarch.SKL)
 	var facileMs, uicaMs float64
 	for _, r := range rows {
@@ -185,6 +201,7 @@ func TestFigure5FacileFastest(t *testing.T) {
 }
 
 func TestFigure6SharesShift(t *testing.T) {
+	skipIfShort(t)
 	text := BottleneckFlow(testCorpusN, []*uarch.Config{uarch.SNB, uarch.RKL})
 	if !strings.Contains(text, "SNB bottleneck shares") ||
 		!strings.Contains(text, "RKL bottleneck shares") ||

@@ -1,0 +1,110 @@
+// Package lru provides a small, concurrency-safe, bounded LRU cache used by
+// the prediction engine to memoize decoded blocks and predictions. It is
+// deliberately minimal: fixed capacity, strict least-recently-used eviction,
+// and a GetOrAdd primitive that lets callers implement single-flight
+// computation on top of cached entries.
+package lru
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a bounded LRU cache from K to V. The zero value is not usable;
+// construct with New. All methods are safe for concurrent use.
+type Cache[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[K]*list.Element
+	evicted  uint64
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New returns an empty cache holding at most capacity entries.
+// New panics if capacity is not positive.
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity <= 0 {
+		panic("lru: capacity must be positive")
+	}
+	return &Cache[K, V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[K]*list.Element, capacity),
+	}
+}
+
+// Get returns the value stored under k and marks it most recently used.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// GetOrAdd returns the value stored under k, marking it most recently used;
+// if k is absent it stores mk() and returns it. The second result reports
+// whether the value already existed. mk is called while the cache lock is
+// held, so it must be cheap and must not re-enter the cache; to memoize an
+// expensive computation, store a handle that performs the computation once
+// (e.g. via sync.Once) after GetOrAdd returns.
+func (c *Cache[K, V]) GetOrAdd(k K, mk func() V) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry[K, V]).val, true
+	}
+	v := mk()
+	c.items[k] = c.ll.PushFront(&entry[K, V]{key: k, val: v})
+	c.evictExcessLocked()
+	return v, false
+}
+
+// Add stores v under k, marking it most recently used and evicting the
+// least recently used entry if the cache is over capacity.
+func (c *Cache[K, V]) Add(k K, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*entry[K, V]).val = v
+		return
+	}
+	c.items[k] = c.ll.PushFront(&entry[K, V]{key: k, val: v})
+	c.evictExcessLocked()
+}
+
+func (c *Cache[K, V]) evictExcessLocked() {
+	for c.ll.Len() > c.capacity {
+		el := c.ll.Back()
+		if el == nil {
+			return
+		}
+		c.ll.Remove(el)
+		delete(c.items, el.Value.(*entry[K, V]).key)
+		c.evicted++
+	}
+}
+
+// Len returns the number of entries currently cached.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Evicted returns the total number of entries evicted since construction.
+func (c *Cache[K, V]) Evicted() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicted
+}

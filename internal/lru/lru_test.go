@@ -1,0 +1,93 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetAddBasics(t *testing.T) {
+	c := New[string, int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache must miss")
+	}
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	c.Add("a", 10) // overwrite must not grow the cache
+	if v, _ := c.Get("a"); v != 10 {
+		t.Fatalf("overwrite lost: %v", v)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len after overwrite = %d, want 2", c.Len())
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	c := New[string, int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Get("a")    // a is now most recently used
+	c.Add("c", 3) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c should be present")
+	}
+	if got := c.Evicted(); got != 1 {
+		t.Fatalf("Evicted = %d, want 1", got)
+	}
+}
+
+func TestGetOrAdd(t *testing.T) {
+	c := New[string, int](4)
+	calls := 0
+	mk := func() int { calls++; return 42 }
+	if v, existed := c.GetOrAdd("k", mk); existed || v != 42 {
+		t.Fatalf("first GetOrAdd = %v, existed=%v", v, existed)
+	}
+	if v, existed := c.GetOrAdd("k", mk); !existed || v != 42 {
+		t.Fatalf("second GetOrAdd = %v, existed=%v", v, existed)
+	}
+	if calls != 1 {
+		t.Fatalf("mk called %d times, want 1", calls)
+	}
+}
+
+func TestNewPanicsOnNonPositiveCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) must panic")
+		}
+	}()
+	New[int, int](0)
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[string, int](64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", i%100)
+				c.GetOrAdd(k, func() int { return i })
+				c.Get(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Fatalf("cache exceeded capacity: %d", c.Len())
+	}
+}

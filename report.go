@@ -10,16 +10,21 @@ import (
 // disassembly, the per-component bounds, the bottleneck analysis with the
 // supporting instructions (critical dependence chain or contended port
 // group), and the counterfactual speedups.
+//
+// Like Predict, Explain is the one-shot path; Engine.Explain reuses the
+// engine's cached decoded block and prediction.
 func Explain(code []byte, arch string, mode Mode) (string, error) {
-	pred, err := Predict(code, arch, mode)
+	block, err := prepare(code, arch)
 	if err != nil {
 		return "", err
 	}
-	speedups, err := Speedups(code, arch, mode)
-	if err != nil {
-		return "", err
-	}
+	pred := predictBlock(block, arch, mode)
+	return renderReport(pred, speedupsForBlock(block, mode)), nil
+}
 
+// renderReport renders the bottleneck report from an existing prediction and
+// speedup table.
+func renderReport(pred Prediction, speedups map[string]float64) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Facile throughput report — %s, %s\n", pred.Arch, pred.Mode)
 	fmt.Fprintf(&sb, "Predicted: %.2f cycles/iteration\n\n", pred.CyclesPerIteration)
@@ -94,7 +99,7 @@ func Explain(code []byte, arch string, mode Mode) (string, error) {
 	for _, name := range cnames {
 		fmt.Fprintf(&sb, "  %-11s %.2fx\n", name, speedups[name])
 	}
-	return sb.String(), nil
+	return sb.String()
 }
 
 func componentOrder(name string) int {
