@@ -1,0 +1,53 @@
+//go:build !race
+
+package facile_test
+
+import (
+	"testing"
+
+	"facile"
+)
+
+// Allocation regression guards for the engine hot paths, excluded under the
+// race detector (its instrumentation skews allocation accounting); the CI
+// benchmark job runs them race-free.
+
+// TestEngineWarmHitZeroAllocs: a warm cache hit — Predict, Speedups, and
+// Explain alike — must not allocate: the lookup probes the LRU with a
+// zero-copy key and every derived view is memoized in the entry.
+func TestEngineWarmHitZeroAllocs(t *testing.T) {
+	e := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}})
+	code := decode(t, "480307 4883c708 48ffc9 75f2")
+
+	if _, err := e.Predict(code, "SKL", facile.Loop); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Speedups(code, "SKL", facile.Loop); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Explain(code, "SKL", facile.Loop); err != nil {
+		t.Fatal(err)
+	}
+
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := e.Predict(code, "SKL", facile.Loop); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("warm Engine.Predict hit allocates %.1f/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := e.Speedups(code, "SKL", facile.Loop); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("warm Engine.Speedups hit allocates %.1f/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := e.Explain(code, "SKL", facile.Loop); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("warm Engine.Explain hit allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -293,6 +293,87 @@ func BenchmarkPublicAPI(b *testing.B) {
 	}
 }
 
+// --- Hot-path benchmarks (tracked in BENCH_2.json by the CI bench job) ------
+
+// BenchmarkPredict measures one full core prediction per op on prepared
+// corpus blocks — the analysis-core hot path behind every cache miss. Run
+// with -benchmem: the bound-vector refactor's claim is a near-zero
+// allocs/op here.
+func BenchmarkPredict(b *testing.B) {
+	blocks := benchBlocks(b, uarch.SKL, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Predict(blocks[i%len(blocks)], core.TPL, core.Options{})
+	}
+}
+
+// BenchmarkSpeedups compares the one-pass counterfactual path (compute the
+// bound vector once, recombine per component) against the N+1-predictions
+// algorithm it replaced (re-running the full predictor per exclusion set,
+// reconstructed here via Options.Include).
+func BenchmarkSpeedups(b *testing.B) {
+	blocks := benchBlocks(b, uarch.SKL, true)
+	b.Run("Recombine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.IdealizationSpeedups(blocks[i%len(blocks)], core.TPL)
+		}
+	})
+	b.Run("NPlus1Predictions", func(b *testing.B) {
+		comps := core.SpeedupComponents(core.TPL)
+		for i := 0; i < b.N; i++ {
+			block := blocks[i%len(blocks)]
+			base := core.Predict(block, core.TPL, core.Options{}).TP
+			for _, c := range comps {
+				without := core.Predict(block, core.TPL,
+					core.Options{Include: core.AllComponents.Without(c)})
+				if without.TP > 0 {
+					_ = base / without.TP
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkExplain measures the full bottleneck report: the one-shot path
+// re-derives everything per call; the warm engine serves the memoized
+// rendered report.
+func BenchmarkExplain(b *testing.B) {
+	corpus := bhive.Generate(eval.DefaultSeed, 50)
+	var codes [][]byte
+	for _, bm := range corpus {
+		if _, err := facile.Predict(bm.LoopCode, "SKL", facile.Loop); err == nil {
+			codes = append(codes, bm.LoopCode)
+		}
+	}
+	if len(codes) == 0 {
+		b.Fatal("no valid corpus blocks")
+	}
+	b.Run("OneShot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := facile.Explain(codes[i%len(codes)], "SKL", facile.Loop); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("EngineWarm", func(b *testing.B) {
+		engine, err := facile.NewEngine(facile.EngineConfig{Archs: []string{"SKL"}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, code := range codes {
+			if _, err := engine.Explain(code, "SKL", facile.Loop); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Explain(codes[i%len(codes)], "SKL", facile.Loop); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- Engine benchmarks ------------------------------------------------------
 
 // engineBatchReqs builds a batch of n requests cycling over the valid blocks

@@ -6,6 +6,7 @@
 //
 //	facile -arch SKL -mode loop -hex "4801d8480fafc3"
 //	facile -arch RKL -mode unroll -file block.bin -explain
+//	facile -arch SKL -hex "..." -speedups
 //	facile -list
 //
 // The input block is raw machine code, given as a hex string (-hex) or a
@@ -24,13 +25,14 @@ import (
 
 func main() {
 	var (
-		arch    = flag.String("arch", "SKL", "target microarchitecture (see -list)")
-		mode    = flag.String("mode", "loop", `throughput notion: "loop" (TPL) or "unroll" (TPU)`)
-		hexStr  = flag.String("hex", "", "basic block as a hex string")
-		file    = flag.String("file", "", "basic block as a binary file")
-		explain = flag.Bool("explain", false, "print the full bottleneck report")
-		sim     = flag.Bool("simulate", false, "also run the reference cycle-accurate simulator")
-		list    = flag.Bool("list", false, "list supported microarchitectures and exit")
+		arch     = flag.String("arch", "SKL", "target microarchitecture (see -list)")
+		mode     = flag.String("mode", "loop", `throughput notion: "loop" (TPL) or "unroll" (TPU)`)
+		hexStr   = flag.String("hex", "", "basic block as a hex string")
+		file     = flag.String("file", "", "basic block as a binary file")
+		explain  = flag.Bool("explain", false, "print the full bottleneck report")
+		speedups = flag.Bool("speedups", false, "print the counterfactual per-component speedups")
+		sim      = flag.Bool("simulate", false, "also run the reference cycle-accurate simulator")
+		list     = flag.Bool("list", false, "list supported microarchitectures and exit")
 	)
 	flag.Parse()
 
@@ -77,6 +79,19 @@ func main() {
 		fmt.Printf("%.2f cycles/iteration (%s, %s)\n", pred.CyclesPerIteration, pred.Arch, pred.Mode)
 		if len(pred.Bottlenecks) > 0 {
 			fmt.Printf("bottleneck: %s\n", strings.Join(pred.Bottlenecks, ", "))
+		}
+	}
+
+	if *speedups && !*explain { // -explain already includes the speedup table
+		sp, err := engine.Speedups(code, *arch, m)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("counterfactual speedups (component made infinitely fast):")
+		for _, name := range facile.ComponentNames() {
+			if v, ok := sp[name]; ok {
+				fmt.Printf("  %-11s %.2fx\n", name, v)
+			}
 		}
 	}
 

@@ -5,8 +5,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"facile/internal/bb"
+	"facile/internal/core"
 	"facile/internal/lru"
 	"facile/internal/uarch"
 )
@@ -36,21 +38,29 @@ type EngineConfig struct {
 //
 //   - per-microarchitecture configuration and instruction descriptors are
 //     resolved once and shared across calls (via bb.Builder memoization);
-//   - decoded blocks and their predictions are memoized in a bounded LRU
-//     keyed by (code bytes, microarchitecture, mode) — repeated queries,
-//     e.g. from a superoptimizer revisiting candidates or a BHive-scale
-//     evaluation, become cache hits;
+//   - decoded blocks, predictions, counterfactual speedups, and rendered
+//     Explain reports are memoized in a bounded LRU keyed by (code bytes,
+//     microarchitecture, mode) — repeated queries, e.g. from a
+//     superoptimizer revisiting candidates or a BHive-scale evaluation,
+//     become cache hits, and a warm Predict hit performs no heap
+//     allocations at all;
+//   - cache misses draw their analysis scratch state (per-component
+//     predictor buffers) from a sync.Pool, so a warm miss computes the full
+//     bound vector without transient allocations in the analysis core;
 //   - PredictBatch fans independent requests across a worker pool while
 //     keeping result order deterministic.
 //
 // Cached results are shared between callers: the Prediction values returned
-// by an Engine (and their Components/Bottlenecks/Instructions fields) must
-// be treated as read-only.
+// by an Engine (and their Components/Bottlenecks/Instructions fields), the
+// Speedups maps, and the Explain reports must be treated as read-only.
 type Engine struct {
 	builders map[string]*bb.Builder
 	archs    []string // configured order
 	cache    *lru.Cache[engineKey, *engineEntry]
 	workers  int
+
+	// analyses pools core.Analysis scratch contexts across cache misses.
+	analyses sync.Pool
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
@@ -66,15 +76,35 @@ type engineKey struct {
 // engineEntry is a single-flight cache slot: the first caller computes the
 // block and prediction under once; concurrent callers for the same key block
 // on once and then share the result. Decode/lookup errors are cached too, so
-// repeatedly querying an undecodable block stays cheap.
+// repeatedly querying an undecodable block stays cheap. The derived views —
+// simulation, speedups, Explain report — are memoized lazily alongside the
+// prediction; each is a pure recombination or rendering of the cached bound
+// vector, never a re-run of the component predictors.
 type engineEntry struct {
 	once  sync.Once
 	block *bb.Block
 	pred  Prediction
+	core  core.Prediction
 	err   error
 
 	simOnce sync.Once
 	sim     float64
+
+	spOnce sync.Once
+	sp     map[string]float64
+
+	repOnce sync.Once
+	report  string
+}
+
+// speedups returns the entry's memoized counterfactual speedups, computing
+// them on first use by recombining the cached bound vector.
+func (ent *engineEntry) speedups(mode Mode) map[string]float64 {
+	ent.spOnce.Do(func() {
+		m := coreMode(mode)
+		ent.sp = speedupMap(ent.core.Bounds.Speedups(m), m)
+	})
+	return ent.sp
 }
 
 // NewEngine constructs an Engine for the configured microarchitecture set.
@@ -85,6 +115,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		names = Archs()
 	}
 	e := &Engine{builders: make(map[string]*bb.Builder, len(names))}
+	e.analyses.New = func() any { return core.NewAnalysis() }
 	for _, name := range names {
 		if _, dup := e.builders[name]; dup {
 			continue
@@ -119,6 +150,9 @@ func (e *Engine) Archs() []string {
 // entry returns the single-flight cache slot for (code, arch, mode),
 // computing the decoded block and prediction on first use.
 func (e *Engine) entry(code []byte, arch string, mode Mode) (*engineEntry, error) {
+	if err := checkMode(mode); err != nil {
+		return nil, err
+	}
 	bd, ok := e.builders[arch]
 	if !ok {
 		if _, err := uarch.ByName(arch); err != nil {
@@ -129,9 +163,18 @@ func (e *Engine) entry(code []byte, arch string, mode Mode) (*engineEntry, error
 	if len(code) == 0 {
 		return nil, fmt.Errorf("facile: empty basic block")
 	}
-	key := engineKey{arch: arch, mode: mode, code: string(code)}
-	ent, existed := e.cache.GetOrAdd(key, func() *engineEntry { return &engineEntry{} })
-	if existed {
+	// Probe with a zero-copy string view of code first: the cache does not
+	// retain lookup keys, so the unsafe aliasing never outlives this call,
+	// and a warm hit performs no allocation. Only a miss pays for the
+	// durable key copy.
+	probe := engineKey{arch: arch, mode: mode, code: unsafeString(code)}
+	ent, hit := e.cache.Get(probe)
+	if !hit {
+		ent, hit = e.cache.GetOrAdd(
+			engineKey{arch: arch, mode: mode, code: string(code)},
+			func() *engineEntry { return &engineEntry{} })
+	}
+	if hit {
 		e.hits.Add(1)
 	} else {
 		e.misses.Add(1)
@@ -143,9 +186,18 @@ func (e *Engine) entry(code []byte, arch string, mode Mode) (*engineEntry, error
 			return
 		}
 		ent.block = block
-		ent.pred = predictBlock(block, arch, mode)
+		a := e.analyses.Get().(*core.Analysis)
+		ent.core = a.Predict(block, coreMode(mode), core.Options{})
+		e.analyses.Put(a)
+		ent.pred = publicPrediction(&ent.core, block, arch, mode)
 	})
 	return ent, nil
+}
+
+// unsafeString views b as a string without copying. The result aliases b
+// and must not be retained or used after b may be mutated.
+func unsafeString(b []byte) string {
+	return unsafe.String(unsafe.SliceData(b), len(b))
 }
 
 // Predict computes (or recalls) the throughput prediction for the block.
@@ -215,8 +267,10 @@ func (e *Engine) PredictBatch(reqs []BatchRequest) []BatchResult {
 	return out
 }
 
-// Speedups answers the counterfactual question of the paper's Table 4,
-// reusing the engine's cached decoded block.
+// Speedups answers the counterfactual question of the paper's Table 4. The
+// result is memoized alongside the cached prediction: the first call
+// recombines the cached bound vector (no predictor re-runs), subsequent
+// calls return the same map, which must be treated as read-only.
 func (e *Engine) Speedups(code []byte, arch string, mode Mode) (map[string]float64, error) {
 	ent, err := e.entry(code, arch, mode)
 	if err != nil {
@@ -225,11 +279,12 @@ func (e *Engine) Speedups(code []byte, arch string, mode Mode) (map[string]float
 	if ent.err != nil {
 		return nil, ent.err
 	}
-	return speedupsForBlock(ent.block, mode), nil
+	return ent.speedups(mode), nil
 }
 
-// Explain produces the human-readable bottleneck report, reusing the
-// engine's cached decoded block and prediction.
+// Explain produces the human-readable bottleneck report. The rendered
+// report is memoized alongside the cached prediction; repeated calls return
+// the same string without re-rendering.
 func (e *Engine) Explain(code []byte, arch string, mode Mode) (string, error) {
 	ent, err := e.entry(code, arch, mode)
 	if err != nil {
@@ -238,7 +293,10 @@ func (e *Engine) Explain(code []byte, arch string, mode Mode) (string, error) {
 	if ent.err != nil {
 		return "", ent.err
 	}
-	return renderReport(ent.pred, speedupsForBlock(ent.block, mode)), nil
+	ent.repOnce.Do(func() {
+		ent.report = renderReport(ent.pred, ent.speedups(mode))
+	})
+	return ent.report, nil
 }
 
 // Simulate runs the reference cycle-accurate pipeline simulator on the

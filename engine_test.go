@@ -1,9 +1,11 @@
 package facile_test
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 	"time"
+	"unsafe"
 
 	"facile"
 	"facile/internal/bhive"
@@ -297,6 +299,82 @@ func TestEngineErrorPaths(t *testing.T) {
 	}
 	if _, err := facile.Disassemble(bad); err == nil {
 		t.Fatal("Disassemble on undecodable input must error")
+	}
+}
+
+// TestEngineMemoizesSpeedupsAndReports: speedups and rendered Explain
+// reports are cached in the engine entry alongside the prediction — a
+// repeated query returns the identical object instead of recomputing.
+func TestEngineMemoizesSpeedupsAndReports(t *testing.T) {
+	e := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}})
+	code := decode(t, "480fafc348ffc975f7")
+
+	sp1, err := e.Speedups(code, "SKL", facile.Loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp2, err := e.Speedups(code, "SKL", facile.Loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.ValueOf(sp1).Pointer() != reflect.ValueOf(sp2).Pointer() {
+		t.Error("Engine.Speedups recomputed on a cache hit: distinct maps returned")
+	}
+
+	r1, err := e.Explain(code, "SKL", facile.Loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Explain(code, "SKL", facile.Loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical backing storage, not merely equal content.
+	if unsafe.StringData(r1) != unsafe.StringData(r2) {
+		t.Error("Engine.Explain re-rendered on a cache hit: distinct strings returned")
+	}
+
+	// The memoized results must match the one-shot paths.
+	wantSp, err := facile.Speedups(code, "SKL", facile.Loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sp1, wantSp) {
+		t.Errorf("memoized speedups %v != one-shot %v", sp1, wantSp)
+	}
+	wantRep, err := facile.Explain(code, "SKL", facile.Loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != wantRep {
+		t.Errorf("memoized report differs from one-shot:\n%s\nvs\n%s", r1, wantRep)
+	}
+}
+
+// TestEngineInvalidMode: out-of-range Mode values must be rejected at the
+// engine boundary, not silently treated as Unroll.
+func TestEngineInvalidMode(t *testing.T) {
+	e := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}})
+	code := decode(t, "4801d8")
+	bad := facile.Mode(7)
+	if _, err := e.Predict(code, "SKL", bad); err == nil {
+		t.Error("Engine.Predict must reject Mode(7)")
+	}
+	if _, err := e.Speedups(code, "SKL", bad); err == nil {
+		t.Error("Engine.Speedups must reject Mode(7)")
+	}
+	if _, err := e.Explain(code, "SKL", bad); err == nil {
+		t.Error("Engine.Explain must reject Mode(7)")
+	}
+	if _, err := e.Simulate(code, "SKL", bad); err == nil {
+		t.Error("Engine.Simulate must reject Mode(7)")
+	}
+	res := e.PredictBatch([]facile.BatchRequest{{Code: code, Arch: "SKL", Mode: bad}})
+	if res[0].Err == nil {
+		t.Error("Engine.PredictBatch must reject Mode(7)")
+	}
+	if st := e.Stats(); st.Entries != 0 {
+		t.Errorf("invalid-mode requests must not populate the cache: %+v", st)
 	}
 }
 

@@ -83,4 +83,8 @@ func main() {
 		}
 		fmt.Println(report)
 	}
+	// Rendered reports are memoized alongside the cached predictions:
+	// re-explaining any block above is a pure cache hit.
+	st := engine.Stats()
+	fmt.Printf("engine cache: %d entries, %d misses\n", st.Entries, st.Misses)
 }

@@ -47,8 +47,9 @@ func main() {
 		if res.Err != nil {
 			log.Fatal(res.Err)
 		}
-		fmt.Printf("  %-4s %5.2f   bottleneck: %v\n",
-			archs[i], res.Prediction.CyclesPerIteration, res.Prediction.Bottlenecks)
+		fmt.Printf("  %-4s %5.2f   front end: %-6s bottleneck: %v\n",
+			archs[i], res.Prediction.CyclesPerIteration,
+			res.Prediction.FrontEndSource, res.Prediction.Bottlenecks)
 	}
 
 	// Cross-check one prediction against the reference simulator; the engine

@@ -107,7 +107,7 @@ func main() {
 			}
 			reqs[i] = facile.BatchRequest{Code: code, Arch: arch, Mode: facile.Unroll}
 		}
-		best := ""
+		best := -1
 		bestTP := 0.0
 		for i, res := range engine.PredictBatch(reqs) {
 			if res.Err != nil {
@@ -115,11 +115,28 @@ func main() {
 			}
 			fmt.Printf("  %-36s %5.2f cyc/iter  bottleneck %v\n",
 				cands[i].name, res.Prediction.CyclesPerIteration, res.Prediction.Bottlenecks)
-			if best == "" || res.Prediction.CyclesPerIteration < bestTP {
-				best, bestTP = cands[i].name, res.Prediction.CyclesPerIteration
+			if best < 0 || res.Prediction.CyclesPerIteration < bestTP {
+				best, bestTP = i, res.Prediction.CyclesPerIteration
 			}
 		}
-		fmt.Printf("  -> selected: %s (%.2f cycles)\n\n", best, bestTP)
+		// The winner's remaining headroom: counterfactual speedups are a
+		// free recombination of the winner's cached bound vector, so asking
+		// costs (almost) nothing inside the search loop.
+		sp, err := engine.Speedups(reqs[best].Code, arch, facile.Unroll)
+		if err != nil {
+			log.Fatal(err)
+		}
+		limit, limitSp := "", 1.0
+		for name, v := range sp {
+			if v > limitSp {
+				limit, limitSp = name, v
+			}
+		}
+		fmt.Printf("  -> selected: %s (%.2f cycles)", cands[best].name, bestTP)
+		if limit != "" {
+			fmt.Printf("; idealizing %s would gain another %.2fx", limit, limitSp)
+		}
+		fmt.Print("\n\n")
 	}
 	stats := engine.Stats()
 	fmt.Printf("engine cache: %d entries, %d hits, %d misses\n",

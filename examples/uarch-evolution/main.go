@@ -69,13 +69,16 @@ func main() {
 		fmt.Println()
 	}
 
+	// The full bound vector per generation (components absent on a
+	// generation — e.g. the LSD where it is disabled — print as "-"), plus
+	// the front end that actually serves the loop.
 	fmt.Println("\nPer-component bounds by generation (cycles/iteration):")
 	fmt.Printf("%-5s", "uArch")
-	comps := []string{"DSB", "LSD", "Issue", "Ports", "Precedence"}
+	comps := facile.ComponentNames()
 	for _, c := range comps {
 		fmt.Printf(" %10s", c)
 	}
-	fmt.Println()
+	fmt.Printf(" %10s\n", "FE source")
 	for i := len(archs) - 1; i >= 0; i-- {
 		arch := archs[i].Name
 		pred, err := engine.Predict(code, arch, facile.Loop)
@@ -90,6 +93,6 @@ func main() {
 				fmt.Printf(" %10s", "-")
 			}
 		}
-		fmt.Println()
+		fmt.Printf(" %10s\n", pred.FrontEndSource)
 	}
 }

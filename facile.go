@@ -57,6 +57,16 @@ func (m Mode) String() string {
 	return "TPU (unroll)"
 }
 
+// checkMode rejects Mode values outside the defined constants: the public
+// entry points validate instead of silently treating unknown modes as
+// Unroll.
+func checkMode(m Mode) error {
+	if m != Unroll && m != Loop {
+		return fmt.Errorf("facile: invalid mode %d (want Unroll or Loop)", int(m))
+	}
+	return nil
+}
+
 // Prediction is the result of a Facile throughput prediction.
 type Prediction struct {
 	// CyclesPerIteration is the predicted reciprocal throughput.
@@ -65,7 +75,9 @@ type Prediction struct {
 	Arch string
 	Mode Mode
 	// Components maps component names ("Predec", "Dec", "DSB", "LSD",
-	// "Issue", "Ports", "Precedence") to their individual bounds.
+	// "Issue", "Ports", "Precedence") to their individual bounds. It is the
+	// map view of the analysis core's fixed bound vector, materialized at
+	// this boundary.
 	Components map[string]float64
 	// Bottlenecks lists the components whose bound equals the prediction,
 	// in front-end-first order; the first entry is the primary bottleneck.
@@ -82,6 +94,18 @@ type Prediction struct {
 	ContendedInstrs []int
 	// Instructions is the decoded block in Intel-like syntax.
 	Instructions []string
+}
+
+// ComponentNames returns every component name in pipeline order (front end
+// first): Predec, Dec, DSB, LSD, Issue, Ports, Precedence. The order matches
+// the bottleneck tie-breaking order of Prediction.Bottlenecks and the row
+// order of Explain reports.
+func ComponentNames() []string {
+	out := make([]string, core.NumComponents)
+	for c := core.Component(0); c < core.NumComponents; c++ {
+		out[c] = c.String()
+	}
+	return out
 }
 
 // Archs returns the supported microarchitecture names, newest first
@@ -111,7 +135,10 @@ func ArchInfos() []ArchInfo {
 	return out
 }
 
-func prepare(code []byte, arch string) (*bb.Block, error) {
+func prepare(code []byte, arch string, mode Mode) (*bb.Block, error) {
+	if err := checkMode(mode); err != nil {
+		return nil, err
+	}
 	cfg, err := uarch.ByName(arch)
 	if err != nil {
 		return nil, err
@@ -137,7 +164,7 @@ func coreMode(mode Mode) core.Mode {
 // evaluation, superoptimizer search loops, repeated queries — should use an
 // Engine, which shares that state across calls and memoizes predictions.
 func Predict(code []byte, arch string, mode Mode) (Prediction, error) {
-	block, err := prepare(code, arch)
+	block, err := prepare(code, arch, mode)
 	if err != nil {
 		return Prediction{}, err
 	}
@@ -146,22 +173,30 @@ func Predict(code []byte, arch string, mode Mode) (Prediction, error) {
 
 func predictBlock(block *bb.Block, arch string, mode Mode) Prediction {
 	p := core.Predict(block, coreMode(mode), core.Options{})
+	return publicPrediction(&p, block, arch, mode)
+}
 
+// publicPrediction materializes the exported Prediction from the core
+// result: the fixed bound vector becomes the Components map, the bottleneck
+// set becomes an ordered name list.
+func publicPrediction(p *core.Prediction, block *bb.Block, arch string, mode Mode) Prediction {
 	out := Prediction{
 		CyclesPerIteration: round2(p.TP),
 		Arch:               arch,
 		Mode:               mode,
-		Components:         make(map[string]float64, len(p.Components)),
+		Components:         make(map[string]float64, core.NumComponents),
 		CriticalChain:      p.CriticalChain,
 		ContendedPorts:     p.ContendedPorts,
 		ContendedInstrs:    p.ContendedInstrs,
 	}
-	for c, v := range p.Components {
-		out.Components[c.String()] = v
+	for c := core.Component(0); c < core.NumComponents; c++ {
+		if v, ok := p.Bounds.Get(c); ok {
+			out.Components[c.String()] = v
+		}
 	}
-	for _, c := range p.Bottlenecks {
+	p.EachBottleneck(func(c core.Component) {
 		out.Bottlenecks = append(out.Bottlenecks, c.String())
-	}
+	})
 	if mode == Loop {
 		out.FrontEndSource = p.FrontEndSource.String()
 	}
@@ -173,9 +208,11 @@ func predictBlock(block *bb.Block, arch string, mode Mode) Prediction {
 
 // Speedups answers the counterfactual question of the paper's Table 4 for a
 // single block: the factor by which the prediction would improve if each
-// component were infinitely fast.
+// component were infinitely fast. The per-component answers share one
+// component-bound computation; each is a pure recombination of that bound
+// vector.
 func Speedups(code []byte, arch string, mode Mode) (map[string]float64, error) {
-	block, err := prepare(code, arch)
+	block, err := prepare(code, arch, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -184,11 +221,16 @@ func Speedups(code []byte, arch string, mode Mode) (map[string]float64, error) {
 
 func speedupsForBlock(block *bb.Block, mode Mode) map[string]float64 {
 	m := coreMode(mode)
+	return speedupMap(core.IdealizationSpeedups(block, m), m)
+}
+
+// speedupMap materializes the map view of a speedup vector for the
+// components meaningful in the mode.
+func speedupMap(sp [core.NumComponents]float64, m core.Mode) map[string]float64 {
 	comps := core.SpeedupComponents(m)
-	sp := core.IdealizationSpeedups(block, m, comps)
-	out := make(map[string]float64, len(sp))
-	for c, v := range sp {
-		out[c.String()] = v
+	out := make(map[string]float64, len(comps))
+	for _, c := range comps {
+		out[c.String()] = sp[c]
 	}
 	return out
 }
@@ -197,7 +239,7 @@ func speedupsForBlock(block *bb.Block, mode Mode) map[string]float64 {
 // stand-in and measurement substrate of the evaluation) and returns the
 // steady-state cycles per iteration.
 func Simulate(code []byte, arch string, mode Mode) (float64, error) {
-	block, err := prepare(code, arch)
+	block, err := prepare(code, arch, mode)
 	if err != nil {
 		return 0, err
 	}

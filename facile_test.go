@@ -85,6 +85,39 @@ func TestPublicErrors(t *testing.T) {
 	}
 }
 
+// TestPublicInvalidMode: every public entry point rejects Mode values
+// outside {Unroll, Loop} instead of silently predicting TPU.
+func TestPublicInvalidMode(t *testing.T) {
+	code := decode(t, "4801d8")
+	for _, bad := range []facile.Mode{facile.Mode(7), facile.Mode(-1)} {
+		if _, err := facile.Predict(code, "SKL", bad); err == nil {
+			t.Errorf("Predict must reject Mode(%d)", int(bad))
+		}
+		if _, err := facile.Speedups(code, "SKL", bad); err == nil {
+			t.Errorf("Speedups must reject Mode(%d)", int(bad))
+		}
+		if _, err := facile.Explain(code, "SKL", bad); err == nil {
+			t.Errorf("Explain must reject Mode(%d)", int(bad))
+		}
+		if _, err := facile.Simulate(code, "SKL", bad); err == nil {
+			t.Errorf("Simulate must reject Mode(%d)", int(bad))
+		}
+	}
+}
+
+func TestComponentNames(t *testing.T) {
+	names := facile.ComponentNames()
+	want := []string{"Predec", "Dec", "DSB", "LSD", "Issue", "Ports", "Precedence"}
+	if len(names) != len(want) {
+		t.Fatalf("ComponentNames() = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("ComponentNames()[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
 func TestPublicDisassemble(t *testing.T) {
 	lines, err := facile.Disassemble(decode(t, "4801d8 90"))
 	if err != nil {

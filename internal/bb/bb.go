@@ -1,6 +1,13 @@
 // Package bb builds the basic-block intermediate representation shared by
 // all predictors: decoded instructions, their per-microarchitecture
 // descriptors, byte-layout information, and macro-fusion marking.
+//
+// A Block is immutable after Build: every derived view the predictors need
+// per prediction — fused/issue µop counts, the execution-µop list, the
+// decode-unit list, the dataflow effects of each instruction, and the
+// JCC-erratum flag — is computed once at build time, so prediction-time
+// accessors are plain field reads that never allocate. Callers must treat
+// the slices returned by those accessors as read-only.
 package bb
 
 import (
@@ -18,6 +25,10 @@ type Instr struct {
 	Desc *isa.Desc
 	Off  int // byte offset of the instruction in the block
 
+	// Eff caches Inst.Effects() (the registers and flags the instruction
+	// consumes and produces), derived once at build time.
+	Eff x86.Effects
+
 	// FusedWithNext marks the first instruction of a macro-fused pair;
 	// FusedWithPrev marks the conditional jump that was fused away. A fused
 	// pair is treated as a single instruction (and a single fused-domain
@@ -34,6 +45,13 @@ type Block struct {
 	Cfg   *uarch.Config
 	Code  []byte
 	Insts []Instr
+
+	// Derived state, precomputed by assemble (see the package comment).
+	fusedUops   int
+	issueUops   int
+	execUops    []isa.Uop
+	decodeUnits []*Instr
+	jccErratum  bool
 }
 
 // Build decodes code and resolves descriptors and macro-fusion for cfg.
@@ -65,7 +83,7 @@ func assemble(cfg *uarch.Config, code []byte, lookup func(*x86.Inst, []byte) (*i
 		if err != nil {
 			return nil, fmt.Errorf("bb: instruction %d (%s): %w", k, insts[k].String(), err)
 		}
-		b.Insts[k] = Instr{Inst: insts[k], Desc: desc, Off: off}
+		b.Insts[k] = Instr{Inst: insts[k], Desc: desc, Off: off, Eff: insts[k].Effects()}
 		off += insts[k].Len
 	}
 
@@ -94,7 +112,27 @@ func assemble(cfg *uarch.Config, code []byte, lookup func(*x86.Inst, []byte) (*i
 			cur.Desc = &d
 		}
 	}
+
+	b.derive()
 	return b, nil
+}
+
+// derive precomputes every per-prediction view of the block. It must run
+// after macro-fusion marking and is the only writer of the derived fields.
+func (b *Block) derive() {
+	for k := range b.Insts {
+		ins := &b.Insts[k]
+		if ins.FusedWithPrev {
+			continue
+		}
+		b.fusedUops += ins.Desc.FusedUops
+		b.issueUops += ins.Desc.IssueUops
+		b.decodeUnits = append(b.decodeUnits, ins)
+		if !ins.Desc.Eliminated {
+			b.execUops = append(b.execUops, ins.Desc.Uops...)
+		}
+	}
+	b.jccErratum = b.computeJCCErratum()
 }
 
 // Len returns the block length in bytes.
@@ -107,63 +145,30 @@ func (b *Block) EndsWithBranch() bool {
 
 // FusedUops returns the number of fused-domain µops per block iteration
 // (macro-fused pairs count once; the fused-away jump contributes nothing).
-func (b *Block) FusedUops() int {
-	n := 0
-	for k := range b.Insts {
-		if b.Insts[k].FusedWithPrev {
-			continue
-		}
-		n += b.Insts[k].Desc.FusedUops
-	}
-	return n
-}
+func (b *Block) FusedUops() int { return b.fusedUops }
 
 // IssueUops returns the number of µops issued by the renamer per iteration
 // (fused-domain after unlamination).
-func (b *Block) IssueUops() int {
-	n := 0
-	for k := range b.Insts {
-		if b.Insts[k].FusedWithPrev {
-			continue
-		}
-		n += b.Insts[k].Desc.IssueUops
-	}
-	return n
-}
+func (b *Block) IssueUops() int { return b.issueUops }
 
 // ExecUops returns the unfused-domain µops that are dispatched to execution
-// ports (excluding eliminated instructions and fused-away jumps).
-func (b *Block) ExecUops() []isa.Uop {
-	var out []isa.Uop
-	for k := range b.Insts {
-		ins := &b.Insts[k]
-		if ins.FusedWithPrev || ins.Desc.Eliminated {
-			continue
-		}
-		out = append(out, ins.Desc.Uops...)
-	}
-	return out
-}
+// ports (excluding eliminated instructions and fused-away jumps). The
+// returned slice is shared and must be treated as read-only.
+func (b *Block) ExecUops() []isa.Uop { return b.execUops }
 
 // DecodeUnits returns the instructions as seen by the decoders: macro-fused
-// pairs appear as their first instruction only.
-func (b *Block) DecodeUnits() []*Instr {
-	var out []*Instr
-	for k := range b.Insts {
-		if b.Insts[k].FusedWithPrev {
-			continue
-		}
-		out = append(out, &b.Insts[k])
-	}
-	return out
-}
+// pairs appear as their first instruction only. The returned slice is shared
+// and must be treated as read-only.
+func (b *Block) DecodeUnits() []*Instr { return b.decodeUnits }
 
 // JCCErratumAffected reports whether the block triggers the JCC-erratum
 // mitigation on cfg: a jump instruction (including the full extent of a
 // macro-fused pair) that crosses or ends on a 32-byte boundary prevents the
 // block from being cached in the DSB (paper footnote 1). The block is
 // assumed to be 32-byte aligned at offset 0.
-func (b *Block) JCCErratumAffected() bool {
+func (b *Block) JCCErratumAffected() bool { return b.jccErratum }
+
+func (b *Block) computeJCCErratum() bool {
 	if !b.Cfg.JCCErratum {
 		return false
 	}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"facile/internal/bb"
+	"facile/internal/cycleratio"
+	"facile/internal/uarch"
+	"facile/internal/x86"
+)
+
+// Analysis is a reusable scratch context for the per-component predictors.
+// Every transient buffer the predictors need — predecoder block counters,
+// decoder simulation state, port-combination worklists, the dependence
+// graph and its node bookkeeping — lives here and is grown once, then
+// reused across calls, so a warm Analysis computes a full bound vector with
+// no transient heap allocations in this package. An Analysis is NOT safe
+// for concurrent use; pool instances (the package-level entry points and
+// the facile Engine both do) and hand one to at most one goroutine at a
+// time.
+type Analysis struct {
+	// Predecoder (predec.go): per-16-byte-block instruction counters.
+	predecL, predecO, predecLCP, predecCyc []int
+
+	// Decoder (dec.go): per-iteration complex-decode counts and the
+	// first-instruction-decoder table of Algorithm 1.
+	decComplex []int
+	decFirst   []int
+
+	// Ports (ports.go): distinct port combinations, their pairwise unions,
+	// and the contended-instruction list.
+	portsPCs    []uarch.PortMask
+	portsUnions []uarch.PortMask
+	portsInstrs []int
+
+	// Precedence (precedence.go): the value dependence graph and its
+	// bookkeeping. graph.Edges, nodeInstr, the per-instruction value-node
+	// lists, and the per-register writer lists all retain capacity across
+	// calls; touched tracks which writer lists need resetting. The embedded
+	// cycle-ratio solver reuses Howard-iteration state the same way.
+	solver    cycleratio.Solver
+	graph     depGraph
+	consumed  [][]valNode
+	produced  [][]valNode
+	writers   [x86.NumRegs][]int
+	touched   []x86.Reg
+	chain     []int
+	chainSeen []bool
+}
+
+// NewAnalysis returns an empty scratch context. Buffers grow on first use
+// and are retained for subsequent calls.
+func NewAnalysis() *Analysis { return new(Analysis) }
+
+// analysisDetail carries the interpretability payload of one bound
+// computation. Its slices point into Analysis scratch and are only valid
+// until the next use of the Analysis; Predict copies them into the returned
+// Prediction.
+type analysisDetail struct {
+	chain  []int // instruction indices on the critical dependence cycle
+	instrs []int // instructions restricted to the contended ports
+	ports  string
+}
+
+// testHookComponent, when non-nil, is invoked for every per-component
+// predictor run. Tests use it to assert that Predict and the speedup path
+// perform exactly one full bound computation per block.
+var testHookComponent func(Component)
+
+// computeBounds derives every applicable component bound in one pass. Which
+// components run follows eq. 1 for TPU and eq. 3's selection context for
+// TPL: under the JCC erratum the legacy-decode bounds (Predec, Dec) are
+// computed; otherwise the LSD bound (when eligible) AND the DSB bound are
+// both computed so that recombinations excluding the LSD can fall back to
+// the DSB without re-running anything.
+func (a *Analysis) computeBounds(block *bb.Block, mode Mode, opts Options) (Bounds, analysisDetail) {
+	inc := opts.include()
+	var b Bounds
+	var det analysisDetail
+
+	compute := func(c Component) {
+		if testHookComponent != nil {
+			testHookComponent(c)
+		}
+		var v float64
+		switch c {
+		case Predec:
+			if opts.SimplePredec {
+				v = SimplePredecBound(block, mode)
+			} else {
+				v = a.predecBound(block, mode)
+			}
+		case Dec:
+			if opts.SimpleDec {
+				v = SimpleDecBound(block)
+			} else {
+				v = a.decBound(block)
+			}
+		case DSB:
+			v = DSBBound(block)
+		case LSD:
+			v = LSDBound(block)
+		case Issue:
+			v = IssueBound(block)
+		case Ports:
+			v, det.instrs, det.ports = a.portsBoundDetail(block)
+		case Precedence:
+			v, det.chain = a.precedenceBound(block)
+		}
+		b.set(c, v)
+	}
+
+	switch mode {
+	case TPU:
+		for _, c := range tpuComponents {
+			if inc.Has(c) {
+				compute(c)
+			}
+		}
+	case TPL:
+		b.JCCErratum = block.JCCErratumAffected()
+		b.LSDEligible = block.Cfg.LSDEnabled && block.FusedUops() <= block.Cfg.IDQSize
+		if b.JCCErratum {
+			if inc.Has(Predec) {
+				compute(Predec)
+			}
+			if inc.Has(Dec) {
+				compute(Dec)
+			}
+		} else {
+			if b.LSDEligible && inc.Has(LSD) {
+				compute(LSD)
+			}
+			if inc.Has(DSB) {
+				compute(DSB)
+			}
+		}
+		for _, c := range tplBackEnd {
+			if inc.Has(c) {
+				compute(c)
+			}
+		}
+	}
+	return b, det
+}
+
+// Predict computes the Facile throughput prediction for a prepared block
+// using this Analysis's scratch state: one bound-vector pass, one
+// recombination.
+func (a *Analysis) Predict(block *bb.Block, mode Mode, opts Options) Prediction {
+	b, det := a.computeBounds(block, mode, opts)
+	comb := b.Combine(mode, opts.include())
+	p := Prediction{
+		TP:             comb.TP,
+		Mode:           mode,
+		Bounds:         b,
+		FrontEnd:       comb.FrontEnd,
+		FrontEndSource: comb.FrontEndSource,
+	}
+	const eps = 1e-9
+	if comb.TP > 0 {
+		for _, c := range bottleneckOrder {
+			if comb.Considered.Has(c) && b.V[c] >= comb.TP-eps {
+				p.Bottlenecks |= 1 << c
+			}
+		}
+	}
+	// The interpretability payloads point into scratch; copy them so the
+	// Prediction outlives the Analysis's next use.
+	if b.Has(Precedence) {
+		p.CriticalChain = copyInts(det.chain)
+	}
+	if b.Has(Ports) {
+		p.ContendedInstrs = copyInts(det.instrs)
+		p.ContendedPorts = det.ports
+	}
+	return p
+}
+
+// ComputeBounds is the Analysis-bound variant of the package-level
+// ComputeBounds.
+func (a *Analysis) ComputeBounds(block *bb.Block, mode Mode, opts Options) Bounds {
+	b, _ := a.computeBounds(block, mode, opts)
+	return b
+}
+
+// IdealizationSpeedups is the Analysis-bound variant of the package-level
+// IdealizationSpeedups: one bound computation, then pure recombination.
+func (a *Analysis) IdealizationSpeedups(block *bb.Block, mode Mode) [NumComponents]float64 {
+	b, _ := a.computeBounds(block, mode, Options{})
+	return b.Speedups(mode)
+}
+
+func copyInts(s []int) []int {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make([]int, len(s))
+	copy(out, s)
+	return out
+}
+
+// growInts returns *s resized to n elements and zeroed, reusing capacity.
+func growInts(s *[]int, n int) []int {
+	t := *s
+	if cap(t) < n {
+		t = make([]int, n)
+		*s = t
+		return t
+	}
+	t = t[:n]
+	for i := range t {
+		t[i] = 0
+	}
+	*s = t
+	return t
+}
+
+// growBools returns *s resized to n elements and zeroed, reusing capacity.
+func growBools(s *[]bool, n int) []bool {
+	t := *s
+	if cap(t) < n {
+		t = make([]bool, n)
+		*s = t
+		return t
+	}
+	t = t[:n]
+	for i := range t {
+		t[i] = false
+	}
+	*s = t
+	return t
+}
+
+// growNodeLists resizes *s to n per-instruction lists, truncating each to
+// zero length while retaining both the outer and the inner capacity.
+func growNodeLists(s *[][]valNode, n int) [][]valNode {
+	t := *s
+	t = t[:cap(t)]
+	if len(t) < n {
+		t = append(t, make([][]valNode, n-len(t))...)
+	}
+	for i := 0; i < n; i++ {
+		t[i] = t[i][:0]
+	}
+	*s = t
+	return t[:n]
+}

@@ -14,11 +14,21 @@
 // component(s), enables counterfactual "what if component X were infinitely
 // fast" reasoning, and each component can be computed (and timed)
 // independently.
+//
+// The package is structured around that observation: computeBounds derives
+// every applicable per-component bound in ONE pass and stores them in a
+// fixed-size Bounds vector; Combine then folds a bound vector into a
+// throughput for ANY inclusion set purely in-memory, so counterfactual
+// questions (Bounds.Speedups, IdealizationSpeedups) are O(components)
+// recombinations of already-computed bounds rather than repeated full
+// predictions. All scratch state lives in a reusable Analysis context; the
+// package-level entry points draw one from a sync.Pool, so a warm call
+// performs no transient heap allocations inside this package.
 package core
 
 import (
 	"fmt"
-	"math"
+	"sync"
 
 	"facile/internal/bb"
 )
@@ -110,20 +120,152 @@ func (o Options) include() ComponentSet {
 	return o.Include
 }
 
+// Bounds is the fixed-size per-component bound vector of one prediction:
+// the individual bounds of eq. 1/2 plus the front-end selection context of
+// eq. 3, captured when the bounds were computed. A Bounds value is
+// self-contained: Combine and Speedups recombine it under arbitrary
+// inclusion sets without ever re-reading the block or re-running a
+// predictor.
+type Bounds struct {
+	// V holds the bound of each component in Present; entries of absent
+	// components are zero and meaningless.
+	V [NumComponents]float64
+	// Present records which components were computed.
+	Present ComponentSet
+	// JCCErratum records whether the block triggers the JCC-erratum
+	// mitigation (eq. 3 then selects max(Predec, Dec) as the front end).
+	JCCErratum bool
+	// LSDEligible records whether the loop stream detector can serve the
+	// block (enabled on the microarchitecture and the block fits the IDQ).
+	LSDEligible bool
+}
+
+func (b *Bounds) set(c Component, v float64) {
+	b.V[c] = v
+	b.Present |= 1 << c
+}
+
+// Get returns the bound of c and whether it was computed.
+func (b *Bounds) Get(c Component) (float64, bool) {
+	return b.V[c], b.Present.Has(c)
+}
+
+// Has reports whether the bound of c was computed.
+func (b *Bounds) Has(c Component) bool { return b.Present.Has(c) }
+
+// Combined is the result of folding a bound vector under an inclusion set.
+type Combined struct {
+	// TP is the throughput of eq. 1/2 over the included components.
+	TP float64
+	// FrontEnd is the front-end bound FE of eq. 3 (TPL only), and
+	// FrontEndSource names the component that produced it.
+	FrontEnd       float64
+	FrontEndSource Component
+	// Considered is the set of components that participated in the maximum:
+	// for TPL that is the selected front end plus the back-end components,
+	// so bounds that were computed but not selected (e.g. the DSB when the
+	// LSD serves the loop) are excluded.
+	Considered ComponentSet
+}
+
+var (
+	tpuComponents = [...]Component{Predec, Dec, Issue, Ports, Precedence}
+	tplBackEnd    = [...]Component{Issue, Ports, Precedence}
+)
+
+// Combine folds the bound vector into a throughput prediction for the given
+// inclusion set, re-evaluating eq. 3's front-end selection in-memory. An
+// include value of zero means AllComponents. Combine never allocates; it is
+// the recombination primitive behind Predict, Speedups, and the evaluation
+// harness's ablations.
+func (b *Bounds) Combine(mode Mode, include ComponentSet) Combined {
+	if include == 0 {
+		include = AllComponents
+	}
+	avail := include & b.Present
+	var r Combined
+	switch mode {
+	case TPU:
+		for _, c := range tpuComponents {
+			if avail.Has(c) {
+				r.Considered |= 1 << c
+				if b.V[c] > r.TP {
+					r.TP = b.V[c]
+				}
+			}
+		}
+	case TPL:
+		r.FrontEndSource = DSB
+		switch {
+		case b.JCCErratum:
+			if avail.Has(Predec) {
+				r.FrontEnd = b.V[Predec]
+				r.FrontEndSource = Predec
+				r.Considered |= 1 << Predec
+			}
+			if avail.Has(Dec) {
+				r.Considered |= 1 << Dec
+				if b.V[Dec] > r.FrontEnd {
+					r.FrontEnd = b.V[Dec]
+					r.FrontEndSource = Dec
+				}
+			}
+		case b.LSDEligible && avail.Has(LSD):
+			r.FrontEnd = b.V[LSD]
+			r.FrontEndSource = LSD
+			r.Considered |= 1 << LSD
+		case avail.Has(DSB):
+			r.FrontEnd = b.V[DSB]
+			r.FrontEndSource = DSB
+			r.Considered |= 1 << DSB
+		}
+		r.TP = r.FrontEnd
+		for _, c := range tplBackEnd {
+			if avail.Has(c) {
+				r.Considered |= 1 << c
+				if b.V[c] > r.TP {
+					r.TP = b.V[c]
+				}
+			}
+		}
+	}
+	return r
+}
+
+// Speedups answers the counterfactual question of the paper's Table 4 for
+// every component at once: by what factor would the block speed up if the
+// component were infinitely fast? It is pure recombination — one Combine per
+// component — of an already-computed bound vector; components that do not
+// participate in the mode report a speedup of 1.
+func (b *Bounds) Speedups(mode Mode) [NumComponents]float64 {
+	base := b.Combine(mode, AllComponents).TP
+	var out [NumComponents]float64
+	for c := Component(0); c < NumComponents; c++ {
+		without := b.Combine(mode, AllComponents.Without(c)).TP
+		if without <= 0 {
+			out[c] = 1
+			continue
+		}
+		out[c] = base / without
+	}
+	return out
+}
+
 // Prediction is the result of a Facile prediction.
 type Prediction struct {
 	// TP is the predicted reciprocal throughput in cycles per iteration.
 	TP   float64
 	Mode Mode
-	// Components holds the individual bounds that were computed. Components
-	// excluded by Options or not applicable to the mode are absent.
-	Components map[Component]float64
+	// Bounds is the per-component bound vector the prediction was combined
+	// from (components excluded by Options or not applicable to the mode
+	// are absent).
+	Bounds Bounds
 	// FrontEnd is the front-end bound FE of eq. 3 (TPL only), and
 	// FrontEndSource names the component that produced it.
 	FrontEnd       float64
 	FrontEndSource Component
-	// Bottlenecks lists every component whose bound equals TP.
-	Bottlenecks []Component
+	// Bottlenecks is the set of considered components whose bound equals TP.
+	Bottlenecks ComponentSet
 	// CriticalChain lists instruction indices on a maximum-ratio dependence
 	// cycle when Precedence was computed (interpretability, §4.9).
 	CriticalChain []int
@@ -137,110 +279,53 @@ type Prediction struct {
 
 // bottleneckOrder is the tie-breaking order used when a single bottleneck is
 // reported: components closer to the front end win (paper §6.4).
-var bottleneckOrder = []Component{Predec, Dec, DSB, LSD, Issue, Ports, Precedence}
+var bottleneckOrder = [...]Component{Predec, Dec, DSB, LSD, Issue, Ports, Precedence}
 
 // PrimaryBottleneck returns the single bottleneck component using the
 // front-end-first tie-breaking order of the paper's §6.4.
 func (p *Prediction) PrimaryBottleneck() Component {
-	const eps = 1e-9
 	for _, c := range bottleneckOrder {
-		if v, ok := p.Components[c]; ok && v >= p.TP-eps {
+		if p.Bottlenecks.Has(c) {
 			return c
 		}
 	}
 	return Precedence
 }
 
+// EachBottleneck calls fn for every bottleneck component in front-end-first
+// order (the order of PrimaryBottleneck's tie breaking).
+func (p *Prediction) EachBottleneck(fn func(Component)) {
+	for _, c := range bottleneckOrder {
+		if p.Bottlenecks.Has(c) {
+			fn(c)
+		}
+	}
+}
+
+// analysisPool backs the package-level entry points (Predict, ComputeBounds,
+// IdealizationSpeedups, and the exported per-component bound functions) so
+// that one-shot calls reuse scratch state instead of reallocating it.
+var analysisPool = sync.Pool{New: func() any { return NewAnalysis() }}
+
+func getAnalysis() *Analysis  { return analysisPool.Get().(*Analysis) }
+func putAnalysis(a *Analysis) { analysisPool.Put(a) }
+
 // Predict computes the Facile throughput prediction for a prepared block.
 func Predict(block *bb.Block, mode Mode, opts Options) Prediction {
-	p := Prediction{Mode: mode, Components: make(map[Component]float64)}
-	inc := opts.include()
-
-	compute := func(c Component) float64 {
-		var v float64
-		switch c {
-		case Predec:
-			if opts.SimplePredec {
-				v = SimplePredecBound(block, mode)
-			} else {
-				v = PredecBound(block, mode)
-			}
-		case Dec:
-			if opts.SimpleDec {
-				v = SimpleDecBound(block)
-			} else {
-				v = DecBound(block)
-			}
-		case DSB:
-			v = DSBBound(block)
-		case LSD:
-			v = LSDBound(block)
-		case Issue:
-			v = IssueBound(block)
-		case Ports:
-			var detail PortsDetail
-			v, detail = PortsBoundDetail(block)
-			p.ContendedInstrs = detail.Instrs
-			p.ContendedPorts = detail.Ports
-		case Precedence:
-			var chain []int
-			v, chain = PrecedenceBound(block)
-			p.CriticalChain = chain
-		}
-		p.Components[c] = v
-		return v
-	}
-
-	tp := 0.0
-	switch mode {
-	case TPU:
-		for _, c := range []Component{Predec, Dec, Issue, Ports, Precedence} {
-			if inc.Has(c) {
-				tp = math.Max(tp, compute(c))
-			}
-		}
-	case TPL:
-		// Front-end bound FE per eq. 3.
-		fe := 0.0
-		feSrc := DSB
-		switch {
-		case block.JCCErratumAffected():
-			if inc.Has(Predec) {
-				fe = compute(Predec)
-				feSrc = Predec
-			}
-			if inc.Has(Dec) {
-				if d := compute(Dec); d > fe {
-					fe = d
-					feSrc = Dec
-				}
-			}
-		case block.Cfg.LSDEnabled && inc.Has(LSD) &&
-			block.FusedUops() <= block.Cfg.IDQSize:
-			fe = compute(LSD)
-			feSrc = LSD
-		case inc.Has(DSB):
-			fe = compute(DSB)
-			feSrc = DSB
-		}
-		p.FrontEnd = fe
-		p.FrontEndSource = feSrc
-		tp = fe
-		for _, c := range []Component{Issue, Ports, Precedence} {
-			if inc.Has(c) {
-				tp = math.Max(tp, compute(c))
-			}
-		}
-	}
-	p.TP = tp
-
-	const eps = 1e-9
-	for _, c := range bottleneckOrder {
-		if v, ok := p.Components[c]; ok && v >= tp-eps && tp > 0 {
-			p.Bottlenecks = append(p.Bottlenecks, c)
-		}
-	}
+	a := getAnalysis()
+	p := a.Predict(block, mode, opts)
+	putAnalysis(a)
 	return p
+}
+
+// ComputeBounds computes the per-component bound vector for a prepared block
+// in one pass. The result recombines under arbitrary inclusion sets via
+// Bounds.Combine without re-running any predictor.
+func ComputeBounds(block *bb.Block, mode Mode, opts Options) Bounds {
+	a := getAnalysis()
+	b, _ := a.computeBounds(block, mode, opts)
+	putAnalysis(a)
+	return b
 }
 
 // IdealizationSpeedup answers the counterfactual question of the paper's
@@ -248,24 +333,19 @@ func Predict(block *bb.Block, mode Mode, opts Options) Prediction {
 // infinitely fast? (Speedups are computed per block and aggregated by the
 // evaluation harness.)
 func IdealizationSpeedup(block *bb.Block, mode Mode, c Component) float64 {
-	return IdealizationSpeedups(block, mode, []Component{c})[c]
+	return IdealizationSpeedups(block, mode)[c]
 }
 
-// IdealizationSpeedups computes the idealization speedup for every component
-// in comps, sharing a single baseline prediction across all of them (the
-// one-at-a-time IdealizationSpeedup recomputes the baseline per component).
-func IdealizationSpeedups(block *bb.Block, mode Mode, comps []Component) map[Component]float64 {
-	base := Predict(block, mode, Options{})
-	out := make(map[Component]float64, len(comps))
-	for _, c := range comps {
-		without := Predict(block, mode, Options{Include: AllComponents.Without(c)})
-		if without.TP <= 0 {
-			out[c] = 1
-			continue
-		}
-		out[c] = base.TP / without.TP
-	}
-	return out
+// IdealizationSpeedups computes the idealization speedup for every
+// component. It performs exactly ONE full component-bound computation for
+// the block; each per-component answer is a pure recombination of that
+// bound vector (eq. 3's front-end selection is re-evaluated in-memory per
+// exclusion set).
+func IdealizationSpeedups(block *bb.Block, mode Mode) [NumComponents]float64 {
+	a := getAnalysis()
+	b, _ := a.computeBounds(block, mode, Options{})
+	putAnalysis(a)
+	return b.Speedups(mode)
 }
 
 // SpeedupComponents returns the component set for which idealization

@@ -476,7 +476,7 @@ func TestPredictTPLLoop(t *testing.T) {
 	// Issue: 9/4 = 2.25 dominates DSB ceil(9/6)=... block len = 8*4+3+2 = 37
 	// bytes >= 32 => DSB = 9/6 = 1.5. Ports: 9 µops on p0156 => 2.25.
 	if !approx(p.TP, 2.25) {
-		t.Fatalf("TP = %v, want 2.25 (components %v)", p.TP, p.Components)
+		t.Fatalf("TP = %v, want 2.25 (bounds %v)", p.TP, p.Bounds.V)
 	}
 }
 
@@ -566,7 +566,108 @@ func TestBottleneckOrdering(t *testing.T) {
 	})
 	p := Predict(block, TPU, Options{})
 	prim := p.PrimaryBottleneck()
-	if v, ok := p.Components[prim]; !ok || !approx(v, p.TP) {
+	if v, ok := p.Bounds.Get(prim); !ok || !approx(v, p.TP) {
 		t.Fatalf("primary bottleneck %v has value %v != TP %v", prim, v, p.TP)
+	}
+}
+
+// --- Bound-vector recombination -------------------------------------------
+
+// TestCombineMatchesRestrictedPredict: for every inclusion set, recombining
+// a full bound vector must equal running Predict restricted to that set —
+// the invariant that makes one-pass counterfactuals sound.
+func TestCombineMatchesRestrictedPredict(t *testing.T) {
+	blocks := []*bb.Block{
+		mustBlock(t, uarch.SKL, []asm.Instr{
+			asm.Mk(x86.IMUL, 64, asm.R(x86.RAX), asm.R(x86.RAX)),
+		}),
+		mustBlock(t, uarch.HSW, []asm.Instr{ // LSD-served loop
+			asm.Mk(x86.ADD, 64, asm.R(x86.RAX), asm.I(1)),
+			asm.Mk(x86.DEC, 64, asm.R(x86.RCX)),
+			asm.MkCC(x86.JCC, x86.CondNE, 64, asm.I(-10)),
+		}),
+	}
+	// A JCC-erratum block on SKL.
+	code := asm.NopBytes(30)
+	jcc, err := asm.Encode(asm.MkCC(x86.JCC, x86.CondNE, 64, asm.I(-34)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks = append(blocks, mustBlockBytes(t, uarch.SKL, append(code, jcc...)))
+
+	for bi, block := range blocks {
+		for _, mode := range []Mode{TPU, TPL} {
+			b := ComputeBounds(block, mode, Options{})
+			for include := ComponentSet(1); include <= AllComponents; include++ {
+				got := b.Combine(mode, include).TP
+				want := Predict(block, mode, Options{Include: include}).TP
+				if !approx(got, want) {
+					t.Fatalf("block %d %v include %b: Combine %v != Predict %v",
+						bi, mode, include, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSpeedupsSingleBoundComputation: the speedup path must perform exactly
+// one full component-bound computation per block; every per-component
+// counterfactual is recombination, not recomputation.
+func TestSpeedupsSingleBoundComputation(t *testing.T) {
+	block := mustBlock(t, uarch.SKL, []asm.Instr{
+		asm.Mk(x86.IMUL, 64, asm.R(x86.RAX), asm.R(x86.RAX)),
+		asm.Mk(x86.ADD, 64, asm.R(x86.RBX), asm.R(x86.RAX)),
+	})
+	counts := map[Component]int{}
+	testHookComponent = func(c Component) { counts[c]++ }
+	defer func() { testHookComponent = nil }()
+
+	sp := IdealizationSpeedups(block, TPU)
+	for c, n := range counts {
+		if n != 1 {
+			t.Errorf("component %v computed %d times, want exactly 1", c, n)
+		}
+	}
+	if len(counts) != 5 {
+		t.Errorf("computed %d components under TPU, want 5 (%v)", len(counts), counts)
+	}
+	if sp[Precedence] <= 1 {
+		t.Errorf("Precedence speedup = %v, want > 1", sp[Precedence])
+	}
+
+	// And under TPL, including the front-end candidates.
+	for k := range counts {
+		delete(counts, k)
+	}
+	IdealizationSpeedups(block, TPL)
+	for c, n := range counts {
+		if n != 1 {
+			t.Errorf("TPL: component %v computed %d times, want exactly 1", c, n)
+		}
+	}
+}
+
+// TestPredictReusedAnalysisDeterministic: reusing one Analysis across blocks
+// must not leak state between predictions.
+func TestPredictReusedAnalysisDeterministic(t *testing.T) {
+	a := NewAnalysis()
+	blocks := corpusBlocks(t, 7, 12, uarch.SKL, true)
+	if len(blocks) < 4 {
+		t.Skip("corpus too small")
+	}
+	for _, mode := range []Mode{TPU, TPL} {
+		fresh := make([]Prediction, len(blocks))
+		for i, block := range blocks {
+			fresh[i] = Predict(block, mode, Options{})
+		}
+		// Interleave: the shared Analysis sees all blocks in sequence.
+		for i, block := range blocks {
+			got := a.Predict(block, mode, Options{})
+			if got.TP != fresh[i].TP || got.Bounds != fresh[i].Bounds ||
+				got.Bottlenecks != fresh[i].Bottlenecks {
+				t.Fatalf("block %d %v: reused analysis %+v != fresh %+v",
+					i, mode, got, fresh[i])
+			}
+		}
 	}
 }

@@ -4,7 +4,16 @@ import (
 	"facile/internal/bb"
 )
 
-// DecBound predicts the throughput bound of the decoding unit by simulating
+// DecBound predicts the throughput bound of the decoding unit. It is the
+// pooled one-shot wrapper around Analysis.decBound.
+func DecBound(block *bb.Block) float64 {
+	a := getAnalysis()
+	v := a.decBound(block)
+	putAnalysis(a)
+	return v
+}
+
+// decBound predicts the throughput bound of the decoding unit by simulating
 // the allocation of instructions to decoders until the first instruction of
 // the benchmark is allocated to the same decoder for the second time
 // (paper §4.4, Algorithm 1).
@@ -13,7 +22,7 @@ import (
 // multi-µop instructions, and NumDecoders-1 simple decoders. The number of
 // cycles needed to decode one iteration equals the number of times the
 // complex decoder starts a new decode group in that iteration.
-func DecBound(block *bb.Block) float64 {
+func (a *Analysis) decBound(block *bb.Block) float64 {
 	cfg := block.Cfg
 	units := block.DecodeUnits()
 	if len(units) == 0 {
@@ -23,9 +32,9 @@ func DecBound(block *bb.Block) float64 {
 
 	curDec := nDec - 1
 	nAvailSimple := 0
-	// nComplexDecInIteration[r] = decode cycles spent on iteration r.
-	nComplex := []int{0} // index 0 unused; iterations are 1-based
-	firstInstrOnDec := make([]int, nDec)
+	// nComplex[r] = decode cycles spent on iteration r.
+	nComplex := append(a.decComplex[:0], 0) // index 0 unused; iterations are 1-based
+	firstInstrOnDec := growInts(&a.decFirst, nDec)
 	for i := range firstInstrOnDec {
 		firstInstrOnDec[i] = -1
 	}
@@ -63,12 +72,14 @@ func DecBound(block *bb.Block) float64 {
 					for r := f; r < iteration; r++ {
 						cycles += nComplex[r]
 					}
+					a.decComplex = nComplex
 					return float64(cycles) / float64(u)
 				}
 				firstInstrOnDec[curDec] = iteration
 			}
 		}
 	}
+	a.decComplex = nComplex
 	// Unreachable for well-formed inputs: the (decoder, availability) state
 	// space is finite. Fall back to the simple model.
 	return SimpleDecBound(block)

@@ -16,11 +16,37 @@ type PortsDetail struct {
 // PortsBound predicts the throughput bound due to execution-port contention
 // (paper §4.8), assuming the renamer distributes µops optimally.
 func PortsBound(block *bb.Block) float64 {
-	v, _ := PortsBoundDetail(block)
+	a := getAnalysis()
+	v, _, _ := a.portsBoundDetail(block)
+	putAnalysis(a)
 	return v
 }
 
-// PortsBoundDetail is PortsBound plus interpretability detail.
+// PortsBoundDetail is PortsBound plus interpretability detail. It is the
+// pooled one-shot wrapper around Analysis.portsBoundDetail; the returned
+// detail is an owned copy.
+func PortsBoundDetail(block *bb.Block) (float64, PortsDetail) {
+	a := getAnalysis()
+	v, instrs, ports := a.portsBoundDetail(block)
+	detail := PortsDetail{Ports: ports, Instrs: copyInts(instrs)}
+	putAnalysis(a)
+	return v, detail
+}
+
+// containsMask reports whether m occurs in s (linear scan: the number of
+// distinct port combinations per block is small, so this beats a map and
+// allocates nothing).
+func containsMask(s []uarch.PortMask, m uarch.PortMask) bool {
+	for _, x := range s {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
+// portsBoundDetail computes the port-contention bound; the returned
+// instruction list points into Analysis scratch.
 //
 // If a set of µops can collectively only be dispatched to port combination
 // pc, the throughput is at least |set|/|pc| cycles. Instead of considering
@@ -28,34 +54,31 @@ func PortsBound(block *bb.Block) float64 {
 // considered (PC' = {pc ∪ pc' | pc, pc' ∈ PC}); this heuristic yields the
 // same bound as the full linear program on all generated benchmark blocks
 // (verified in tests against PortsBoundExact).
-func PortsBoundDetail(block *bb.Block) (float64, PortsDetail) {
+func (a *Analysis) portsBoundDetail(block *bb.Block) (float64, []int, string) {
 	uops := block.ExecUops()
 	if len(uops) == 0 {
-		return 0, PortsDetail{}
+		return 0, nil, ""
 	}
 
 	// Distinct port combinations in use.
-	seen := make(map[uarch.PortMask]bool, 8)
-	var pcs []uarch.PortMask
+	pcs := a.portsPCs[:0]
 	for _, u := range uops {
-		if u.Ports != 0 && !seen[u.Ports] {
-			seen[u.Ports] = true
+		if u.Ports != 0 && !containsMask(pcs, u.Ports) {
 			pcs = append(pcs, u.Ports)
 		}
 	}
 
 	// Pairwise unions (the pair (pc, pc) yields pc itself).
-	unionSeen := make(map[uarch.PortMask]bool, 16)
-	var unions []uarch.PortMask
+	unions := a.portsUnions[:0]
 	for i := 0; i < len(pcs); i++ {
 		for j := i; j < len(pcs); j++ {
 			u := pcs[i].Union(pcs[j])
-			if !unionSeen[u] {
-				unionSeen[u] = true
+			if !containsMask(unions, u) {
 				unions = append(unions, u)
 			}
 		}
 	}
+	a.portsPCs, a.portsUnions = pcs, unions
 
 	best := 0.0
 	var bestPC uarch.PortMask
@@ -73,7 +96,7 @@ func PortsBoundDetail(block *bb.Block) (float64, PortsDetail) {
 		}
 	}
 
-	detail := PortsDetail{Ports: bestPC.String()}
+	instrs := a.portsInstrs[:0]
 	for k := range block.Insts {
 		ins := &block.Insts[k]
 		if ins.FusedWithPrev || ins.Desc.Eliminated {
@@ -81,12 +104,13 @@ func PortsBoundDetail(block *bb.Block) (float64, PortsDetail) {
 		}
 		for _, u := range ins.Desc.Uops {
 			if u.Ports != 0 && u.Ports.SubsetOf(bestPC) {
-				detail.Instrs = append(detail.Instrs, k)
+				instrs = append(instrs, k)
 				break
 			}
 		}
 	}
-	return best, detail
+	a.portsInstrs = instrs
+	return best, instrs, bestPC.String()
 }
 
 // PortsBoundExact computes the exact port-contention bound by enumerating

@@ -6,8 +6,33 @@ import (
 	"facile/internal/x86"
 )
 
+// valNode is one value (register or flags) consumed or produced by an
+// instruction, together with its dependence-graph node id.
+type valNode struct {
+	reg x86.Reg
+	id  int
+}
+
+// depGraph is the value dependence graph plus the node-to-instruction
+// mapping, built into reusable storage.
+type depGraph struct {
+	g         cycleratio.Graph
+	nodeInstr []int
+}
+
 // PrecedenceBound predicts the throughput bound due to read-after-write
-// precedence constraints across loop iterations (paper §4.9).
+// precedence constraints across loop iterations (paper §4.9). It is the
+// pooled one-shot wrapper around Analysis.precedenceBound; the returned
+// chain is an owned copy.
+func PrecedenceBound(block *bb.Block) (float64, []int) {
+	a := getAnalysis()
+	v, chain := a.precedenceBound(block)
+	chain = copyInts(chain)
+	putAnalysis(a)
+	return v, chain
+}
+
+// precedenceBound computes the precedence bound.
 //
 // It builds a weighted dependence graph whose nodes are the values consumed
 // and produced by the block's instructions. Within an instruction, each
@@ -19,47 +44,63 @@ import (
 // (latency / iterations) over all cycles, computed with Howard's algorithm.
 //
 // The second return value lists the instruction indices on a critical
-// dependence chain (interpretability).
-func PrecedenceBound(block *bb.Block) (float64, []int) {
-	g, nodeInstr := BuildDependenceGraph(block)
-	res, err := cycleratio.MaxRatio(g)
+// dependence chain (interpretability); it points into Analysis scratch.
+func (a *Analysis) precedenceBound(block *bb.Block) (float64, []int) {
+	a.buildDependenceGraph(block)
+	g := &a.graph.g
+	// The Analysis owns its solver, so the critical cycle may alias solver
+	// scratch: it is consumed (copied into chain) before the next query.
+	res, err := a.solver.MaxRatio(g)
 	if err != nil || !res.HasCycle {
 		return 0, nil
 	}
-	var chain []int
-	seen := make(map[int]bool)
+	seen := growBools(&a.chainSeen, len(block.Insts))
+	chain := a.chain[:0]
 	for _, ei := range res.Cycle {
-		k := nodeInstr[g.Edges[ei].From]
+		k := a.graph.nodeInstr[g.Edges[ei].From]
 		if !seen[k] {
 			seen[k] = true
 			chain = append(chain, k)
 		}
 	}
+	a.chain = chain
 	return res.Ratio, chain
 }
 
 // BuildDependenceGraph constructs the value dependence graph of the block.
 // The returned slice maps each node to the index of the instruction it
-// belongs to.
+// belongs to. The graph is freshly allocated and owned by the caller (the
+// Analysis-internal path reuses scratch storage instead).
 func BuildDependenceGraph(block *bb.Block) (*cycleratio.Graph, []int) {
-	type valNode struct {
-		reg x86.Reg
-		id  int
+	a := NewAnalysis() // not pooled: the result aliases the scratch graph
+	a.buildDependenceGraph(block)
+	return &a.graph.g, a.graph.nodeInstr
+}
+
+// buildDependenceGraph constructs the value dependence graph of the block
+// into a.graph, reusing all node and edge storage from previous calls.
+func (a *Analysis) buildDependenceGraph(block *bb.Block) {
+	g := &a.graph.g
+	g.N = 0
+	g.Edges = g.Edges[:0]
+	nodeInstr := a.graph.nodeInstr[:0]
+
+	n := len(block.Insts)
+	consumed := growNodeLists(&a.consumed, n)
+	produced := growNodeLists(&a.produced, n)
+
+	// Reset the writer lists touched by the previous block.
+	for _, r := range a.touched {
+		a.writers[r] = a.writers[r][:0]
 	}
-	g := &cycleratio.Graph{}
-	var nodeInstr []int
+	a.touched = a.touched[:0]
+
 	newNode := func(instr int) int {
 		id := g.N
 		g.N++
 		nodeInstr = append(nodeInstr, instr)
 		return id
 	}
-
-	n := len(block.Insts)
-	consumed := make([][]valNode, n)
-	produced := make([][]valNode, n)
-	var writers [x86.NumRegs][]int // reg -> instruction indices that write it
-	effs := make([]x86.Effects, n)
 
 	lookup := func(vs []valNode, r x86.Reg) (int, bool) {
 		for _, v := range vs {
@@ -74,9 +115,7 @@ func BuildDependenceGraph(block *bb.Block) (*cycleratio.Graph, []int) {
 
 	// Pass 1: create nodes, record writers.
 	for k := range block.Insts {
-		ins := &block.Insts[k]
-		eff := ins.Inst.Effects()
-		effs[k] = eff
+		eff := &block.Insts[k].Eff
 
 		addConsumed := func(r x86.Reg) {
 			if _, ok := lookup(consumed[k], r); !ok {
@@ -86,7 +125,10 @@ func BuildDependenceGraph(block *bb.Block) (*cycleratio.Graph, []int) {
 		addProduced := func(r x86.Reg) {
 			if _, ok := lookup(produced[k], r); !ok {
 				produced[k] = append(produced[k], valNode{r, newNode(k)})
-				writers[r] = append(writers[r], k)
+				if len(a.writers[r]) == 0 {
+					a.touched = append(a.touched, r)
+				}
+				a.writers[r] = append(a.writers[r], k)
 			}
 		}
 		for _, r := range eff.RegReads {
@@ -115,7 +157,7 @@ func BuildDependenceGraph(block *bb.Block) (*cycleratio.Graph, []int) {
 			// Address registers feed the load µop first.
 			addrExtra = block.Cfg.LoadLat
 		}
-		eff := &effs[k]
+		eff := &ins.Eff
 		for _, c := range consumed[k] {
 			w := float64(lat)
 			if isAddrRead(eff, c.reg) {
@@ -135,7 +177,7 @@ func BuildDependenceGraph(block *bb.Block) (*cycleratio.Graph, []int) {
 	// iteration count 1 when the flow wraps around the loop.
 	for k := range block.Insts {
 		for _, c := range consumed[k] {
-			ws := writers[c.reg]
+			ws := a.writers[c.reg]
 			if len(ws) == 0 {
 				continue // live-in value, produced outside the loop
 			}
@@ -156,7 +198,7 @@ func BuildDependenceGraph(block *bb.Block) (*cycleratio.Graph, []int) {
 		}
 	}
 
-	return g, nodeInstr
+	a.graph.nodeInstr = nodeInstr
 }
 
 func isAddrRead(eff *x86.Effects, r x86.Reg) bool {

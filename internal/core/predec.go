@@ -5,6 +5,15 @@ import (
 )
 
 // PredecBound predicts the throughput bound of the predecoder (paper §4.3).
+// It is the pooled one-shot wrapper around Analysis.predecBound.
+func PredecBound(block *bb.Block, mode Mode) float64 {
+	a := getAnalysis()
+	v := a.predecBound(block, mode)
+	putAnalysis(a)
+	return v
+}
+
+// predecBound predicts the throughput bound of the predecoder (paper §4.3).
 //
 // The predecoder fetches aligned 16-byte blocks and predecodes up to
 // PredecWidth instructions per cycle. Instructions that cross a 16-byte
@@ -12,7 +21,7 @@ import (
 // cycle (they are counted in both blocks via O(b)); instructions with a
 // length-changing prefix cost an extra 3 cycles each, partially hidden
 // behind the predecoding of the previous block.
-func PredecBound(block *bb.Block, mode Mode) float64 {
+func (a *Analysis) predecBound(block *bb.Block, mode Mode) float64 {
 	l := block.Len()
 	if l == 0 {
 		return 0
@@ -27,9 +36,9 @@ func PredecBound(block *bb.Block, mode Mode) float64 {
 	// Number of 16-byte blocks covered.
 	n := (u*l + 15) / 16 // exact division for TPU; ceiling for loops
 
-	L := make([]int, n)   // instructions whose last byte is in block b
-	O := make([]int, n)   // opcode in b, last byte elsewhere
-	LCP := make([]int, n) // LCP instructions whose opcode is in block b
+	L := growInts(&a.predecL, n)     // instructions whose last byte is in block b
+	O := growInts(&a.predecO, n)     // opcode in b, last byte elsewhere
+	LCP := growInts(&a.predecLCP, n) // LCP instructions whose opcode is in block b
 
 	for c := 0; c < u; c++ {
 		base := c * l
@@ -48,7 +57,7 @@ func PredecBound(block *bb.Block, mode Mode) float64 {
 	}
 
 	w := block.Cfg.PredecWidth
-	cycleNLCP := make([]int, n)
+	cycleNLCP := growInts(&a.predecCyc, n)
 	for b := 0; b < n; b++ {
 		cycleNLCP[b] = ceilDiv(L[b]+O[b], w)
 	}

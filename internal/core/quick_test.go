@@ -79,8 +79,8 @@ func TestQuickComponentsNonNegative(t *testing.T) {
 			if !(p.TP >= 0) || p.TP > 1e6 {
 				return false
 			}
-			for _, v := range p.Components {
-				if !(v >= 0) || v > 1e6 {
+			for c := Component(0); c < NumComponents; c++ {
+				if v, ok := p.Bounds.Get(c); ok && (!(v >= 0) || v > 1e6) {
 					return false
 				}
 			}
@@ -171,7 +171,7 @@ func TestQuickPredictDeterministic(t *testing.T) {
 		for _, block := range corpusBlocks(t, seed%3000, 3, uarch.RKL, loopRaw) {
 			a := Predict(block, mode, Options{})
 			b := Predict(block, mode, Options{})
-			if a.TP != b.TP || len(a.Components) != len(b.Components) {
+			if a.TP != b.TP || a.Bounds != b.Bounds {
 				return false
 			}
 		}

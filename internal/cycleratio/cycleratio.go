@@ -10,6 +10,12 @@
 // algorithm, as used by the paper (§4.9, [16, 18]); a parametric
 // binary-search/Bellman-Ford solver serves as a cross-checking reference and
 // as a fallback should policy iteration fail to converge.
+//
+// All query state lives in a reusable Solver; hot paths construct one per
+// worker (or embed one per analysis context) and call Solver.MaxRatio,
+// which performs no transient heap allocations once warm. The package-level
+// MaxRatio draws a Solver from an internal pool and copies the critical
+// cycle out, trading a few allocations for ownership of the result.
 package cycleratio
 
 import "errors"
@@ -46,273 +52,74 @@ type Result struct {
 	HasCycle bool
 }
 
-// MaxRatio computes the maximum cycle ratio using Howard's algorithm with a
-// Bellman-Ford fallback. It returns ErrZeroTransitCycle for graphs with a
-// zero-transit cycle.
-//
-// Every cycle lies within one strongly connected component, and policy
-// iteration with a single global λ only converges reliably within one SCC
-// (sub-critical SCCs have no consistent value function under the global λ).
-// MaxRatio therefore decomposes the pruned graph into SCCs and solves each
-// independently, taking the maximum.
+// MaxRatio computes the maximum cycle ratio using a pooled Solver. It
+// returns ErrZeroTransitCycle for graphs with a zero-transit cycle. The
+// returned Result is owned by the caller; workloads issuing many queries
+// from one goroutine should hold their own Solver instead.
 func MaxRatio(g *Graph) (Result, error) {
-	core, mapping := prune(g)
-	if core.N == 0 {
-		return Result{}, nil
+	s := solverPool.Get().(*Solver)
+	res, err := s.MaxRatio(g)
+	if len(res.Cycle) > 0 {
+		cycle := make([]int, len(res.Cycle))
+		copy(cycle, res.Cycle)
+		res.Cycle = cycle
 	}
-	if hasZeroTransitCycle(core) {
-		return Result{}, ErrZeroTransitCycle
-	}
-
-	var best Result
-	for _, comp := range sccSubgraphs(core) {
-		res, _, ok := howard(comp.g)
-		if !ok {
-			ratio, err := maxRatioBF(comp.g)
-			if err != nil {
-				return Result{}, err
-			}
-			res = Result{Ratio: ratio, HasCycle: true}
-		}
-		if res.HasCycle && (!best.HasCycle || res.Ratio > best.Ratio) {
-			// Translate to core-graph edge indices.
-			cycle := make([]int, len(res.Cycle))
-			for i, e := range res.Cycle {
-				cycle[i] = comp.edgeMap[e]
-			}
-			best = Result{Ratio: res.Ratio, Cycle: cycle, HasCycle: true}
-		}
-	}
-	// Translate edge indices back to the original graph.
-	cycle := make([]int, len(best.Cycle))
-	for i, e := range best.Cycle {
-		cycle[i] = mapping[e]
-	}
-	best.Cycle = cycle
-	return best, nil
+	solverPool.Put(s)
+	return res, err
 }
 
 // subgraph is one strongly connected component with its edge-index mapping
-// back to the parent graph.
+// back to the parent graph (test-facing view of the Solver decomposition).
 type subgraph struct {
 	g       *Graph
 	edgeMap []int
 }
 
+// prune removes nodes that cannot lie on a cycle and returns the remaining
+// subgraph with renumbered nodes plus a mapping from new edge index to old
+// edge index. Test-facing wrapper over Solver.prune.
+func prune(g *Graph) (*Graph, []int) {
+	s := NewSolver()
+	s.prune(g)
+	return &s.pruned, s.remap
+}
+
+// hasZeroTransitCycle detects a cycle consisting solely of T == 0 edges.
+// Test-facing wrapper over the Solver method.
+func hasZeroTransitCycle(g *Graph) bool {
+	return NewSolver().hasZeroTransitCycle(g)
+}
+
 // sccSubgraphs decomposes g into the strongly connected components that
-// contain at least one edge, using Tarjan's algorithm (iterative).
+// contain at least one edge. Test-facing wrapper over Solver.decompose.
 func sccSubgraphs(g *Graph) []subgraph {
-	n := g.N
-	adj := make([][]int, n) // edge indices
-	for i, e := range g.Edges {
-		adj[e.From] = append(adj[e.From], i)
-	}
-
-	const unvisited = -1
-	index := make([]int, n)
-	low := make([]int, n)
-	onStack := make([]bool, n)
-	comp := make([]int, n)
-	for i := range index {
-		index[i] = unvisited
-		comp[i] = -1
-	}
-	var stack []int
-	nextIndex := 0
-	nComps := 0
-
-	type frame struct {
-		v, ei int
-	}
-	for start := 0; start < n; start++ {
-		if index[start] != unvisited {
-			continue
-		}
-		frames := []frame{{start, 0}}
-		index[start] = nextIndex
-		low[start] = nextIndex
-		nextIndex++
-		stack = append(stack, start)
-		onStack[start] = true
-
-		for len(frames) > 0 {
-			f := &frames[len(frames)-1]
-			if f.ei < len(adj[f.v]) {
-				w := g.Edges[adj[f.v][f.ei]].To
-				f.ei++
-				if index[w] == unvisited {
-					index[w] = nextIndex
-					low[w] = nextIndex
-					nextIndex++
-					stack = append(stack, w)
-					onStack[w] = true
-					frames = append(frames, frame{w, 0})
-				} else if onStack[w] && index[w] < low[f.v] {
-					low[f.v] = index[w]
-				}
-				continue
-			}
-			// Done with v.
-			v := f.v
-			frames = frames[:len(frames)-1]
-			if len(frames) > 0 {
-				p := frames[len(frames)-1].v
-				if low[v] < low[p] {
-					low[p] = low[v]
-				}
-			}
-			if low[v] == index[v] {
-				for {
-					w := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					onStack[w] = false
-					comp[w] = nComps
-					if w == v {
-						break
-					}
-				}
-				nComps++
-			}
-		}
-	}
-
-	// Build one subgraph per component containing internal edges.
-	nodeID := make([]int, n)
-	out := make([]subgraph, 0, 4)
-	compOf := make(map[int]int) // component -> index in out
-	for i, e := range g.Edges {
-		if comp[e.From] != comp[e.To] {
-			continue
-		}
-		c := comp[e.From]
-		oi, ok := compOf[c]
-		if !ok {
-			oi = len(out)
-			compOf[c] = oi
-			out = append(out, subgraph{g: &Graph{}})
-			// Number the component's nodes.
-			for v := 0; v < n; v++ {
-				if comp[v] == c {
-					nodeID[v] = out[oi].g.N
-					out[oi].g.N++
-				}
-			}
-		}
-		sg := &out[oi]
-		sg.g.Edges = append(sg.g.Edges, Edge{
-			From: nodeID[e.From], To: nodeID[e.To], W: e.W, T: e.T,
-		})
-		sg.edgeMap = append(sg.edgeMap, i)
+	s := NewSolver()
+	s.decompose(g)
+	out := make([]subgraph, s.nSCCs)
+	for i := 0; i < s.nSCCs; i++ {
+		out[i] = subgraph{g: &s.sccs[i].g, edgeMap: s.sccs[i].edgeMap}
 	}
 	return out
+}
+
+// howard is the test-facing wrapper over the Solver method.
+func howard(g *Graph) (Result, int, bool) {
+	return NewSolver().howard(g)
 }
 
 // MaxRatioReference computes the maximum cycle ratio with the parametric
 // binary-search solver only (used to cross-check Howard's algorithm).
 func MaxRatioReference(g *Graph) (float64, error) {
-	core, _ := prune(g)
+	s := NewSolver()
+	s.prune(g)
+	core := &s.pruned
 	if core.N == 0 {
 		return 0, nil
 	}
-	if hasZeroTransitCycle(core) {
+	if s.hasZeroTransitCycle(core) {
 		return 0, ErrZeroTransitCycle
 	}
 	return maxRatioBF(core)
-}
-
-// prune iteratively removes nodes with no outgoing or no incoming edges;
-// such nodes cannot lie on a cycle. It returns the remaining subgraph with
-// renumbered nodes and a mapping from new edge index to old edge index.
-func prune(g *Graph) (*Graph, []int) {
-	alive := make([]bool, g.N)
-	for i := range alive {
-		alive[i] = true
-	}
-	edgeAlive := make([]bool, len(g.Edges))
-	for i := range edgeAlive {
-		edgeAlive[i] = true
-	}
-	for {
-		outDeg := make([]int, g.N)
-		inDeg := make([]int, g.N)
-		for i, e := range g.Edges {
-			if !edgeAlive[i] || !alive[e.From] || !alive[e.To] {
-				continue
-			}
-			outDeg[e.From]++
-			inDeg[e.To]++
-		}
-		changed := false
-		for v := 0; v < g.N; v++ {
-			if alive[v] && (outDeg[v] == 0 || inDeg[v] == 0) {
-				alive[v] = false
-				changed = true
-			}
-		}
-		if !changed {
-			break
-		}
-	}
-
-	newID := make([]int, g.N)
-	n := 0
-	for v := 0; v < g.N; v++ {
-		if alive[v] {
-			newID[v] = n
-			n++
-		} else {
-			newID[v] = -1
-		}
-	}
-	core := &Graph{N: n}
-	var mapping []int
-	for i, e := range g.Edges {
-		if alive[e.From] && alive[e.To] {
-			core.Edges = append(core.Edges, Edge{From: newID[e.From], To: newID[e.To], W: e.W, T: e.T})
-			mapping = append(mapping, i)
-		}
-	}
-	return core, mapping
-}
-
-// hasZeroTransitCycle detects a cycle consisting solely of T == 0 edges.
-func hasZeroTransitCycle(g *Graph) bool {
-	adj := make([][]int, g.N)
-	for _, e := range g.Edges {
-		if e.T == 0 {
-			adj[e.From] = append(adj[e.From], e.To)
-		}
-	}
-	// Iterative three-color DFS.
-	color := make([]int, g.N)
-	for start := 0; start < g.N; start++ {
-		if color[start] != 0 {
-			continue
-		}
-		type frame struct {
-			node, idx int
-		}
-		stack := []frame{{start, 0}}
-		color[start] = 1
-		for len(stack) > 0 {
-			f := &stack[len(stack)-1]
-			if f.idx < len(adj[f.node]) {
-				next := adj[f.node][f.idx]
-				f.idx++
-				switch color[next] {
-				case 0:
-					color[next] = 1
-					stack = append(stack, frame{next, 0})
-				case 1:
-					return true
-				}
-			} else {
-				color[f.node] = 2
-				stack = stack[:len(stack)-1]
-			}
-		}
-	}
-	return false
 }
 
 // maxRatioBF computes the maximum cycle ratio by bisection on λ with

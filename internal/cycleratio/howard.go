@@ -3,29 +3,27 @@ package cycleratio
 import "math"
 
 // howard runs Howard's policy-iteration algorithm for the maximum cycle
-// ratio [Dasdan 2004; Howard 1960]. Every node of the input graph must have
-// at least one outgoing edge (guaranteed by prune). The second result is the
-// number of policy iterations performed (diagnostics). Returns ok == false
-// if the iteration fails to converge within the safety bound, in which case
-// the caller falls back to the reference solver.
-func howard(g *Graph) (Result, int, bool) {
+// ratio [Dasdan 2004; Howard 1960] on this Solver's scratch state. Every
+// node of the input graph must have at least one outgoing edge (guaranteed
+// by prune). The second result is the number of policy iterations performed
+// (diagnostics). Returns ok == false if the iteration fails to converge
+// within the safety bound, in which case the caller falls back to the
+// reference solver. The returned Result.Cycle aliases solver storage.
+func (s *Solver) howard(g *Graph) (Result, int, bool) {
 	const eps = 1e-9
 	n := g.N
 	if n == 0 {
 		return Result{}, 0, true
 	}
 
-	// Outgoing adjacency as edge indices.
-	out := make([][]int, n)
-	for i, e := range g.Edges {
-		out[e.From] = append(out[e.From], i)
-	}
+	// Outgoing adjacency as edge indices (compact CSR form).
+	off, list := s.csr(g, keepAll)
 
 	// Initial policy: the edge with the largest weight.
-	policy := make([]int, n)
+	policy := growN(&s.policy, n)
 	for v := 0; v < n; v++ {
-		best := out[v][0]
-		for _, ei := range out[v][1:] {
+		best := list[off[v]]
+		for _, ei := range list[off[v]+1 : off[v+1]] {
 			if g.Edges[ei].W > g.Edges[best].W {
 				best = ei
 			}
@@ -33,29 +31,29 @@ func howard(g *Graph) (Result, int, bool) {
 		policy[v] = best
 	}
 
-	d := make([]float64, n)
+	d := growN(&s.d, n)
 	// Policy iteration converges in a handful of rounds in practice; if it
 	// has not converged by ~4n rounds something is cycling and the caller's
 	// Bellman-Ford fallback is both correct and cheaper than persisting.
 	maxIter := 4*n + 64
 
 	var lambda float64
-	var critCycle []int
+	critCycle := s.critBest[:0]
 
 	// Scratch buffers reused across policy iterations.
-	state := make([]int, n)     // 0 = unvisited, 1 = on stack, 2 = done
-	cycleRoot := make([]int, n) // root of the policy cycle the node reaches
-	visited := make([]bool, n)
-	revHead := make([]int, n) // linked-list reverse adjacency of the policy graph
-	revNext := make([]int, n)
-	queue := make([]int, 0, n)
-	var stack []int
+	state := growN(&s.state, n)         // 0 = unvisited, 1 = on stack, 2 = done
+	cycleRoot := growN(&s.cycleRoot, n) // root of the policy cycle the node reaches
+	visited := growN(&s.visited, n)
+	revHead := growN(&s.revHead, n) // linked-list reverse adjacency of the policy graph
+	revNext := growN(&s.revNext, n)
+	queue := s.queue[:0]
+	stack := s.walk[:0]
 
 	for iter := 0; iter < maxIter; iter++ {
 		// Find the cycles of the policy graph (functional graph: one
 		// successor per node) and the maximum cycle ratio among them.
 		lambda = math.Inf(-1)
-		critCycle = nil
+		critCycle = critCycle[:0]
 		for i := 0; i < n; i++ {
 			state[i] = 0
 			cycleRoot[i] = -1
@@ -75,7 +73,7 @@ func howard(g *Graph) (Result, int, bool) {
 				// Found a new policy cycle starting at v.
 				var w float64
 				var t int
-				var cyc []int
+				cyc := s.cycTmp[:0]
 				u := v
 				for {
 					ei := policy[u]
@@ -87,6 +85,7 @@ func howard(g *Graph) (Result, int, bool) {
 						break
 					}
 				}
+				s.cycTmp = cyc
 				var ratio float64
 				if t == 0 {
 					ratio = math.Inf(1) // should have been rejected earlier
@@ -95,7 +94,7 @@ func howard(g *Graph) (Result, int, bool) {
 				}
 				if ratio > lambda {
 					lambda = ratio
-					critCycle = cyc
+					critCycle = append(critCycle[:0], cyc...)
 				}
 				u = v
 				for {
@@ -155,7 +154,7 @@ func howard(g *Graph) (Result, int, bool) {
 			best := policy[v]
 			cur := g.Edges[best]
 			bestVal := cur.W - lambda*float64(cur.T) + d[cur.To]
-			for _, ei := range out[v] {
+			for _, ei := range list[off[v]:off[v+1]] {
 				e := g.Edges[ei]
 				val := e.W - lambda*float64(e.T) + d[e.To]
 				if val > bestVal+eps {
@@ -169,16 +168,10 @@ func howard(g *Graph) (Result, int, bool) {
 			}
 		}
 		if !improved {
+			s.critBest, s.queue, s.walk = critCycle, queue, stack
 			return Result{Ratio: lambda, Cycle: critCycle, HasCycle: true}, iter + 1, true
 		}
 	}
+	s.critBest, s.queue, s.walk = critCycle, queue, stack
 	return Result{}, maxIter, false
-}
-
-func orderNodes(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
-	}
-	return out
 }

@@ -257,16 +257,20 @@ func BottleneckFlow(corpusN int, chain []*uarch.Config) string {
 	comps := []core.Component{core.Predec, core.Dec, core.Issue, core.Ports, core.Precedence}
 
 	// bottlenecks[ci][bi] = component (or -1 if the block is unsupported).
+	// One shared Analysis serves the whole sweep; descriptor derivation is
+	// amortized per microarchitecture through a Builder.
+	a := core.NewAnalysis()
 	bottlenecks := make([][]int, len(chain))
 	for ci, cfg := range chain {
+		builder := bb.NewBuilder(cfg)
 		bottlenecks[ci] = make([]int, len(corpus))
 		for bi, bm := range corpus {
-			block, err := bb.Build(cfg, bm.Code)
+			block, err := builder.Build(bm.Code)
 			if err != nil {
 				bottlenecks[ci][bi] = -1
 				continue
 			}
-			p := core.Predict(block, core.TPU, core.Options{})
+			p := a.Predict(block, core.TPU, core.Options{})
 			bottlenecks[ci][bi] = int(p.PrimaryBottleneck())
 		}
 	}

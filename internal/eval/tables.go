@@ -113,6 +113,12 @@ func table3Variants() []variantSpec {
 
 // Table3 computes the component-ablation study (paper Table 3) on the given
 // microarchitectures (the paper uses RKL, SKL, SNB).
+//
+// The inclusion-set variants ("only X", "Facile w/o X") are pure
+// recombinations of one bound vector per block: the per-component bounds
+// are computed once and then folded under each variant's inclusion set
+// in-memory, so the 19-variant table costs three bound computations per
+// block (full, SimplePredec, SimpleDec) instead of nineteen predictions.
 func Table3(corpusN int, arches []*uarch.Config) ([]VariantRow, string) {
 	corpus := bhive.Generate(DefaultSeed, corpusN)
 	var rows []VariantRow
@@ -122,16 +128,18 @@ func Table3(corpusN int, arches []*uarch.Config) ([]VariantRow, string) {
 		"uArch", "Variant", "MAPE(U)", "Kend(U)", "MAPE(L)", "Kend(L)"))
 	for _, cfg := range arches {
 		suite := BuildSuite(cfg, corpus)
+		boundsU := suiteBounds(suite.BlocksU, core.TPU)
+		boundsL := suiteBounds(suite.BlocksL, core.TPL)
 		for _, spec := range table3Variants() {
 			row := VariantRow{Arch: cfg.Name, Variant: spec.name}
 			if !spec.onlyTPL {
-				pu := predictVariant(suite.BlocksU, core.TPU, spec.opts)
+				pu := combineVariant(suite.BlocksU, boundsU, core.TPU, spec.opts)
 				row.MAPEU = metrics.MAPE(suite.MeasU, pu)
 				row.KendallU = metrics.KendallTau(suite.MeasU, pu)
 				row.HasU = true
 			}
 			if !spec.onlyTPU {
-				pl := predictVariant(suite.BlocksL, core.TPL, spec.opts)
+				pl := combineVariant(suite.BlocksL, boundsL, core.TPL, spec.opts)
 				row.MAPEL = metrics.MAPE(suite.MeasL, pl)
 				row.KendallL = metrics.KendallTau(suite.MeasL, pl)
 				row.HasL = true
@@ -151,23 +159,48 @@ func Table3(corpusN int, arches []*uarch.Config) ([]VariantRow, string) {
 	return rows, sb.String()
 }
 
-func predictVariant(blocks []*bb.Block, mode core.Mode, opts core.Options) []float64 {
-	out := make([]float64, len(blocks))
+// suiteBounds computes the full per-component bound vector of every block
+// once; the ablation variants recombine these vectors.
+func suiteBounds(blocks []*bb.Block, mode core.Mode) []core.Bounds {
+	a := core.NewAnalysis()
+	out := make([]core.Bounds, len(blocks))
 	for i, block := range blocks {
-		out[i] = round2(core.Predict(block, mode, opts).TP)
+		out[i] = a.ComputeBounds(block, mode, core.Options{})
 	}
 	return out
 }
 
-// SpeedupRow is one microarchitecture's idealization speedups (Table 4).
+// combineVariant evaluates one Table 3 variant. Inclusion-set variants fold
+// the precomputed bound vectors; the Simple* model variants replace a
+// predictor and therefore need their own bound computation.
+func combineVariant(blocks []*bb.Block, bounds []core.Bounds, mode core.Mode, opts core.Options) []float64 {
+	out := make([]float64, len(blocks))
+	if opts.SimplePredec || opts.SimpleDec {
+		a := core.NewAnalysis()
+		for i, block := range blocks {
+			out[i] = round2(a.Predict(block, mode, opts).TP)
+		}
+		return out
+	}
+	for i := range bounds {
+		out[i] = round2(bounds[i].Combine(mode, opts.Include).TP)
+	}
+	return out
+}
+
+// SpeedupRow is one microarchitecture's idealization speedups (Table 4),
+// indexed by core.Component. Components outside the table's scope hold the
+// neutral speedup 1.
 type SpeedupRow struct {
 	Arch     string
-	Speedups map[core.Component]float64
+	Speedups [core.NumComponents]float64
 }
 
 // Table4 answers the counterfactual question of the paper's Table 4: the
 // aggregate speedup (total predicted cycles over the BHiveU suite) when one
-// component is made infinitely fast.
+// component is made infinitely fast. Each block contributes one bound
+// computation; the per-component idealizations are recombinations of that
+// vector.
 func Table4(corpusN int, arches []*uarch.Config) ([]SpeedupRow, string) {
 	corpus := bhive.Generate(DefaultSeed, corpusN)
 	comps := []core.Component{core.Predec, core.Dec, core.Issue, core.Ports, core.Precedence}
@@ -179,18 +212,20 @@ func Table4(corpusN int, arches []*uarch.Config) ([]SpeedupRow, string) {
 		sb.WriteString(fmt.Sprintf(" %10s", c))
 	}
 	sb.WriteString("\n")
+	a := core.NewAnalysis()
 	for _, cfg := range arches {
 		suite := BuildSuite(cfg, corpus)
-		row := SpeedupRow{Arch: cfg.Name, Speedups: map[core.Component]float64{}}
+		row := SpeedupRow{Arch: cfg.Name}
+		for c := range row.Speedups {
+			row.Speedups[c] = 1
+		}
 		base := 0.0
-		ideal := map[core.Component]float64{}
+		var ideal [core.NumComponents]float64
 		for _, block := range suite.BlocksU {
-			p := core.Predict(block, core.TPU, core.Options{})
-			base += p.TP
+			b := a.ComputeBounds(block, core.TPU, core.Options{})
+			base += b.Combine(core.TPU, core.AllComponents).TP
 			for _, c := range comps {
-				q := core.Predict(block, core.TPU,
-					core.Options{Include: core.AllComponents.Without(c)})
-				ideal[c] += q.TP
+				ideal[c] += b.Combine(core.TPU, core.AllComponents.Without(c)).TP
 			}
 		}
 		sb.WriteString(fmt.Sprintf("%-5s", cfg.Name))

@@ -3,6 +3,7 @@ package uarch
 import (
 	"math/bits"
 	"strings"
+	"sync"
 )
 
 // PortMask is a set of execution ports, one bit per port (bit 0 = port 0).
@@ -41,8 +42,22 @@ func (m PortMask) Ports() []int {
 	return out
 }
 
-// String renders the mask uiCA-style, e.g. "p015".
+// portStrings interns rendered masks: the set of distinct port combinations
+// across all microarchitectures is tiny, and interning keeps String off the
+// allocation profile of the prediction hot path.
+var portStrings sync.Map // PortMask -> string
+
+// String renders the mask uiCA-style, e.g. "p015". Results are interned.
 func (m PortMask) String() string {
+	if s, ok := portStrings.Load(m); ok {
+		return s.(string)
+	}
+	s := m.render()
+	portStrings.Store(m, s)
+	return s
+}
+
+func (m PortMask) render() string {
 	if m == 0 {
 		return "p-"
 	}

@@ -2,8 +2,9 @@ package facile
 
 import (
 	"fmt"
-	"sort"
 	"strings"
+
+	"facile/internal/core"
 )
 
 // Explain produces a human-readable bottleneck report for the block: the
@@ -12,18 +13,24 @@ import (
 // group), and the counterfactual speedups.
 //
 // Like Predict, Explain is the one-shot path; Engine.Explain reuses the
-// engine's cached decoded block and prediction.
+// engine's cached decoded block and prediction and memoizes the rendered
+// report.
 func Explain(code []byte, arch string, mode Mode) (string, error) {
-	block, err := prepare(code, arch)
+	block, err := prepare(code, arch, mode)
 	if err != nil {
 		return "", err
 	}
-	pred := predictBlock(block, arch, mode)
-	return renderReport(pred, speedupsForBlock(block, mode)), nil
+	// One bound-vector pass serves both the prediction and the
+	// counterfactual table (the speedups are recombinations of p.Bounds).
+	m := coreMode(mode)
+	p := core.Predict(block, m, core.Options{})
+	pred := publicPrediction(&p, block, arch, mode)
+	return renderReport(pred, speedupMap(p.Bounds.Speedups(m), m)), nil
 }
 
 // renderReport renders the bottleneck report from an existing prediction and
-// speedup table.
+// speedup table. Components print in pipeline order (ComponentNames), which
+// keeps the output deterministic without sorting.
 func renderReport(pred Prediction, speedups map[string]float64) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Facile throughput report — %s, %s\n", pred.Arch, pred.Mode)
@@ -58,21 +65,18 @@ func renderReport(pred Prediction, speedups map[string]float64) string {
 	}
 
 	sb.WriteString("\nComponent bounds (cycles/iteration):\n")
-	names := make([]string, 0, len(pred.Components))
-	for name := range pred.Components {
-		names = append(names, name)
-	}
-	sort.Slice(names, func(i, j int) bool {
-		return componentOrder(names[i]) < componentOrder(names[j])
-	})
-	for _, name := range names {
+	for _, name := range ComponentNames() {
+		v, ok := pred.Components[name]
+		if !ok {
+			continue
+		}
 		mark := " "
 		for _, b := range pred.Bottlenecks {
 			if b == name {
 				mark = "*"
 			}
 		}
-		fmt.Fprintf(&sb, "  %s %-11s %8.2f\n", mark, name, pred.Components[name])
+		fmt.Fprintf(&sb, "  %s %-11s %8.2f\n", mark, name, v)
 	}
 	if pred.FrontEndSource != "" {
 		fmt.Fprintf(&sb, "  front end served by: %s\n", pred.FrontEndSource)
@@ -89,25 +93,10 @@ func renderReport(pred Prediction, speedups map[string]float64) string {
 	}
 
 	sb.WriteString("\nCounterfactual speedups (component made infinitely fast):\n")
-	cnames := make([]string, 0, len(speedups))
-	for name := range speedups {
-		cnames = append(cnames, name)
-	}
-	sort.Slice(cnames, func(i, j int) bool {
-		return componentOrder(cnames[i]) < componentOrder(cnames[j])
-	})
-	for _, name := range cnames {
-		fmt.Fprintf(&sb, "  %-11s %.2fx\n", name, speedups[name])
-	}
-	return sb.String()
-}
-
-func componentOrder(name string) int {
-	order := []string{"Predec", "Dec", "DSB", "LSD", "Issue", "Ports", "Precedence"}
-	for i, n := range order {
-		if n == name {
-			return i
+	for _, name := range ComponentNames() {
+		if v, ok := speedups[name]; ok {
+			fmt.Fprintf(&sb, "  %-11s %.2fx\n", name, v)
 		}
 	}
-	return len(order)
+	return sb.String()
 }

@@ -1,0 +1,104 @@
+package facile_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"facile"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden report files")
+
+// reportCases pins the three structurally distinct Explain reports: a
+// TPU block marked up with the contended-port group, a TPL loop served by
+// the LSD, and a TPL loop forced onto the legacy decode path by the JCC
+// erratum.
+var reportCases = []struct {
+	name string
+	hex  string
+	arch string
+	mode facile.Mode
+}{
+	{
+		// Three imuls: port-bound on p1, instructions marked "P".
+		name: "tpu_ports",
+		hex:  "480fafc3 480fafcb 480fafd3",
+		arch: "SKL",
+		mode: facile.Unroll,
+	},
+	{
+		// add rax,1; dec rcx; jne: small loop on HSW, served by the LSD,
+		// precedence-bound through the dec/jne counter chain.
+		name: "tpl_lsd",
+		hex:  "4883c001 48ffc9 75f8",
+		arch: "HSW",
+		mode: facile.Loop,
+	},
+	{
+		// 30 bytes of nops + jne ending exactly on the 32-byte boundary:
+		// the JCC erratum forces the Predec/Dec front end on SKL.
+		name: "tpl_jcc_erratum",
+		hex: "6666666666662e0f1f840000000000" +
+			"6666666666662e0f1f840000000000" +
+			"75de",
+		arch: "SKL",
+		mode: facile.Loop,
+	},
+}
+
+func TestExplainGolden(t *testing.T) {
+	for _, tc := range reportCases {
+		t.Run(tc.name, func(t *testing.T) {
+			code := decode(t, tc.hex)
+			report, err := facile.Explain(code, tc.arch, tc.mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "report_"+tc.name+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(report), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if report != string(want) {
+				t.Errorf("report differs from %s (run with -update to regenerate):\ngot:\n%s\nwant:\n%s",
+					path, report, want)
+			}
+		})
+	}
+}
+
+// TestExplainGoldenStructure spot-checks the load-bearing content of each
+// golden case independently of exact formatting, so a legitimate -update
+// cannot silently bless a semantically broken report.
+func TestExplainGoldenStructure(t *testing.T) {
+	checks := map[string][]string{
+		"tpu_ports":       {"Primary bottleneck: Ports", " P ", "contention on ports p1"},
+		"tpl_lsd":         {"front end served by: LSD", "Primary bottleneck: Precedence", " D "},
+		"tpl_jcc_erratum": {"front end served by:", "Predec", "Dec"},
+	}
+	for _, tc := range reportCases {
+		t.Run(tc.name, func(t *testing.T) {
+			report, err := facile.Explain(decode(t, tc.hex), tc.arch, tc.mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, want := range checks[tc.name] {
+				if !strings.Contains(report, want) {
+					t.Errorf("report missing %q:\n%s", want, report)
+				}
+			}
+			// Every report carries the counterfactual table.
+			if !strings.Contains(report, "Counterfactual speedups") {
+				t.Errorf("report missing speedup table:\n%s", report)
+			}
+		})
+	}
+}
