@@ -1,5 +1,5 @@
 // Benchmarks that regenerate every table and figure of the paper's
-// evaluation (DESIGN.md §4 maps each experiment to its bench target) plus
+// evaluation (docs/ARCHITECTURE.md, "Evaluation pipeline") plus
 // per-component and per-predictor micro-benchmarks.
 //
 // The table/figure benches run on reduced corpora so that `go test -bench=.`
@@ -219,7 +219,7 @@ func BenchmarkSimulator(b *testing.B) {
 	}
 }
 
-// --- Ablation benchmarks for the design choices DESIGN.md calls out --------
+// --- Ablation benchmarks for load-bearing design choices ------------------
 
 // BenchmarkAblationPorts compares the pairwise port-combination heuristic
 // (paper §4.8) against the exhaustive subset-enumeration bound it replaces.

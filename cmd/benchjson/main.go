@@ -1,6 +1,7 @@
 // Command benchjson converts `go test -bench -benchmem` output into a
 // machine-readable JSON record, so CI can archive per-PR performance
-// trajectories (BENCH_2.json) as build artifacts.
+// trajectories (BENCH_2.json for the library paths, BENCH_3.json for the
+// server paths) as build artifacts.
 //
 // Usage:
 //
@@ -8,7 +9,11 @@
 //	benchjson -in bench.txt -out BENCH_2.json -label pr-2
 //
 // Only standard benchmark result lines are parsed; custom b.ReportMetric
-// columns are preserved verbatim under "extra".
+// columns (e.g. the server benchmarks' req/s) are preserved verbatim under
+// "extra". A stream may span several packages (`go test -bench ./...` or
+// concatenated runs): each benchmark is attributed to the `pkg:` header
+// preceding it, and the top-level "pkg" field is set only when the whole
+// record comes from a single package.
 package main
 
 import (
@@ -22,9 +27,11 @@ import (
 	"strings"
 )
 
-// Benchmark is one parsed benchmark result line.
+// Benchmark is one parsed benchmark result line. Pkg is set only in
+// multi-package streams (otherwise the Record-level field carries it).
 type Benchmark struct {
 	Name        string             `json:"name"`
+	Pkg         string             `json:"pkg,omitempty"`
 	Iterations  int64              `json:"iterations"`
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
@@ -84,9 +91,12 @@ func main() {
 //
 //	BenchmarkFoo/sub-8   123  456.7 ns/op  89 B/op  3 allocs/op  1.2 custom_unit
 //
-// Header lines (goos:, goarch:, pkg:, cpu:) populate the record metadata.
+// Header lines (goos:, goarch:, pkg:, cpu:) populate the record metadata;
+// each benchmark is attributed to the most recent pkg: header.
 func parse(r io.Reader) (*Record, error) {
 	rec := &Record{}
+	curPkg := ""
+	multiPkg := false
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -99,7 +109,11 @@ func parse(r io.Reader) (*Record, error) {
 			rec.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
 			continue
 		case strings.HasPrefix(line, "pkg:"):
-			rec.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			pkg := strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			if curPkg != "" && pkg != curPkg {
+				multiPkg = true
+			}
+			curPkg = pkg
 			continue
 		case strings.HasPrefix(line, "cpu:"):
 			rec.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
@@ -115,7 +129,7 @@ func parse(r io.Reader) (*Record, error) {
 		if err != nil {
 			continue // e.g. a "BenchmarkFoo" name-only line from -v output
 		}
-		b := Benchmark{Name: trimProcSuffix(fields[0]), Iterations: iters}
+		b := Benchmark{Name: trimProcSuffix(fields[0]), Pkg: curPkg, Iterations: iters}
 		// The remainder is (value, unit) pairs.
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
@@ -143,6 +157,14 @@ func parse(r io.Reader) (*Record, error) {
 	}
 	if len(rec.Benchmarks) == 0 {
 		return nil, fmt.Errorf("benchjson: no benchmark result lines found")
+	}
+	// Single-package stream: hoist the package into the record and drop
+	// the per-benchmark repetition, keeping the BENCH_2 document shape.
+	if !multiPkg {
+		rec.Pkg = curPkg
+		for i := range rec.Benchmarks {
+			rec.Benchmarks[i].Pkg = ""
+		}
 	}
 	return rec, nil
 }

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const singlePkg = `goos: linux
+goarch: amd64
+pkg: facile
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkPredict/SKL-8   	    1000	      9000 ns/op	      48 B/op	       3 allocs/op
+BenchmarkSpeedups-8      	     500	      7800.5 ns/op	       1.5 custom_unit
+PASS
+ok  	facile	1.234s
+`
+
+func TestParseSinglePackage(t *testing.T) {
+	rec, err := parse(strings.NewReader(singlePkg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Pkg != "facile" || rec.Goos != "linux" || rec.Goarch != "amd64" {
+		t.Errorf("metadata: %+v", rec)
+	}
+	if len(rec.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks", len(rec.Benchmarks))
+	}
+	b := rec.Benchmarks[0]
+	if b.Name != "BenchmarkPredict/SKL" || b.Pkg != "" ||
+		b.Iterations != 1000 || b.NsPerOp != 9000 || b.BytesPerOp != 48 || b.AllocsPerOp != 3 {
+		t.Errorf("benchmark 0: %+v", b)
+	}
+	if got := rec.Benchmarks[1].Extra["custom_unit"]; got != 1.5 {
+		t.Errorf("custom metric: %v", got)
+	}
+}
+
+const multiPkg = `goos: linux
+pkg: facile
+BenchmarkPredict-8   	    1000	      9000 ns/op
+pkg: facile/internal/server
+BenchmarkServerPredictDirect-8   	     500	     30000 ns/op	     33000 req/s
+BenchmarkServerPredictMicroBatch 	     500	     20000 ns/op	     50000 req/s
+`
+
+func TestParseMultiPackage(t *testing.T) {
+	rec, err := parse(strings.NewReader(multiPkg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Pkg != "" {
+		t.Errorf("multi-package record must not claim one pkg, got %q", rec.Pkg)
+	}
+	if len(rec.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks", len(rec.Benchmarks))
+	}
+	wantPkgs := []string{"facile", "facile/internal/server", "facile/internal/server"}
+	for i, want := range wantPkgs {
+		if rec.Benchmarks[i].Pkg != want {
+			t.Errorf("benchmark %d pkg %q, want %q", i, rec.Benchmarks[i].Pkg, want)
+		}
+	}
+	if got := rec.Benchmarks[1].Extra["req/s"]; got != 33000 {
+		t.Errorf("req/s: %v", got)
+	}
+	// The -<GOMAXPROCS> suffix is trimmed; a name without one is kept.
+	if rec.Benchmarks[1].Name != "BenchmarkServerPredictDirect" ||
+		rec.Benchmarks[2].Name != "BenchmarkServerPredictMicroBatch" {
+		t.Errorf("names: %q, %q", rec.Benchmarks[1].Name, rec.Benchmarks[2].Name)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
+		t.Fatal("expected error for stream without results")
+	}
+}

@@ -1,5 +1,6 @@
 // Command bhive-gen generates the benchmark corpora used by the evaluation
-// (the BHiveU/BHiveL stand-ins, DESIGN.md §1) and writes them to disk as raw
+// (the BHiveU/BHiveL stand-ins; docs/ARCHITECTURE.md, "Paper
+// correspondence") and writes them to disk as raw
 // basic-block files plus a manifest.
 //
 // Usage:

@@ -8,8 +8,8 @@
 //	eval -figure 6            # one figure
 //	eval -corpus 400 -train 300   # smaller corpora for a quick pass
 //
-// See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
-// recorded paper-versus-measured comparison.
+// See docs/ARCHITECTURE.md, "Evaluation pipeline", for how the
+// experiments map onto packages.
 package main
 
 import (

@@ -1,0 +1,108 @@
+// Command facile-serve runs the Facile prediction service: an HTTP JSON
+// API over a shared, warm facile.Engine.
+//
+// Usage:
+//
+//	facile-serve [-addr :8629] [-archs SKL,RKL] [-cache 4096]
+//	             [-workers 0] [-max-batch 64] [-timeout 10s]
+//
+// Endpoints (see docs/API.md for the full reference):
+//
+//	POST /v1/predict         {"code":"4801d8480fafc3","arch":"SKL","mode":"loop"}
+//	POST /v1/predict/batch   {"requests":[...],"concurrency":4}
+//	POST /v1/explain         same body as /v1/predict
+//	POST /v1/speedups        same body as /v1/predict
+//	GET  /v1/archs
+//	GET  /healthz
+//	GET  /metrics
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: the listener stops
+// accepting, in-flight requests (and in-flight micro-batches) complete,
+// then the engine-facing machinery is torn down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"facile"
+
+	"facile/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8629", "listen address")
+		archs    = flag.String("archs", "", "comma-separated microarchitectures to serve (default: all)")
+		cache    = flag.Int("cache", 0, "engine prediction-cache entries (<=0: default)")
+		workers  = flag.Int("workers", 0, "engine worker-pool size (<=0: GOMAXPROCS)")
+		maxBatch = flag.Int("max-batch", 0, "micro-batch size cap for /v1/predict (0: default, <0: disable)")
+		timeout  = flag.Duration("timeout", 0, "per-request handling deadline (0: default, <0: none)")
+	)
+	flag.Parse()
+
+	var archList []string
+	if *archs != "" {
+		for _, a := range strings.Split(*archs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				archList = append(archList, a)
+			}
+		}
+	}
+	engine, err := facile.NewEngine(facile.EngineConfig{
+		Archs: archList, CacheSize: *cache, Workers: *workers,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "facile-serve:", err)
+		os.Exit(1)
+	}
+	svc, err := server.New(server.Config{
+		Engine: engine, MaxBatch: *maxBatch, RequestTimeout: *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "facile-serve:", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("facile-serve: listening on %s (archs: %s)", *addr, strings.Join(engine.Archs(), ", "))
+
+	select {
+	case err := <-errc:
+		// Listener failed before any shutdown was requested.
+		log.Fatalf("facile-serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Print("facile-serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("facile-serve: shutdown: %v", err)
+	}
+	svc.Close() // after the listener drains: no handler is left submitting
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("facile-serve: %v", err)
+	}
+	stats := engine.Stats()
+	log.Printf("facile-serve: bye (cache: %d hits, %d misses, %d entries)",
+		stats.Hits, stats.Misses, stats.Entries)
+}

@@ -233,11 +233,23 @@ type BatchResult struct {
 // reported in the corresponding BatchResult; they do not affect other
 // requests.
 func (e *Engine) PredictBatch(reqs []BatchRequest) []BatchResult {
+	return e.PredictBatchN(reqs, 0)
+}
+
+// PredictBatchN is PredictBatch with an explicit concurrency bound: at most
+// workers requests are computed at once. Values <= 0 or above the engine's
+// configured pool size select the pool size — callers (e.g. a server
+// answering many independent batch requests) can bound an individual
+// batch's parallelism but never exceed the engine's. Result ordering is
+// deterministic, as for PredictBatch.
+func (e *Engine) PredictBatchN(reqs []BatchRequest, workers int) []BatchResult {
 	out := make([]BatchResult, len(reqs))
 	do := func(i int) {
 		out[i].Prediction, out[i].Err = e.Predict(reqs[i].Code, reqs[i].Arch, reqs[i].Mode)
 	}
-	workers := e.workers
+	if workers <= 0 || workers > e.workers {
+		workers = e.workers
+	}
 	if workers > len(reqs) {
 		workers = len(reqs)
 	}

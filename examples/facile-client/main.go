@@ -1,0 +1,117 @@
+// Command facile-client demonstrates driving the Facile prediction service
+// (cmd/facile-serve) over HTTP from Go: one single-block prediction, one
+// batch, and the counterfactual speedup table.
+//
+// Start the server, then run the client:
+//
+//	go run ./cmd/facile-serve &
+//	go run ./examples/facile-client -addr http://localhost:8629
+//
+// The wire types are plain JSON (docs/API.md); this client declares the
+// subset of fields it reads.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+)
+
+type blockRequest struct {
+	Code string `json:"code"`
+	Arch string `json:"arch"`
+	Mode string `json:"mode,omitempty"`
+}
+
+type prediction struct {
+	CyclesPerIteration float64            `json:"cycles_per_iteration"`
+	Bottlenecks        []string           `json:"bottlenecks"`
+	Components         map[string]float64 `json:"components"`
+	Instructions       []string           `json:"instructions"`
+}
+
+type batchResponse struct {
+	Results []struct {
+		Prediction *prediction `json:"prediction"`
+		Error      string      `json:"error"`
+	} `json:"results"`
+}
+
+type speedupsResponse struct {
+	CyclesPerIteration float64            `json:"cycles_per_iteration"`
+	Speedups           map[string]float64 `json:"speedups"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8629", "facile-serve base URL")
+	flag.Parse()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// One block: the README quick-start pair (add rax,rbx; imul rax,rbx).
+	var pred prediction
+	post(client, *addr+"/v1/predict",
+		blockRequest{Code: "4801d8480fafc3", Arch: "SKL", Mode: "loop"}, &pred)
+	fmt.Printf("single block on SKL: %.2f cycles/iteration, bottleneck %s\n",
+		pred.CyclesPerIteration, pred.Bottlenecks[0])
+	for i, inst := range pred.Instructions {
+		fmt.Printf("  %2d  %s\n", i, inst)
+	}
+
+	// The same block across microarchitectures in one round trip; the
+	// server fans the batch across the engine's worker pool.
+	batch := struct {
+		Requests    []blockRequest `json:"requests"`
+		Concurrency int            `json:"concurrency,omitempty"`
+	}{Concurrency: 4}
+	archs := []string{"SNB", "HSW", "SKL", "ICL", "RKL"}
+	for _, arch := range archs {
+		batch.Requests = append(batch.Requests,
+			blockRequest{Code: "4801d8480fafc3", Arch: arch, Mode: "loop"})
+	}
+	var results batchResponse
+	post(client, *addr+"/v1/predict/batch", batch, &results)
+	fmt.Println("\nacross generations:")
+	for i, res := range results.Results {
+		if res.Error != "" {
+			fmt.Printf("  %-4s error: %s\n", archs[i], res.Error)
+			continue
+		}
+		fmt.Printf("  %-4s %.2f cycles/iteration\n", archs[i], res.Prediction.CyclesPerIteration)
+	}
+
+	// What would help? The counterfactual table of the paper's Table 4.
+	var sp speedupsResponse
+	post(client, *addr+"/v1/speedups",
+		blockRequest{Code: "4801d8480fafc3", Arch: "SKL", Mode: "loop"}, &sp)
+	fmt.Println("\ncounterfactual speedups on SKL:")
+	for comp, v := range sp.Speedups {
+		if v > 1 {
+			fmt.Printf("  %-11s %.2fx\n", comp, v)
+		}
+	}
+}
+
+// post sends v as JSON and decodes the 200 response into out.
+func post(client *http.Client, url string, v, out any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatalf("%s: %v (is facile-serve running?)", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		log.Fatalf("%s: HTTP %d: %s", url, resp.StatusCode, msg)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatalf("%s: decoding response: %v", url, err)
+	}
+}

@@ -1,7 +1,3 @@
-// Package asm implements a small x86-64 assembler for the instruction subset
-// supported by internal/x86. It exists so that the benchmark-corpus generator
-// and the test suites can construct basic blocks symbolically; every encoding
-// it emits must round-trip through the decoder (enforced by property tests).
 package asm
 
 import (

@@ -1,0 +1,7 @@
+// Package asm implements a small x86-64 assembler for the instruction
+// subset supported by internal/x86. It exists so that the benchmark-corpus
+// generator (internal/bhive, the stand-in for the paper's §6.1 BHive
+// suite) and the test suites can construct basic blocks symbolically;
+// every encoding it emits must round-trip through the decoder (enforced by
+// property tests).
+package asm

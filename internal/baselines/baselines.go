@@ -1,8 +1,3 @@
-// Package baselines provides simplified re-implementations of the predictors
-// the paper compares Facile against (Table 2). Each baseline mirrors the
-// modeling scope of its namesake — which parts of the pipeline it models and
-// which it ignores — rather than its implementation details; see DESIGN.md §1
-// for the correspondence argument.
 package baselines
 
 import (

@@ -1,0 +1,7 @@
+// Package baselines provides simplified re-implementations of the
+// predictors the paper compares Facile against in the §6 evaluation
+// (Table 2). Each baseline mirrors the modeling scope of its namesake —
+// which parts of the pipeline it models and which it ignores — rather than
+// its implementation details; see docs/ARCHITECTURE.md, "Paper
+// correspondence", for the correspondence argument.
+package baselines

@@ -39,7 +39,8 @@ const (
 // resource-aware features. The real Ithemal sees operand identities (so its
 // LSTM can discover dependency chains); our stand-in exposes the equivalent
 // information through the precedence/ports/issue bounds instead, and the
-// trained readout learns how to combine them (DESIGN.md §1).
+// trained readout learns how to combine them (docs/ARCHITECTURE.md,
+// "Paper correspondence").
 func featurize(block *bb.Block) []float64 {
 	f := make([]float64, int(x86.NumOps)+10)
 	nUops := 0

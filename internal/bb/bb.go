@@ -1,13 +1,3 @@
-// Package bb builds the basic-block intermediate representation shared by
-// all predictors: decoded instructions, their per-microarchitecture
-// descriptors, byte-layout information, and macro-fusion marking.
-//
-// A Block is immutable after Build: every derived view the predictors need
-// per prediction — fused/issue µop counts, the execution-µop list, the
-// decode-unit list, the dataflow effects of each instruction, and the
-// JCC-erratum flag — is computed once at build time, so prediction-time
-// accessors are plain field reads that never allocate. Callers must treat
-// the slices returned by those accessors as read-only.
 package bb
 
 import (

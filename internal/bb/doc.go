@@ -1,0 +1,19 @@
+// Package bb builds the basic-block intermediate representation shared by
+// all predictors: decoded instructions, their per-microarchitecture
+// descriptors, byte-layout information, and macro-fusion marking. It models
+// the input side of the paper's §3 problem statement — "the bytes of a
+// basic block on a given microarchitecture" — in the decoded, annotated
+// form the §4 component predictors and the reference simulator consume.
+//
+// A Block is immutable after Build: every derived view the predictors need
+// per prediction — fused/issue µop counts, the execution-µop list, the
+// decode-unit list, the dataflow effects of each instruction, and the
+// JCC-erratum flag — is computed once at build time, so prediction-time
+// accessors are plain field reads that never allocate. Callers must treat
+// the slices returned by those accessors as read-only.
+//
+// A Builder memoizes per-(opcode, microarchitecture) instruction
+// descriptors across blocks; facile.Engine holds one Builder per served
+// microarchitecture so descriptor resolution is paid once per distinct
+// instruction, not once per block.
+package bb

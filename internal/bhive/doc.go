@@ -1,0 +1,17 @@
+// Package bhive generates the benchmark corpora used by the evaluation and
+// provides the measurement harness. It is the stand-in for the (filtered)
+// BHive benchmark suite and the BHive/nanoBench profiler of the paper's
+// §6.1 (docs/ARCHITECTURE.md, "Paper correspondence").
+//
+// Every benchmark comes in two variants, mirroring the paper's §6.1:
+//
+//   - BHiveU: the plain block, not ending in a branch, measured under the
+//     TPU (unrolling) notion of throughput;
+//   - BHiveL: the same block followed by a loop counter decrement (or test)
+//     and a fused conditional back-edge, measured under TPL.
+//
+// Generation is fully deterministic in the seed. Workload categories are
+// chosen so that every Facile component bottlenecks a nontrivial share of
+// blocks (alu, memory, lcp-heavy, dependency chains, vector, stores,
+// decode-bound, mixed).
+package bhive

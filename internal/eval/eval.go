@@ -1,6 +1,3 @@
-// Package eval implements the paper's experimental evaluation (§6): it
-// builds benchmark suites, runs all predictors, computes accuracy metrics,
-// and renders every table and figure of the evaluation section as text.
 package eval
 
 import (

@@ -9,8 +9,7 @@ import (
 )
 
 // The eval tests run the real experiment pipelines on reduced corpora and
-// assert the paper's qualitative findings (the "expected shape" list of
-// DESIGN.md §4).
+// assert the paper's qualitative findings rather than exact figures.
 
 const (
 	testCorpusN = 160

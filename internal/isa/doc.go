@@ -1,0 +1,12 @@
+// Package isa is the instruction-properties database: for a decoded
+// instruction and a target microarchitecture it provides the µop breakdown,
+// execution-port candidates, latencies, decoder constraints, and fusion /
+// elimination behavior the §4 component predictors consume.
+//
+// It is the stand-in for the uops.info instruction database the paper
+// builds on (§5; docs/ARCHITECTURE.md, "Paper correspondence"). Values
+// follow public uops.info / Agner Fog data where known and are otherwise
+// plausible reconstructions; because the reference simulator uses the same
+// database, predictor-versus-measurement comparisons exercise the same
+// structure as the paper's.
+package isa

@@ -1,8 +1,3 @@
-// Package lru provides a small, concurrency-safe, bounded LRU cache used by
-// the prediction engine to memoize decoded blocks and predictions. It is
-// deliberately minimal: fixed capacity, strict least-recently-used eviction,
-// and a GetOrAdd primitive that lets callers implement single-flight
-// computation on top of cached entries.
 package lru
 
 import (

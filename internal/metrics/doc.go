@@ -1,0 +1,7 @@
+// Package metrics implements the accuracy metrics of the paper's
+// evaluation (§6.2) — the mean absolute percentage error (MAPE) and
+// Kendall's tau-b rank correlation coefficient — plus small
+// timing-statistics helpers used by the efficiency experiments and the
+// concurrency-safe Histogram underlying the prediction server's /metrics
+// latency and batch-size distributions.
+package metrics

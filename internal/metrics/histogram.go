@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket cumulative histogram safe for concurrent use.
+// Observations are counted into the first bucket whose upper bound is >=
+// the value; values above every bound land in an implicit +Inf bucket. The
+// prediction server uses it for request-latency and batch-size
+// distributions exposed on /metrics.
+//
+// All methods are lock-free; Observe is a bucket scan plus two atomic adds
+// (and a CAS loop for the running sum), cheap enough for per-request use.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds; immutable after NewHistogram
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, updated by CAS
+}
+
+// NewHistogram returns a histogram over the given sorted upper bounds.
+// Bounds must be strictly increasing; NewHistogram panics otherwise
+// (misconfigured buckets would silently misreport).
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds must be strictly increasing")
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	return h
+}
+
+// LatencyBounds returns the default request-latency bucket upper bounds in
+// seconds: exponential from 50µs to 10s, sized for the server's
+// microsecond-scale warm hits and millisecond-scale cold batches.
+func LatencyBounds() []float64 {
+	return []float64{
+		50e-6, 100e-6, 250e-6, 500e-6,
+		1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3,
+		250e-3, 500e-3, 1, 2.5, 10,
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a consistent-enough view of a Histogram for
+// exposition: per-bucket counts aligned with Bounds (the final entry is the
+// +Inf bucket), the total observation count, and the value sum. Because
+// reads are not globally atomic, a snapshot taken concurrently with
+// observations may be off by in-flight increments; exposition formats
+// tolerate this.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}

@@ -1,7 +1,3 @@
-// Package metrics implements the accuracy metrics of the paper's evaluation
-// (§6.2): the mean absolute percentage error (MAPE) and Kendall's tau-b rank
-// correlation coefficient, plus small timing-statistics helpers used by the
-// efficiency experiments.
 package metrics
 
 import (

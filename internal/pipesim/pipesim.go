@@ -1,21 +1,3 @@
-// Package pipesim is a cycle-accurate simulator of the high-level pipeline
-// model of the paper's Figure 1: predecoder, instruction queue, decoders,
-// DSB, LSD, and IDQ in the front end; renamer/issue, scheduler, execution
-// ports, and in-order retirement in the back end.
-//
-// It plays two roles in this reproduction (DESIGN.md §1):
-//
-//   - it is the stand-in for the uiCA baseline predictor (a detailed
-//     simulation-based model), and
-//   - together with deterministic measurement noise (internal/bhive) it is
-//     the stand-in for the hardware measurements of the BHive profiler.
-//
-// Unlike Facile, the simulator models second-order effects the analytical
-// model idealizes away: finite buffer sizes, greedy (non-optimal) port
-// assignment, divider occupancy (Uop.RecTP), decode-group formation, the
-// taken-branch fetch bubble on the legacy path, and the interaction between
-// all of these. This difference is the structural source of Facile's
-// residual prediction error, as on real hardware.
 package pipesim
 
 import (

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"facile"
+)
+
+// BlockRequest is the wire form of a single-block query, shared by
+// /v1/predict, /v1/explain, and /v1/speedups. Exactly one of Code (hex) and
+// CodeB64 (standard base64) must carry the block bytes.
+type BlockRequest struct {
+	// Code is the basic block as a hex string, e.g. "4801d8480fafc3".
+	Code string `json:"code,omitempty"`
+	// CodeB64 is the basic block as standard base64, for clients that
+	// already hold raw bytes.
+	CodeB64 string `json:"code_b64,omitempty"`
+	// Arch is the target microarchitecture name (see GET /v1/archs).
+	Arch string `json:"arch"`
+	// Mode selects the throughput notion: "loop" (TPL, default) or
+	// "unroll" (TPU). The paper aliases "tpl" and "tpu" are accepted.
+	Mode string `json:"mode,omitempty"`
+}
+
+// BatchRequest is the wire form of POST /v1/predict/batch.
+type BatchRequest struct {
+	Requests []BlockRequest `json:"requests"`
+	// Concurrency bounds how many blocks of this batch are computed at
+	// once. Zero (or anything above the engine's worker-pool size) selects
+	// the engine's pool size.
+	Concurrency int `json:"concurrency,omitempty"`
+}
+
+// Prediction is the wire form of a facile.Prediction.
+type Prediction struct {
+	CyclesPerIteration float64            `json:"cycles_per_iteration"`
+	Arch               string             `json:"arch"`
+	Mode               string             `json:"mode"`
+	Components         map[string]float64 `json:"components"`
+	Bottlenecks        []string           `json:"bottlenecks"`
+	FrontEndSource     string             `json:"front_end_source,omitempty"`
+	CriticalChain      []int              `json:"critical_chain,omitempty"`
+	ContendedPorts     string             `json:"contended_ports,omitempty"`
+	ContendedInstrs    []int              `json:"contended_instrs,omitempty"`
+	Instructions       []string           `json:"instructions"`
+}
+
+// BatchResult is one entry of a BatchResponse: a prediction or a
+// per-request error. Exactly one field is set.
+type BatchResult struct {
+	Prediction *Prediction `json:"prediction,omitempty"`
+	Error      string      `json:"error,omitempty"`
+}
+
+// BatchResponse is the wire form of a /v1/predict/batch response; Results[i]
+// answers Requests[i].
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
+// ExplainResponse is the wire form of a /v1/explain response.
+type ExplainResponse struct {
+	Report     string     `json:"report"`
+	Prediction Prediction `json:"prediction"`
+}
+
+// SpeedupsResponse is the wire form of a /v1/speedups response.
+type SpeedupsResponse struct {
+	CyclesPerIteration float64            `json:"cycles_per_iteration"`
+	Speedups           map[string]float64 `json:"speedups"`
+}
+
+// ArchsResponse is the wire form of a GET /v1/archs response.
+type ArchsResponse struct {
+	Archs []Arch `json:"archs"`
+}
+
+// Arch is the wire form of a facile.ArchInfo.
+type Arch struct {
+	Name     string `json:"name"`
+	FullName string `json:"full_name"`
+	CPU      string `json:"cpu"`
+	Released int    `json:"released"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// apiError carries an HTTP status alongside a client-facing message.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{status: 400, msg: fmt.Sprintf(format, args...)}
+}
+
+// modeString renders a facile.Mode in the wire vocabulary.
+func modeString(m facile.Mode) string {
+	if m == facile.Loop {
+		return "loop"
+	}
+	return "unroll"
+}
+
+// parseMode maps the wire vocabulary onto facile.Mode. The empty string
+// defaults to Loop (TPL), matching the paper's headline metric.
+func parseMode(s string) (facile.Mode, error) {
+	switch strings.ToLower(s) {
+	case "", "loop", "tpl":
+		return facile.Loop, nil
+	case "unroll", "tpu":
+		return facile.Unroll, nil
+	}
+	return 0, badRequest("invalid mode %q (want \"loop\"/\"tpl\" or \"unroll\"/\"tpu\")", s)
+}
+
+// decodeBlock validates a BlockRequest against the server's limits and the
+// engine's microarchitecture set, returning the engine-level request. All
+// failures are 400s with a field-specific message; nothing reaches the
+// engine undecoded.
+func (s *Server) decodeBlock(req *BlockRequest) (facile.BatchRequest, error) {
+	var out facile.BatchRequest
+	var code []byte
+	switch {
+	case req.Code != "" && req.CodeB64 != "":
+		return out, badRequest("set exactly one of \"code\" (hex) and \"code_b64\" (base64), not both")
+	case req.Code != "":
+		b, err := hex.DecodeString(req.Code)
+		if err != nil {
+			return out, badRequest("invalid hex in \"code\": %v", err)
+		}
+		code = b
+	case req.CodeB64 != "":
+		b, err := base64.StdEncoding.DecodeString(req.CodeB64)
+		if err != nil {
+			return out, badRequest("invalid base64 in \"code_b64\": %v", err)
+		}
+		code = b
+	default:
+		return out, badRequest("missing block bytes: set \"code\" (hex) or \"code_b64\" (base64)")
+	}
+	if len(code) == 0 {
+		return out, badRequest("empty basic block")
+	}
+	if len(code) > s.maxBlockBytes {
+		return out, badRequest("block is %d bytes; the limit is %d", len(code), s.maxBlockBytes)
+	}
+	if req.Arch == "" {
+		return out, badRequest("missing \"arch\" (one of %s)", strings.Join(s.engine.Archs(), ", "))
+	}
+	if !s.archs[req.Arch] {
+		return out, badRequest("unknown microarchitecture %q (one of %s)", req.Arch, strings.Join(s.engine.Archs(), ", "))
+	}
+	mode, err := parseMode(req.Mode)
+	if err != nil {
+		return out, err
+	}
+	return facile.BatchRequest{Code: code, Arch: req.Arch, Mode: mode}, nil
+}
+
+// wirePrediction converts an engine prediction to its wire form. The
+// engine's Prediction is shared and read-only; the wire form aliases its
+// slices and maps, which is safe because they are only marshaled.
+func wirePrediction(p *facile.Prediction) Prediction {
+	return Prediction{
+		CyclesPerIteration: p.CyclesPerIteration,
+		Arch:               p.Arch,
+		Mode:               modeString(p.Mode),
+		Components:         p.Components,
+		Bottlenecks:        p.Bottlenecks,
+		FrontEndSource:     p.FrontEndSource,
+		CriticalChain:      p.CriticalChain,
+		ContendedPorts:     p.ContendedPorts,
+		ContendedInstrs:    p.ContendedInstrs,
+		Instructions:       p.Instructions,
+	}
+}
+
+// readJSON decodes the request body into v, rejecting unknown fields and
+// trailing garbage so client typos fail loudly instead of being ignored.
+// MaxBytesReader truncation passes through typed, for the 413 mapping.
+func readJSON(body *json.Decoder, v any) error {
+	body.DisallowUnknownFields()
+	if err := body.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return err
+		}
+		return badRequest("invalid request body: %v", err)
+	}
+	if body.More() {
+		return badRequest("invalid request body: trailing data after JSON value")
+	}
+	return nil
+}

@@ -1,0 +1,262 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"facile"
+)
+
+func newTestBatcher(t *testing.T, maxBatch int) *batcher {
+	t.Helper()
+	b := newStoppedBatcher(t, maxBatch)
+	b.start()
+	return b
+}
+
+// newStoppedBatcher builds a batcher whose collector has not started, so
+// tests can stage the queue deterministically.
+func newStoppedBatcher(t *testing.T, maxBatch int) *batcher {
+	t.Helper()
+	engine, err := facile.NewEngine(facile.EngineConfig{Archs: []string{"SKL"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newBatcher(engine, maxBatch)
+	t.Cleanup(b.close)
+	return b
+}
+
+func TestBatcherSingle(t *testing.T) {
+	b := newTestBatcher(t, 8)
+	raw := mustHex(t, testBlockHex)
+	pred, err := b.predict(context.Background(),
+		facile.BatchRequest{Code: raw, Arch: "SKL", Mode: facile.Loop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.CyclesPerIteration <= 0 {
+		t.Errorf("bad prediction %+v", pred)
+	}
+	if b.batches.Load() != 1 || b.blocks.Load() != 1 {
+		t.Errorf("batches %d, blocks %d; want 1, 1", b.batches.Load(), b.blocks.Load())
+	}
+}
+
+// uniqueBlock is "mov eax, <imm32>" followed by the test block: a distinct
+// cache key per imm with full analysis cost.
+func uniqueBlock(t testing.TB, imm uint32) []byte {
+	raw := []byte{0xb8, byte(imm), byte(imm >> 8), byte(imm >> 16), byte(imm >> 24)}
+	return append(raw, mustHex(t, testBlockHex)...)
+}
+
+func TestBatcherCoalesces(t *testing.T) {
+	// Stage concurrent requests before the collector starts — the queue
+	// state a loaded server reaches when requests arrive while a group
+	// computes — and verify the drain loop coalesces them into one
+	// PredictBatch call.
+	b := newStoppedBatcher(t, 64)
+	const n = 10
+	var wg sync.WaitGroup
+	results := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := facile.BatchRequest{Code: uniqueBlock(t, uint32(i)), Arch: "SKL", Mode: facile.Loop}
+			_, results[i] = b.predict(context.Background(), req)
+		}(i)
+	}
+	// Wait for all n submissions to be queued (the producers then block
+	// waiting for results), then let the collector loose.
+	for len(b.queue) < n {
+		time.Sleep(time.Millisecond)
+	}
+	b.start()
+	wg.Wait()
+	for i, err := range results {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if got := b.blocks.Load(); got != n {
+		t.Errorf("blocks %d, want %d", got, n)
+	}
+	if got := b.batches.Load(); got != 1 {
+		t.Errorf("batches %d, want 1 (staged requests must coalesce)", got)
+	}
+}
+
+func TestBatcherManyClients(t *testing.T) {
+	// Concurrency smoke test: many clients, distinct cache-missing blocks,
+	// every request answered exactly once. (Coalescing itself is asserted
+	// deterministically in TestBatcherCoalesces; how much this run
+	// coalesces depends on scheduling.)
+	b := newTestBatcher(t, 64)
+	const (
+		clients = 16
+		perC    = 25
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perC; i++ {
+				req := facile.BatchRequest{
+					Code: uniqueBlock(t, uint32(c*perC+i)), Arch: "SKL", Mode: facile.Loop}
+				if _, err := b.predict(context.Background(), req); err != nil {
+					errs <- fmt.Errorf("client %d: %w", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := b.blocks.Load(); got != clients*perC {
+		t.Fatalf("blocks %d, want %d", got, clients*perC)
+	}
+	t.Logf("%d blocks in %d batches", b.blocks.Load(), b.batches.Load())
+}
+
+func TestBatcherCanceledRequest(t *testing.T) {
+	b := newTestBatcher(t, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := b.predict(ctx, facile.BatchRequest{
+		Code: mustHex(t, testBlockHex), Arch: "SKL", Mode: facile.Loop})
+	if err == nil {
+		t.Fatal("canceled request succeeded")
+	}
+}
+
+func TestBatcherClosedErrors(t *testing.T) {
+	b := newTestBatcher(t, 8)
+	b.close()
+	_, err := b.predict(context.Background(), facile.BatchRequest{
+		Code: mustHex(t, testBlockHex), Arch: "SKL", Mode: facile.Loop})
+	if err != errShuttingDown {
+		t.Fatalf("got %v, want errShuttingDown", err)
+	}
+}
+
+func mustHex(t testing.TB, s string) []byte {
+	t.Helper()
+	var raw []byte
+	if _, err := fmt.Sscanf(s, "%x", &raw); err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// --- server-path benchmarks -------------------------------------------------
+
+// benchServer builds a server over a warm single-arch engine.
+func benchServer(b *testing.B, maxBatch int) *Server {
+	b.Helper()
+	engine, err := facile.NewEngine(facile.EngineConfig{Archs: []string{"SKL"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(Config{Engine: engine, MaxBatch: maxBatch})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	return s
+}
+
+var benchBodies = func() [][]byte {
+	blocks := []string{testBlockHex, "4801d8", "480fafc3", "9090", "48ffc0", "4829d8"}
+	out := make([][]byte, len(blocks))
+	for i, blk := range blocks {
+		out[i] = []byte(fmt.Sprintf(`{"code":%q,"arch":"SKL","mode":"loop"}`, blk))
+	}
+	return out
+}()
+
+func benchPredictLoop(b *testing.B, s *Server, parallel bool) {
+	run := func(i int) {
+		req := httptest.NewRequest("POST", "/v1/predict",
+			bytes.NewReader(benchBodies[i%len(benchBodies)]))
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		if w.Code != 200 {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+	b.ResetTimer()
+	if parallel {
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				run(i)
+				i++
+			}
+		})
+	} else {
+		for i := 0; i < b.N; i++ {
+			run(i)
+		}
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "req/s")
+	}
+}
+
+// BenchmarkServerPredictDirect measures the /v1/predict request path with
+// micro-batching disabled: one engine call per request.
+func BenchmarkServerPredictDirect(b *testing.B) {
+	benchPredictLoop(b, benchServer(b, -1), false)
+}
+
+// BenchmarkServerPredictMicroBatch measures the same path through the
+// micro-batcher, serially (batches of one: the idle-server overhead)...
+func BenchmarkServerPredictMicroBatch(b *testing.B) {
+	benchPredictLoop(b, benchServer(b, 64), false)
+}
+
+// ...and BenchmarkServerPredictMicroBatchParallel under concurrent clients,
+// where coalescing pays (compare req/s against the serial variants).
+func BenchmarkServerPredictMicroBatchParallel(b *testing.B) {
+	benchPredictLoop(b, benchServer(b, 64), true)
+}
+
+// BenchmarkServerPredictBatchEndpoint measures the explicit batch endpoint:
+// 64 blocks per request.
+func BenchmarkServerPredictBatchEndpoint(b *testing.B) {
+	s := benchServer(b, -1)
+	var reqs []BlockRequest
+	for i := 0; i < 64; i++ {
+		reqs = append(reqs, BlockRequest{Code: testBlockHex, Arch: "SKL", Mode: "loop"})
+	}
+	body, err := json.Marshal(BatchRequest{Requests: reqs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/predict/batch", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		if w.Code != 200 {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N*64)/sec, "blocks/s")
+	}
+}

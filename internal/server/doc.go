@@ -1,0 +1,27 @@
+// Package server is the HTTP batch-serving subsystem over facile.Engine:
+// the network surface that turns the library into the traffic-serving
+// system of the ROADMAP, and the operational realization of the paper's §1
+// motivation — a predictor fast enough to sit inside compiler and
+// superoptimizer loops is equally fast enough to answer shared traffic as
+// a service.
+//
+// The server exposes a small JSON API (documented in docs/API.md):
+//
+//	POST /v1/predict        one block; coalesced by the micro-batcher
+//	POST /v1/predict/batch  many blocks; bounded per-request concurrency
+//	POST /v1/explain        memoized human-readable bottleneck report
+//	POST /v1/speedups       memoized counterfactual idealization factors
+//	GET  /v1/archs          the served microarchitectures (paper Table 1)
+//	GET  /healthz           liveness
+//	GET  /metrics           Prometheus text: request counts, latency
+//	                        histograms, micro-batch shape, engine cache
+//
+// The layer owns everything HTTP-shaped so the engine does not have to:
+// request validation (hex/base64 block bytes, arch, mode — nothing reaches
+// the engine undecoded), body and batch-size limits, per-request deadline
+// installation and propagation, graceful shutdown, and adaptive
+// micro-batching: concurrent single-block requests are drained into one
+// Engine.PredictBatch call sized by the instantaneous load, so an idle
+// server adds no latency while a loaded one amortizes dispatch across the
+// engine's worker pool (see batcher.go).
+package server

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"facile/internal/metrics"
+)
+
+// handleMetrics renders the server's operational counters in the Prometheus
+// text exposition format: per-endpoint request counts and latency
+// histograms, micro-batching shape, and the engine's cache accounting.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) (any, error) {
+	var sb strings.Builder
+
+	sb.WriteString("# HELP facile_requests_total Requests served, by endpoint and status code.\n")
+	sb.WriteString("# TYPE facile_requests_total counter\n")
+	for _, rm := range s.routes {
+		type cc struct {
+			code int
+			n    uint64
+		}
+		var codes []cc
+		rm.byCode.Range(func(k, v any) bool {
+			codes = append(codes, cc{k.(int), v.(*atomic.Uint64).Load()})
+			return true
+		})
+		sort.Slice(codes, func(i, j int) bool { return codes[i].code < codes[j].code })
+		for _, c := range codes {
+			fmt.Fprintf(&sb, "facile_requests_total{endpoint=%q,code=\"%d\"} %d\n", rm.name, c.code, c.n)
+		}
+	}
+
+	sb.WriteString("# HELP facile_request_seconds Request handling latency, by endpoint.\n")
+	sb.WriteString("# TYPE facile_request_seconds histogram\n")
+	for _, rm := range s.routes {
+		snap := rm.latency.Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		writeHistogram(&sb, "facile_request_seconds", fmt.Sprintf("endpoint=%q", rm.name), snap)
+	}
+
+	if b := s.batcher; b != nil {
+		sb.WriteString("# HELP facile_microbatch_batches_total Micro-batched PredictBatch calls.\n")
+		sb.WriteString("# TYPE facile_microbatch_batches_total counter\n")
+		fmt.Fprintf(&sb, "facile_microbatch_batches_total %d\n", b.batches.Load())
+		sb.WriteString("# HELP facile_microbatch_blocks_total Blocks served through the micro-batcher.\n")
+		sb.WriteString("# TYPE facile_microbatch_blocks_total counter\n")
+		fmt.Fprintf(&sb, "facile_microbatch_blocks_total %d\n", b.blocks.Load())
+		if snap := b.sizes.Snapshot(); snap.Count > 0 {
+			sb.WriteString("# HELP facile_microbatch_size Blocks coalesced per micro-batch.\n")
+			sb.WriteString("# TYPE facile_microbatch_size histogram\n")
+			writeHistogram(&sb, "facile_microbatch_size", "", snap)
+		}
+	}
+
+	stats := s.engine.Stats()
+	sb.WriteString("# HELP facile_engine_cache_hits_total Engine prediction-cache hits.\n")
+	sb.WriteString("# TYPE facile_engine_cache_hits_total counter\n")
+	fmt.Fprintf(&sb, "facile_engine_cache_hits_total %d\n", stats.Hits)
+	sb.WriteString("# HELP facile_engine_cache_misses_total Engine prediction-cache misses.\n")
+	sb.WriteString("# TYPE facile_engine_cache_misses_total counter\n")
+	fmt.Fprintf(&sb, "facile_engine_cache_misses_total %d\n", stats.Misses)
+	sb.WriteString("# HELP facile_engine_cache_evictions_total Entries displaced from the engine LRU.\n")
+	sb.WriteString("# TYPE facile_engine_cache_evictions_total counter\n")
+	fmt.Fprintf(&sb, "facile_engine_cache_evictions_total %d\n", stats.Evictions)
+	sb.WriteString("# HELP facile_engine_cache_entries Cached predictions currently held.\n")
+	sb.WriteString("# TYPE facile_engine_cache_entries gauge\n")
+	fmt.Fprintf(&sb, "facile_engine_cache_entries %d\n", stats.Entries)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(sb.String()))
+	return nil, nil
+}
+
+// writeHistogram renders one metrics.HistogramSnapshot as Prometheus
+// cumulative buckets. labels is either empty or `k="v"` pairs without
+// braces.
+func writeHistogram(sb *strings.Builder, name, labels string, snap metrics.HistogramSnapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	plain := "" // suffix for _sum/_count: labels in braces, or nothing
+	if labels != "" {
+		plain = "{" + labels + "}"
+	}
+	var cum uint64
+	for i, bound := range snap.Bounds {
+		cum += snap.Counts[i]
+		fmt.Fprintf(sb, "%s_bucket{%s%sle=%q} %d\n",
+			name, labels, sep, formatBound(bound), cum)
+	}
+	fmt.Fprintf(sb, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, snap.Count)
+	fmt.Fprintf(sb, "%s_sum%s %g\n", name, plain, snap.Sum)
+	fmt.Fprintf(sb, "%s_count%s %d\n", name, plain, snap.Count)
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do
+// (shortest float representation).
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

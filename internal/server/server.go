@@ -1,0 +1,389 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"facile"
+
+	"facile/internal/metrics"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultRequestTimeout = 10 * time.Second
+	DefaultMaxBatch       = 64
+	DefaultMaxBlockBytes  = 4096
+	DefaultMaxBatchItems  = 1024
+	DefaultMaxBodyBytes   = 1 << 20
+)
+
+// Config configures a Server. Engine is required; every other field has a
+// sensible default.
+type Config struct {
+	// Engine answers all predictions. Required.
+	Engine *facile.Engine
+	// RequestTimeout bounds the server-side handling of one request; the
+	// deadline is installed on the request context, so a request stuck
+	// behind a loaded batcher times out instead of queueing forever.
+	// Zero selects DefaultRequestTimeout; negative disables the limit.
+	RequestTimeout time.Duration
+	// MaxBatch bounds how many concurrent /v1/predict requests one
+	// micro-batch coalesces. Zero selects DefaultMaxBatch; negative
+	// disables micro-batching (each request calls the engine directly).
+	MaxBatch int
+	// MaxBlockBytes bounds the byte length of one basic block.
+	// Zero selects DefaultMaxBlockBytes.
+	MaxBlockBytes int
+	// MaxBatchItems bounds len(requests) of one /v1/predict/batch call.
+	// Zero selects DefaultMaxBatchItems.
+	MaxBatchItems int
+	// MaxBodyBytes bounds the request body size.
+	// Zero selects DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+// Server is the HTTP prediction service over a facile.Engine. It implements
+// http.Handler; construct with New, serve with net/http, and Close when
+// done. See docs/API.md for the endpoint reference.
+type Server struct {
+	engine        *facile.Engine
+	archs         map[string]bool
+	mux           *http.ServeMux
+	batcher       *batcher // nil when micro-batching is disabled
+	timeout       time.Duration
+	maxBlockBytes int
+	maxBatchItems int
+	maxBodyBytes  int64
+
+	routes    []*routeMetrics
+	closeOnce sync.Once
+}
+
+// routeMetrics accumulates per-endpoint request counts (by status code) and
+// a latency histogram.
+type routeMetrics struct {
+	name    string
+	byCode  sync.Map // int -> *atomic.Uint64
+	latency *metrics.Histogram
+}
+
+func (m *routeMetrics) observe(code int, elapsed time.Duration) {
+	c, ok := m.byCode.Load(code)
+	if !ok {
+		c, _ = m.byCode.LoadOrStore(code, new(atomic.Uint64))
+	}
+	c.(*atomic.Uint64).Add(1)
+	m.latency.Observe(elapsed.Seconds())
+}
+
+// New constructs a Server over cfg.Engine.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("server: Config.Engine is required")
+	}
+	s := &Server{
+		engine:        cfg.Engine,
+		archs:         make(map[string]bool),
+		mux:           http.NewServeMux(),
+		timeout:       cfg.RequestTimeout,
+		maxBlockBytes: cfg.MaxBlockBytes,
+		maxBatchItems: cfg.MaxBatchItems,
+		maxBodyBytes:  cfg.MaxBodyBytes,
+	}
+	for _, a := range cfg.Engine.Archs() {
+		s.archs[a] = true
+	}
+	if s.timeout == 0 {
+		s.timeout = DefaultRequestTimeout
+	}
+	if s.maxBlockBytes <= 0 {
+		s.maxBlockBytes = DefaultMaxBlockBytes
+	}
+	if s.maxBatchItems <= 0 {
+		s.maxBatchItems = DefaultMaxBatchItems
+	}
+	if s.maxBodyBytes <= 0 {
+		s.maxBodyBytes = DefaultMaxBodyBytes
+	}
+	maxBatch := cfg.MaxBatch
+	if maxBatch == 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	if maxBatch > 0 {
+		s.batcher = newBatcher(cfg.Engine, maxBatch)
+		s.batcher.start()
+	}
+
+	s.route("POST /v1/predict", s.handlePredict)
+	s.route("POST /v1/predict/batch", s.handlePredictBatch)
+	s.route("POST /v1/explain", s.handleExplain)
+	s.route("POST /v1/speedups", s.handleSpeedups)
+	s.route("GET /v1/archs", s.handleArchs)
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Close stops the micro-batcher; in-flight groups finish, queued requests
+// fail with 503. Close the Server only after the HTTP listener has drained
+// (http.Server.Shutdown), so no handler is left submitting.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.batcher != nil {
+			s.batcher.close()
+		}
+	})
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// handler is an endpoint implementation: it returns the response value to
+// encode (with 200) or an error the middleware maps to a status.
+type handler func(w http.ResponseWriter, r *http.Request) (any, error)
+
+// route registers pattern with the shared middleware: per-route metrics,
+// body-size limiting, and deadline installation.
+func (s *Server) route(pattern string, h handler) {
+	rm := &routeMetrics{name: pattern, latency: metrics.NewHistogram(metrics.LatencyBounds())}
+	s.routes = append(s.routes, rm)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
+		}
+		ctx := r.Context()
+		if s.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		resp, err := h(w, r)
+		code := http.StatusOK
+		if err != nil {
+			code = errorStatus(err)
+			resp = ErrorResponse{Error: err.Error()}
+		}
+		if resp != nil {
+			writeJSON(w, code, resp)
+		}
+		rm.observe(code, time.Since(start))
+	})
+}
+
+// errorStatus maps handler errors onto HTTP statuses.
+func errorStatus(err error) int {
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		return ae.status
+	case errors.Is(err, errShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is never seen, but the metrics
+		// line is, and 499 (nginx's convention) distinguishes abandonment
+		// from server faults.
+		return 499
+	}
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // nothing useful to do with a client write error
+}
+
+// readBlockRequest decodes and validates the single-block request body
+// shared by /v1/predict, /v1/explain, and /v1/speedups.
+func (s *Server) readBlockRequest(r *http.Request) (facile.BatchRequest, error) {
+	var wire BlockRequest
+	if err := readJSON(json.NewDecoder(r.Body), &wire); err != nil {
+		return facile.BatchRequest{}, wrapBodyErr(err)
+	}
+	return s.decodeBlock(&wire)
+}
+
+// wrapBodyErr surfaces MaxBytesReader truncation as 413 instead of the
+// generic 400 the JSON decoder failure would produce.
+func wrapBodyErr(err error) error {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return &apiError{status: http.StatusRequestEntityTooLarge,
+			msg: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)}
+	}
+	return err
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) (any, error) {
+	req, err := s.readBlockRequest(r)
+	if err != nil {
+		return nil, err
+	}
+	var pred facile.Prediction
+	if s.batcher != nil {
+		pred, err = s.batcher.predict(r.Context(), req)
+	} else if err = r.Context().Err(); err == nil {
+		pred, err = s.engine.Predict(req.Code, req.Arch, req.Mode)
+	}
+	if err != nil {
+		return nil, predictionError(err)
+	}
+	return wirePrediction(&pred), nil
+}
+
+// predictionError classifies engine-level failures: anything the engine
+// rejects about the block itself (undecodable bytes, unsupported
+// instructions) is the client's 400, not a server fault.
+func predictionError(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, errShuttingDown),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return err
+	}
+	return badRequest("%v", err)
+}
+
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) (any, error) {
+	var wire BatchRequest
+	if err := readJSON(json.NewDecoder(r.Body), &wire); err != nil {
+		return nil, wrapBodyErr(err)
+	}
+	if len(wire.Requests) == 0 {
+		return nil, badRequest("empty \"requests\"")
+	}
+	if len(wire.Requests) > s.maxBatchItems {
+		return nil, badRequest("batch has %d requests; the limit is %d", len(wire.Requests), s.maxBatchItems)
+	}
+	if wire.Concurrency < 0 {
+		return nil, badRequest("negative \"concurrency\"")
+	}
+	// Validation failures are per-item, like prediction failures: one bad
+	// block must not fail its 1023 siblings. Valid items are compacted,
+	// predicted with the request's concurrency bound, and scattered back.
+	results := make([]BatchResult, len(wire.Requests))
+	idx := make([]int, 0, len(wire.Requests))
+	compact := make([]facile.BatchRequest, 0, len(wire.Requests))
+	for i := range wire.Requests {
+		req, err := s.decodeBlock(&wire.Requests[i])
+		if err != nil {
+			results[i].Error = err.Error()
+			continue
+		}
+		idx = append(idx, i)
+		compact = append(compact, req)
+	}
+	out, err := s.predictBatchCtx(r.Context(), compact, wire.Concurrency)
+	if err != nil {
+		return nil, err
+	}
+	for j, res := range out {
+		if res.Err != nil {
+			results[idx[j]].Error = res.Err.Error()
+			continue
+		}
+		p := wirePrediction(&res.Prediction)
+		results[idx[j]].Prediction = &p
+	}
+	return BatchResponse{Results: results}, nil
+}
+
+// predictBatchCtx runs reqs through the engine in chunks, observing ctx
+// between chunks: a batch abandoned by its client or past its deadline
+// stops computing instead of burning the shared worker pool on a response
+// nobody reads. The chunk size bounds the abandoned work to one pool
+// dispatch.
+func (s *Server) predictBatchCtx(ctx context.Context, reqs []facile.BatchRequest, workers int) ([]facile.BatchResult, error) {
+	const chunk = 128
+	if len(reqs) <= chunk {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return s.engine.PredictBatchN(reqs, workers), nil
+	}
+	out := make([]facile.BatchResult, 0, len(reqs))
+	for start := 0; start < len(reqs); start += chunk {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		end := min(start+chunk, len(reqs))
+		out = append(out, s.engine.PredictBatchN(reqs[start:end], workers)...)
+	}
+	return out, nil
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) (any, error) {
+	req, err := s.readBlockRequest(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Context().Err(); err != nil {
+		return nil, err
+	}
+	report, err := s.engine.Explain(req.Code, req.Arch, req.Mode)
+	if err != nil {
+		return nil, predictionError(err)
+	}
+	pred, err := s.engine.Predict(req.Code, req.Arch, req.Mode)
+	if err != nil {
+		return nil, predictionError(err)
+	}
+	return ExplainResponse{Report: report, Prediction: wirePrediction(&pred)}, nil
+}
+
+func (s *Server) handleSpeedups(w http.ResponseWriter, r *http.Request) (any, error) {
+	req, err := s.readBlockRequest(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Context().Err(); err != nil {
+		return nil, err
+	}
+	sp, err := s.engine.Speedups(req.Code, req.Arch, req.Mode)
+	if err != nil {
+		return nil, predictionError(err)
+	}
+	pred, err := s.engine.Predict(req.Code, req.Arch, req.Mode)
+	if err != nil {
+		return nil, predictionError(err)
+	}
+	return SpeedupsResponse{CyclesPerIteration: pred.CyclesPerIteration, Speedups: sp}, nil
+}
+
+func (s *Server) handleArchs(w http.ResponseWriter, r *http.Request) (any, error) {
+	var resp ArchsResponse
+	for _, info := range facile.ArchInfos() {
+		if s.archs[info.Name] {
+			resp.Archs = append(resp.Archs, Arch{
+				Name: info.Name, FullName: info.FullName,
+				CPU: info.CPU, Released: info.Released,
+			})
+		}
+	}
+	return resp, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) (any, error) {
+	return map[string]string{"status": "ok"}, nil
+}

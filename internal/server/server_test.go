@@ -1,0 +1,415 @@
+package server
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"facile"
+)
+
+// testBlock is "add rax,rbx; imul rax,rbx" — the README quick-start block.
+const testBlockHex = "4801d8480fafc3"
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Engine == nil {
+		engine, err := facile.NewEngine(facile.EngineConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Engine = engine
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// do performs one request against the handler and decodes the JSON reply
+// into out (when out != nil), returning the status code.
+func do(t *testing.T, s *Server, method, path string, body any, out any) int {
+	t.Helper()
+	var rd *bytes.Reader
+	switch b := body.(type) {
+	case nil:
+		rd = bytes.NewReader(nil)
+	case string:
+		rd = bytes.NewReader([]byte(b))
+	default:
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if out != nil {
+		if err := json.Unmarshal(w.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, path, w.Body.String(), err)
+		}
+	}
+	return w.Code
+}
+
+func TestPredict(t *testing.T) {
+	s := newTestServer(t, Config{})
+	var pred Prediction
+	code := do(t, s, "POST", "/v1/predict",
+		BlockRequest{Code: testBlockHex, Arch: "SKL", Mode: "loop"}, &pred)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if pred.CyclesPerIteration <= 0 {
+		t.Errorf("non-positive throughput: %v", pred.CyclesPerIteration)
+	}
+	if pred.Arch != "SKL" || pred.Mode != "loop" {
+		t.Errorf("echoed arch/mode: %q/%q", pred.Arch, pred.Mode)
+	}
+	if len(pred.Bottlenecks) == 0 || len(pred.Instructions) != 2 {
+		t.Errorf("bottlenecks %v, instructions %v", pred.Bottlenecks, pred.Instructions)
+	}
+	if len(pred.Components) == 0 {
+		t.Error("empty components")
+	}
+
+	// The same block via base64 must agree, and default mode is loop.
+	raw, _ := hex.DecodeString(testBlockHex)
+	var pred64 Prediction
+	code = do(t, s, "POST", "/v1/predict",
+		BlockRequest{CodeB64: base64.StdEncoding.EncodeToString(raw), Arch: "SKL"}, &pred64)
+	if code != 200 {
+		t.Fatalf("base64 status %d", code)
+	}
+	if pred64.CyclesPerIteration != pred.CyclesPerIteration || pred64.Mode != "loop" {
+		t.Errorf("base64/default-mode mismatch: %+v vs %+v", pred64, pred)
+	}
+}
+
+func TestPredictMatchesLibrary(t *testing.T) {
+	s := newTestServer(t, Config{})
+	raw, _ := hex.DecodeString(testBlockHex)
+	want, err := facile.Predict(raw, "SKL", facile.Loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pred Prediction
+	if code := do(t, s, "POST", "/v1/predict",
+		BlockRequest{Code: testBlockHex, Arch: "SKL", Mode: "loop"}, &pred); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if pred.CyclesPerIteration != want.CyclesPerIteration {
+		t.Errorf("server %v != library %v", pred.CyclesPerIteration, want.CyclesPerIteration)
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body any
+		want int
+		msg  string
+	}{
+		{"bad hex", BlockRequest{Code: "zz", Arch: "SKL"}, 400, "invalid hex"},
+		{"bad base64", BlockRequest{CodeB64: "!!", Arch: "SKL"}, 400, "invalid base64"},
+		{"both encodings", BlockRequest{Code: "90", CodeB64: "kA==", Arch: "SKL"}, 400, "not both"},
+		{"no code", BlockRequest{Arch: "SKL"}, 400, "missing block bytes"},
+		{"empty code", BlockRequest{Code: "", CodeB64: "", Arch: "SKL"}, 400, "missing block bytes"},
+		{"missing arch", BlockRequest{Code: "90"}, 400, "missing \"arch\""},
+		{"unknown arch", BlockRequest{Code: "90", Arch: "ZEN4"}, 400, "unknown microarchitecture"},
+		{"bad mode", BlockRequest{Code: "90", Arch: "SKL", Mode: "sideways"}, 400, "invalid mode"},
+		{"undecodable block", BlockRequest{Code: "ffffffffffff", Arch: "SKL"}, 400, ""},
+		{"not json", "{", 400, "invalid request body"},
+		{"unknown field", `{"kode":"90","arch":"SKL"}`, 400, "invalid request body"},
+		{"trailing data", `{"code":"90","arch":"SKL"} {}`, 400, "trailing data"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var resp ErrorResponse
+			code := do(t, s, "POST", "/v1/predict", tc.body, &resp)
+			if code != tc.want {
+				t.Fatalf("status %d, want %d (error %q)", code, tc.want, resp.Error)
+			}
+			if resp.Error == "" {
+				t.Fatal("missing error message")
+			}
+			if tc.msg != "" && !strings.Contains(resp.Error, tc.msg) {
+				t.Errorf("error %q does not mention %q", resp.Error, tc.msg)
+			}
+		})
+	}
+}
+
+func TestBlockTooLarge(t *testing.T) {
+	s := newTestServer(t, Config{MaxBlockBytes: 4})
+	var resp ErrorResponse
+	code := do(t, s, "POST", "/v1/predict",
+		BlockRequest{Code: "9090909090", Arch: "SKL"}, &resp)
+	if code != 400 || !strings.Contains(resp.Error, "limit is 4") {
+		t.Fatalf("status %d, error %q", code, resp.Error)
+	}
+}
+
+func TestBodyTooLarge(t *testing.T) {
+	s := newTestServer(t, Config{MaxBodyBytes: 64})
+	body := fmt.Sprintf(`{"code":%q,"arch":"SKL"}`, strings.Repeat("90", 100))
+	var resp ErrorResponse
+	code := do(t, s, "POST", "/v1/predict", body, &resp)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, error %q", code, resp.Error)
+	}
+}
+
+func TestMethodAndPath(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if code := do(t, s, "GET", "/v1/predict", nil, nil); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/predict: %d", code)
+	}
+	if code := do(t, s, "GET", "/v1/nope", nil, nil); code != http.StatusNotFound {
+		t.Errorf("GET /v1/nope: %d", code)
+	}
+}
+
+func TestPredictBatch(t *testing.T) {
+	s := newTestServer(t, Config{})
+	req := BatchRequest{
+		Requests: []BlockRequest{
+			{Code: testBlockHex, Arch: "SKL", Mode: "loop"},
+			{Code: "zz", Arch: "SKL"},                       // invalid hex
+			{Code: testBlockHex, Arch: "RKL", Mode: "tpu"},  // alias mode
+			{Code: "ffffffffffff", Arch: "SKL"},             // undecodable
+			{Code: testBlockHex, Arch: "SKL", Mode: "loop"}, // duplicate of [0]
+		},
+		Concurrency: 2,
+	}
+	var resp BatchResponse
+	if code := do(t, s, "POST", "/v1/predict/batch", req, &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Results) != len(req.Requests) {
+		t.Fatalf("got %d results, want %d", len(resp.Results), len(req.Requests))
+	}
+	for i, ok := range []bool{true, false, true, false, true} {
+		res := resp.Results[i]
+		if ok && (res.Prediction == nil || res.Error != "") {
+			t.Errorf("result %d: want prediction, got error %q", i, res.Error)
+		}
+		if !ok && (res.Prediction != nil || res.Error == "") {
+			t.Errorf("result %d: want error, got %+v", i, res.Prediction)
+		}
+	}
+	if resp.Results[0].Prediction.CyclesPerIteration != resp.Results[4].Prediction.CyclesPerIteration {
+		t.Error("duplicate requests disagree")
+	}
+	if resp.Results[2].Prediction.Mode != "unroll" {
+		t.Errorf("tpu alias: mode %q", resp.Results[2].Prediction.Mode)
+	}
+
+	var errResp ErrorResponse
+	if code := do(t, s, "POST", "/v1/predict/batch", BatchRequest{}, &errResp); code != 400 {
+		t.Errorf("empty batch: status %d", code)
+	}
+	if code := do(t, s, "POST", "/v1/predict/batch",
+		BatchRequest{Requests: req.Requests, Concurrency: -1}, &errResp); code != 400 {
+		t.Errorf("negative concurrency: status %d", code)
+	}
+}
+
+func TestPredictBatchItemLimit(t *testing.T) {
+	s := newTestServer(t, Config{MaxBatchItems: 2})
+	req := BatchRequest{Requests: make([]BlockRequest, 3)}
+	var resp ErrorResponse
+	if code := do(t, s, "POST", "/v1/predict/batch", req, &resp); code != 400 {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(resp.Error, "limit is 2") {
+		t.Errorf("error %q", resp.Error)
+	}
+}
+
+func TestExplainAndSpeedups(t *testing.T) {
+	s := newTestServer(t, Config{})
+	var exp ExplainResponse
+	if code := do(t, s, "POST", "/v1/explain",
+		BlockRequest{Code: testBlockHex, Arch: "SKL", Mode: "loop"}, &exp); code != 200 {
+		t.Fatalf("explain status %d", code)
+	}
+	if !strings.Contains(exp.Report, "Facile throughput report") ||
+		!strings.Contains(exp.Report, "Counterfactual speedups") {
+		t.Errorf("report: %q", exp.Report)
+	}
+	if exp.Prediction.CyclesPerIteration <= 0 {
+		t.Error("explain prediction missing")
+	}
+
+	var sp SpeedupsResponse
+	if code := do(t, s, "POST", "/v1/speedups",
+		BlockRequest{Code: testBlockHex, Arch: "SKL", Mode: "loop"}, &sp); code != 200 {
+		t.Fatalf("speedups status %d", code)
+	}
+	if len(sp.Speedups) == 0 {
+		t.Error("empty speedups")
+	}
+	if sp.CyclesPerIteration != exp.Prediction.CyclesPerIteration {
+		t.Error("speedups/explain disagree on throughput")
+	}
+	for name, v := range sp.Speedups {
+		if v < 1 {
+			t.Errorf("speedup %s = %v < 1", name, v)
+		}
+	}
+}
+
+func TestArchsAndHealthz(t *testing.T) {
+	engine, err := facile.NewEngine(facile.EngineConfig{Archs: []string{"SKL", "RKL"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Engine: engine})
+	var archs ArchsResponse
+	if code := do(t, s, "GET", "/v1/archs", nil, &archs); code != 200 {
+		t.Fatalf("archs status %d", code)
+	}
+	if len(archs.Archs) != 2 {
+		t.Fatalf("got %d archs, want 2: %+v", len(archs.Archs), archs)
+	}
+	for _, a := range archs.Archs {
+		if a.Name != "SKL" && a.Name != "RKL" {
+			t.Errorf("unexpected arch %+v", a)
+		}
+		if a.FullName == "" || a.Released == 0 {
+			t.Errorf("incomplete arch info %+v", a)
+		}
+	}
+
+	// An arch the engine does not serve is a 400, even though it exists.
+	var resp ErrorResponse
+	if code := do(t, s, "POST", "/v1/predict",
+		BlockRequest{Code: "90", Arch: "SNB"}, &resp); code != 400 {
+		t.Errorf("unserved arch: status %d", code)
+	}
+
+	var health map[string]string
+	if code := do(t, s, "GET", "/healthz", nil, &health); code != 200 || health["status"] != "ok" {
+		t.Errorf("healthz: %v %v", code, health)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	s := newTestServer(t, Config{})
+	do(t, s, "POST", "/v1/predict", BlockRequest{Code: testBlockHex, Arch: "SKL"}, nil)
+	do(t, s, "POST", "/v1/predict", BlockRequest{Code: testBlockHex, Arch: "SKL"}, nil)
+	do(t, s, "POST", "/v1/predict", BlockRequest{Code: "zz", Arch: "SKL"}, nil)
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != 200 {
+		t.Fatalf("status %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		`facile_requests_total{endpoint="POST /v1/predict",code="200"} 2`,
+		`facile_requests_total{endpoint="POST /v1/predict",code="400"} 1`,
+		`facile_request_seconds_bucket{endpoint="POST /v1/predict",le="+Inf"} 3`,
+		"facile_engine_cache_hits_total 1",
+		"facile_engine_cache_misses_total 1",
+		"facile_engine_cache_entries 1",
+		"facile_microbatch_batches_total",
+		"facile_microbatch_blocks_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q\n%s", want, body)
+		}
+	}
+}
+
+func TestGracefulClose(t *testing.T) {
+	s := newTestServer(t, Config{})
+	// A request before Close succeeds...
+	if code := do(t, s, "POST", "/v1/predict",
+		BlockRequest{Code: testBlockHex, Arch: "SKL"}, nil); code != 200 {
+		t.Fatalf("pre-close status %d", code)
+	}
+	s.Close()
+	s.Close() // idempotent
+	// ...and a micro-batched request after Close is a clean 503.
+	var resp ErrorResponse
+	if code := do(t, s, "POST", "/v1/predict",
+		BlockRequest{Code: testBlockHex, Arch: "SKL"}, &resp); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-close status %d (error %q)", code, resp.Error)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	// With a negative timeout the deadline machinery is off; with a tiny
+	// positive one, a request that must wait behind the batcher times out
+	// as 504 instead of hanging.
+	engine, err := facile.NewEngine(facile.EngineConfig{Archs: []string{"SKL"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Engine: engine, RequestTimeout: time.Nanosecond})
+	var resp ErrorResponse
+	code := do(t, s, "POST", "/v1/predict",
+		BlockRequest{Code: testBlockHex, Arch: "SKL"}, &resp)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (error %q), want 504", code, resp.Error)
+	}
+}
+
+func TestBatchRequestTimeout(t *testing.T) {
+	// The batch endpoint must observe the request deadline too: a batch
+	// past its deadline returns 504 instead of computing to completion.
+	engine, err := facile.NewEngine(facile.EngineConfig{Archs: []string{"SKL"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Engine: engine, RequestTimeout: time.Nanosecond})
+	req := BatchRequest{Requests: []BlockRequest{{Code: testBlockHex, Arch: "SKL"}}}
+	var resp ErrorResponse
+	if code := do(t, s, "POST", "/v1/predict/batch", req, &resp); code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (error %q), want 504", code, resp.Error)
+	}
+}
+
+func TestNewRequiresEngine(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New without engine succeeded")
+	}
+}
+
+func TestServedOverHTTP(t *testing.T) {
+	// End-to-end over a real listener: the wiring cmd/facile-serve uses.
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json",
+		strings.NewReader(`{"code":"4801d8480fafc3","arch":"SKL","mode":"loop"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var pred Prediction
+	if err := json.NewDecoder(resp.Body).Decode(&pred); err != nil {
+		t.Fatal(err)
+	}
+	if pred.CyclesPerIteration <= 0 {
+		t.Errorf("bad prediction %+v", pred)
+	}
+}

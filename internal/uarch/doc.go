@@ -1,0 +1,10 @@
+// Package uarch holds the microarchitecture configuration database: one
+// Config per modeled Intel Core generation (the nine microarchitectures of
+// the paper's Table 1, Sandy Bridge through Rocket Lake). It is the
+// stand-in for uiCA's microArchConfigs.py.
+//
+// Parameter values follow publicly documented figures (uops.info, the uiCA
+// paper, Agner Fog's tables) where known; the remainder are plausible
+// reconstructions, used identically by the analytical model and the
+// reference simulator (see docs/ARCHITECTURE.md, "Modeling limits").
+package uarch

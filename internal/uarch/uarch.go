@@ -1,11 +1,3 @@
-// Package uarch holds the microarchitecture configuration database: one
-// Config per modeled Intel Core generation (the nine microarchitectures of
-// the paper's Table 1). It is the stand-in for uiCA's microArchConfigs.py.
-//
-// Parameter values follow publicly documented figures (uops.info, the uiCA
-// paper, Agner Fog's tables) where known; the remainder are plausible
-// reconstructions, used identically by the analytical model and the
-// reference simulator (see DESIGN.md §5).
 package uarch
 
 import (

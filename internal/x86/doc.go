@@ -1,0 +1,13 @@
+// Package x86 implements a from-scratch x86-64 instruction decoder covering
+// the instruction subset used by this repository's benchmark corpora.
+//
+// It is the stand-in for the Intel XED library used by the original Facile
+// implementation (paper §5; see docs/ARCHITECTURE.md, "Paper
+// correspondence"). The decoder produces everything the throughput models
+// need: exact instruction lengths and byte layout, the offset of the
+// nominal opcode (for the §4.3 predecoder model), length-changing prefix
+// (LCP) detection, operation identity, operand registers and memory
+// addressing, and immediate values.
+//
+// Unsupported encodings return an error; they never silently mis-decode.
+package x86

@@ -7,7 +7,8 @@ import "fmt"
 // Sub-registers (AL, AX, EAX, ...) are canonicalized to their full 64-bit
 // register: the dependence model treats a write to any part of a register as
 // producing the whole register, and a read of any part as consuming it.
-// Partial-register stalls are not modeled (see DESIGN.md §5).
+// Partial-register stalls are not modeled (see docs/ARCHITECTURE.md,
+// "Modeling limits").
 type Reg uint8
 
 const (

@@ -7,7 +7,8 @@ package x86
 // shared by all basic-block throughput predictors (paper §3.3), loads and
 // stores are assumed not to alias, so only the address registers of memory
 // operands matter. Stack-pointer updates of PUSH/POP are assumed to be
-// handled by the stack engine and create no dependence (DESIGN.md §5).
+// handled by the stack engine and create no dependence
+// (docs/ARCHITECTURE.md, "Modeling limits").
 type Effects struct {
 	// RegReads are data inputs (registers whose value flows into the result).
 	RegReads []Reg
