@@ -43,7 +43,7 @@ func BenchmarkTable2_Accuracy(b *testing.B) {
 	var rows []eval.AccuracyRow
 	for i := 0; i < b.N; i++ {
 		rows, _ = eval.Table2(benchCorpusN, benchTrainN,
-			[]*uarch.Config{uarch.RKL, uarch.SKL, uarch.SNB})
+			[]*uarch.Config{uarch.MustByName("RKL"), uarch.MustByName("SKL"), uarch.MustByName("SNB")})
 	}
 	for _, row := range rows {
 		if row.Predictor == "Facile" || row.Predictor == "uiCA" {
@@ -57,7 +57,7 @@ func BenchmarkTable2_Accuracy(b *testing.B) {
 func BenchmarkTable3_Ablations(b *testing.B) {
 	var rows []eval.VariantRow
 	for i := 0; i < b.N; i++ {
-		rows, _ = eval.Table3(benchCorpusN, []*uarch.Config{uarch.RKL})
+		rows, _ = eval.Table3(benchCorpusN, []*uarch.Config{uarch.MustByName("RKL")})
 	}
 	for _, row := range rows {
 		if row.Variant == "Facile" || row.Variant == "Facile w/o Ports" {
@@ -75,7 +75,7 @@ func BenchmarkTable3_Ablations(b *testing.B) {
 func BenchmarkTable4_Idealization(b *testing.B) {
 	var rows []eval.SpeedupRow
 	for i := 0; i < b.N; i++ {
-		rows, _ = eval.Table4(benchCorpusN, []*uarch.Config{uarch.SNB, uarch.RKL})
+		rows, _ = eval.Table4(benchCorpusN, []*uarch.Config{uarch.MustByName("SNB"), uarch.MustByName("RKL")})
 	}
 	for _, row := range rows {
 		b.ReportMetric(row.Speedups[core.Predec], row.Arch+"_predec_speedup")
@@ -86,7 +86,7 @@ func BenchmarkTable4_Idealization(b *testing.B) {
 // BenchmarkFigure3_Heatmaps regenerates the measured-vs-predicted heatmaps.
 func BenchmarkFigure3_Heatmaps(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_ = eval.Figure3(benchCorpusN, uarch.RKL)
+		_ = eval.Figure3(benchCorpusN, uarch.MustByName("RKL"))
 	}
 }
 
@@ -95,7 +95,7 @@ func BenchmarkFigure3_Heatmaps(b *testing.B) {
 func BenchmarkFigure4_ComponentTimes(b *testing.B) {
 	var tpu []eval.ComponentTime
 	for i := 0; i < b.N; i++ {
-		tpu, _, _ = eval.Figure4(benchCorpusN, uarch.SKL)
+		tpu, _, _ = eval.Figure4(benchCorpusN, uarch.MustByName("SKL"))
 	}
 	for _, ct := range tpu {
 		b.ReportMetric(ct.MeanMs*1000, ct.Name+"_usPerBlock")
@@ -107,7 +107,7 @@ func BenchmarkFigure4_ComponentTimes(b *testing.B) {
 func BenchmarkFigure5_PredictorTimes(b *testing.B) {
 	var rows []eval.PredictorTime
 	for i := 0; i < b.N; i++ {
-		rows, _ = eval.Figure5(benchCorpusN, benchTrainN, uarch.SKL)
+		rows, _ = eval.Figure5(benchCorpusN, benchTrainN, uarch.MustByName("SKL"))
 	}
 	for _, r := range rows {
 		b.ReportMetric(r.MsU*1000, r.Name+"_usPerBlock")
@@ -119,7 +119,7 @@ func BenchmarkFigure5_PredictorTimes(b *testing.B) {
 func BenchmarkFigure6_BottleneckFlow(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = eval.BottleneckFlow(benchCorpusN,
-			[]*uarch.Config{uarch.SNB, uarch.HSW, uarch.CLX, uarch.RKL})
+			[]*uarch.Config{uarch.MustByName("SNB"), uarch.MustByName("HSW"), uarch.MustByName("CLX"), uarch.MustByName("RKL")})
 	}
 }
 
@@ -159,7 +159,7 @@ func BenchmarkPredictor(b *testing.B) {
 		for _, mode := range []string{"TPU", "TPL"} {
 			loop := mode == "TPL"
 			b.Run(fmt.Sprintf("%s/%s", pred.Name(), mode), func(b *testing.B) {
-				blocks := benchBlocks(b, uarch.SKL, loop)
+				blocks := benchBlocks(b, uarch.MustByName("SKL"), loop)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					pred.Predict(blocks[i%len(blocks)], loop)
@@ -188,7 +188,7 @@ func BenchmarkComponent(b *testing.B) {
 	}
 	for _, c := range comps {
 		b.Run(c.name, func(b *testing.B) {
-			blocks := benchBlocks(b, uarch.SKL, false)
+			blocks := benchBlocks(b, uarch.MustByName("SKL"), false)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				c.fn(blocks[i%len(blocks)])
@@ -204,7 +204,7 @@ func BenchmarkDecodeAndPrepare(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bm := corpus[i%len(corpus)]
-		if _, err := bb.Build(uarch.SKL, bm.Code); err != nil {
+		if _, err := bb.Build(uarch.MustByName("SKL"), bm.Code); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -212,7 +212,7 @@ func BenchmarkDecodeAndPrepare(b *testing.B) {
 
 // BenchmarkSimulator measures the reference simulator on its own.
 func BenchmarkSimulator(b *testing.B) {
-	blocks := benchBlocks(b, uarch.SKL, true)
+	blocks := benchBlocks(b, uarch.MustByName("SKL"), true)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pipesim.Run(blocks[i%len(blocks)], pipesim.Options{Loop: true})
@@ -226,7 +226,7 @@ func BenchmarkSimulator(b *testing.B) {
 // The two return identical results on corpus blocks (property-tested in
 // internal/core); this bench quantifies the efficiency win.
 func BenchmarkAblationPorts(b *testing.B) {
-	blocks := benchBlocks(b, uarch.SKL, false)
+	blocks := benchBlocks(b, uarch.MustByName("SKL"), false)
 	b.Run("Pairwise", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			core.PortsBound(blocks[i%len(blocks)])
@@ -243,7 +243,7 @@ func BenchmarkAblationPorts(b *testing.B) {
 // §4.9) against the parametric binary-search/Bellman-Ford reference on the
 // same dependence graphs.
 func BenchmarkAblationCycleRatio(b *testing.B) {
-	blocks := benchBlocks(b, uarch.SKL, true)
+	blocks := benchBlocks(b, uarch.MustByName("SKL"), true)
 	graphs := make([]*cycleratio.Graph, len(blocks))
 	for i, block := range blocks {
 		graphs[i], _ = core.BuildDependenceGraph(block)
@@ -268,7 +268,7 @@ func BenchmarkAblationCycleRatio(b *testing.B) {
 // SimplePredec variant (the paper's Table 3 shows the accuracy cost; this
 // shows the runtime cost of the detailed model).
 func BenchmarkAblationPredec(b *testing.B) {
-	blocks := benchBlocks(b, uarch.SKL, false)
+	blocks := benchBlocks(b, uarch.MustByName("SKL"), false)
 	b.Run("Full", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			core.PredecBound(blocks[i%len(blocks)], core.TPU)
@@ -300,7 +300,7 @@ func BenchmarkPublicAPI(b *testing.B) {
 // with -benchmem: the bound-vector refactor's claim is a near-zero
 // allocs/op here.
 func BenchmarkPredict(b *testing.B) {
-	blocks := benchBlocks(b, uarch.SKL, true)
+	blocks := benchBlocks(b, uarch.MustByName("SKL"), true)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.Predict(blocks[i%len(blocks)], core.TPL, core.Options{})
@@ -312,7 +312,7 @@ func BenchmarkPredict(b *testing.B) {
 // algorithm it replaced (re-running the full predictor per exclusion set,
 // reconstructed here via Options.Include).
 func BenchmarkSpeedups(b *testing.B) {
-	blocks := benchBlocks(b, uarch.SKL, true)
+	blocks := benchBlocks(b, uarch.MustByName("SKL"), true)
 	b.Run("Recombine", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			core.IdealizationSpeedups(blocks[i%len(blocks)], core.TPL)

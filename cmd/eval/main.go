@@ -44,7 +44,7 @@ func main() {
 			_, text := eval.Table2(*corpus, *train, eval.ArchesForExperiment())
 			fmt.Println(text)
 		case 3:
-			_, text := eval.Table3(*corpus, []*uarch.Config{uarch.RKL, uarch.SKL, uarch.SNB})
+			_, text := eval.Table3(*corpus, []*uarch.Config{uarch.MustByName("RKL"), uarch.MustByName("SKL"), uarch.MustByName("SNB")})
 			fmt.Println(text)
 		case 4:
 			_, text := eval.Table4(*corpus, uarch.Chronological())
@@ -56,16 +56,16 @@ func main() {
 	runFigure := func(n int) {
 		switch n {
 		case 3:
-			fmt.Println(eval.Figure3(*corpus, uarch.RKL))
+			fmt.Println(eval.Figure3(*corpus, uarch.MustByName("RKL")))
 		case 4:
-			_, _, text := eval.Figure4(*corpus, uarch.SKL)
+			_, _, text := eval.Figure4(*corpus, uarch.MustByName("SKL"))
 			fmt.Println(text)
 		case 5:
-			_, text := eval.Figure5(*corpus, *train, uarch.SKL)
+			_, text := eval.Figure5(*corpus, *train, uarch.MustByName("SKL"))
 			fmt.Println(text)
 		case 6:
 			fmt.Println(eval.BottleneckFlow(*corpus,
-				[]*uarch.Config{uarch.SNB, uarch.HSW, uarch.CLX, uarch.RKL}))
+				[]*uarch.Config{uarch.MustByName("SNB"), uarch.MustByName("HSW"), uarch.MustByName("CLX"), uarch.MustByName("RKL")}))
 		default:
 			fatal(fmt.Errorf("unknown figure %d", n))
 		}

@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	facile-serve [-addr :8629] [-archs SKL,RKL] [-cache 4096]
-//	             [-workers 0] [-max-batch 64] [-timeout 10s]
+//	facile-serve [-addr :8629] [-archs SKL,RKL] [-arch-dir ./myarchs]
+//	             [-cache 4096] [-workers 0] [-max-batch 64] [-timeout 10s]
 //
 // Endpoints (see docs/API.md for the full reference):
 //
@@ -13,8 +13,14 @@
 //	POST /v1/explain         same body as /v1/predict
 //	POST /v1/speedups        same body as /v1/predict
 //	GET  /v1/archs
+//	POST /v1/archs           {"name":"SKL-LSD","base":"SKL","overlay":{"lsd_enabled":true}}
 //	GET  /healthz
 //	GET  /metrics
+//
+// Microarchitectures come from the runtime registry: the nine built-ins,
+// plus any spec files loaded at startup via -arch-dir, plus anything
+// registered over HTTP via POST /v1/archs (disabled when -archs pins a
+// fixed set). Registered arches are served without restart.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight requests (and in-flight micro-batches) complete,
@@ -42,13 +48,28 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", ":8629", "listen address")
-		archs    = flag.String("archs", "", "comma-separated microarchitectures to serve (default: all)")
+		archs    = flag.String("archs", "", "comma-separated microarchitectures to serve (default: all, including POST /v1/archs registrations)")
+		archDir  = flag.String("arch-dir", "", "directory of additional microarchitecture spec files (*.json) to load at startup")
 		cache    = flag.Int("cache", 0, "engine prediction-cache entries (<=0: default)")
 		workers  = flag.Int("workers", 0, "engine worker-pool size (<=0: GOMAXPROCS)")
 		maxBatch = flag.Int("max-batch", 0, "micro-batch size cap for /v1/predict (0: default, <0: disable)")
 		timeout  = flag.Duration("timeout", 0, "per-request handling deadline (0: default, <0: none)")
 	)
 	flag.Parse()
+
+	if *archDir != "" {
+		infos, err := facile.LoadArchDir(*archDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "facile-serve:", err)
+			os.Exit(1)
+		}
+		names := make([]string, len(infos))
+		for i, info := range infos {
+			names[i] = info.Name
+		}
+		log.Printf("facile-serve: loaded %d arch specs from %s: %s",
+			len(infos), *archDir, strings.Join(names, ", "))
+	}
 
 	var archList []string
 	if *archs != "" {

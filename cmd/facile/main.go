@@ -7,10 +7,14 @@
 //	facile -arch SKL -mode loop -hex "4801d8480fafc3"
 //	facile -arch RKL -mode unroll -file block.bin -explain
 //	facile -arch SKL -hex "..." -speedups
+//	facile -arch-dir ./myarchs -arch SKL-LSD -hex "..."
 //	facile -list
 //
 // The input block is raw machine code, given as a hex string (-hex) or a
-// binary file (-file).
+// binary file (-file). -arch-dir loads additional microarchitecture spec
+// files (*.json, full specs or base+overlay variants; see the README's
+// "Custom microarchitectures") before anything else runs, so hypothetical
+// design points are predictable without recompiling.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 func main() {
 	var (
 		arch     = flag.String("arch", "SKL", "target microarchitecture (see -list)")
+		archDir  = flag.String("arch-dir", "", "directory of additional microarchitecture spec files (*.json)")
 		mode     = flag.String("mode", "loop", `throughput notion: "loop" (TPL) or "unroll" (TPU)`)
 		hexStr   = flag.String("hex", "", "basic block as a hex string")
 		file     = flag.String("file", "", "basic block as a binary file")
@@ -36,9 +41,24 @@ func main() {
 	)
 	flag.Parse()
 
+	if *archDir != "" {
+		if _, err := facile.LoadArchDir(*archDir); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *list {
 		for _, info := range facile.ArchInfos() {
-			fmt.Printf("%-4s %-14s %d  %s\n", info.Name, info.FullName, info.Released, info.CPU)
+			extra := info.CPU
+			if extra == "" {
+				extra = fmt.Sprintf("(custom: gen %s, %d-wide, %d ports)",
+					info.Gen, info.IssueWidth, info.NumPorts)
+			}
+			year := "    "
+			if info.Released != 0 {
+				year = fmt.Sprintf("%d", info.Released)
+			}
+			fmt.Printf("%-8s %-14s %s  %s\n", info.Name, info.FullName, year, extra)
 		}
 		return
 	}

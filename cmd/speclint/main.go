@@ -1,0 +1,116 @@
+// Command speclint lints microarchitecture spec files: the nine embedded
+// Table 1 specs always, plus any *.json files in directories given as
+// arguments. It is the CI entry point of the spec-validation gate (the
+// prediction-level half of the gate is the TestArchParity golden test).
+//
+// For every spec it checks validation (port masks, role coverage,
+// generation, LSD/IDQ invariants) and the Config round trip
+// (spec → Config → spec must be the identity); for the embedded set it
+// additionally checks Table 1 completeness and generation ordering.
+//
+// Usage:
+//
+//	speclint [dir ...]
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"facile"
+
+	"facile/internal/uarch"
+)
+
+func main() {
+	fail := 0
+	bad := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "speclint: "+format+"\n", args...)
+		fail = 1
+	}
+
+	// The embedded set: building a registry parses and validates all nine
+	// specs (uarch.NewRegistry panics on a broken embedded file, which the
+	// deferred handler reports as a lint failure rather than a crash).
+	reg, err := func() (r *uarch.Registry, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("%v", p)
+			}
+		}()
+		return uarch.NewRegistry(), nil
+	}()
+	if err != nil {
+		bad("embedded specs: %v", err)
+		os.Exit(1)
+	}
+	all := reg.All()
+	if len(all) != 9 {
+		bad("embedded specs: got %d, want the nine of Table 1", len(all))
+	}
+	seenGen := make(map[uarch.Gen]string)
+	var prevGen uarch.Gen = 1<<31 - 1
+	for _, cfg := range all {
+		spec := uarch.SpecFromConfig(cfg)
+		if err := spec.Validate(); err != nil {
+			bad("%s: %v", cfg.Name, err)
+			continue
+		}
+		// Round trip: spec → JSON → spec → Config → spec must be stable.
+		data, err := spec.JSON()
+		if err != nil {
+			bad("%s: marshal: %v", cfg.Name, err)
+			continue
+		}
+		parsed, err := uarch.ParseSpec(data)
+		if err != nil {
+			bad("%s: reparse: %v", cfg.Name, err)
+			continue
+		}
+		back, err := parsed.Config()
+		if err != nil {
+			bad("%s: to config: %v", cfg.Name, err)
+			continue
+		}
+		data2, err := uarch.SpecFromConfig(back).JSON()
+		if err != nil {
+			bad("%s: remarshal: %v", cfg.Name, err)
+			continue
+		}
+		if !bytes.Equal(data, data2) {
+			bad("%s: spec does not round-trip through Config", cfg.Name)
+		}
+		// Table 1 completeness and Gen ordering (newest first, distinct).
+		if cfg.FullName == "" || cfg.CPU == "" || cfg.Released == 0 {
+			bad("%s: incomplete Table 1 identity", cfg.Name)
+		}
+		if other, dup := seenGen[cfg.Gen]; dup {
+			bad("%s: generation %s already used by %s", cfg.Name, cfg.Gen, other)
+		}
+		seenGen[cfg.Gen] = cfg.Name
+		if cfg.Gen >= prevGen {
+			bad("%s: embedded specs out of Table 1 order (gen %s after %s)",
+				cfg.Name, cfg.Gen, prevGen)
+		}
+		prevGen = cfg.Gen
+		fmt.Printf("ok  embedded %-4s %s (gen %s, %d-wide, %d ports)\n",
+			cfg.Name, cfg.FullName, cfg.Gen, cfg.IssueWidth, cfg.NumPorts)
+	}
+
+	// External spec directories lint against a scratch registry seeded with
+	// the built-ins, so overlays of the nine resolve.
+	for _, dir := range os.Args[1:] {
+		scratch := facile.NewArchRegistry()
+		infos, err := scratch.LoadSpecDir(dir)
+		if err != nil {
+			bad("%s: %v", dir, err)
+			continue
+		}
+		for _, info := range infos {
+			fmt.Printf("ok  %s/%s (gen %s, %d-wide, %d ports)\n",
+				dir, info.Name, info.Gen, info.IssueWidth, info.NumPorts)
+		}
+	}
+	os.Exit(fail)
+}

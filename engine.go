@@ -3,6 +3,7 @@ package facile
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"unsafe"
@@ -21,9 +22,14 @@ const DefaultCacheSize = 4096
 // configuration: all microarchitectures, DefaultCacheSize cache entries, and
 // one worker per CPU for batches.
 type EngineConfig struct {
-	// Archs restricts the engine to a subset of microarchitectures
-	// (names as returned by Archs). Empty means all of them.
+	// Archs restricts the engine to a fixed subset of microarchitectures
+	// (names as known to the registry). Empty means the engine serves
+	// whatever its registry holds at call time — including arches
+	// registered after the engine was constructed.
 	Archs []string
+	// Registry supplies the engine's microarchitectures. Nil selects the
+	// process-wide DefaultRegistry.
+	Registry *ArchRegistry
 	// CacheSize bounds the prediction LRU (entries). Values <= 0 select
 	// DefaultCacheSize.
 	CacheSize int
@@ -54,8 +60,11 @@ type EngineConfig struct {
 // by an Engine (and their Components/Bottlenecks/Instructions fields), the
 // Speedups maps, and the Explain reports must be treated as read-only.
 type Engine struct {
-	builders map[string]*bb.Builder
-	archs    []string // configured order
+	reg      *uarch.Registry
+	pub      *ArchRegistry   // the public view handed out by Registry()
+	restrict map[string]bool // non-nil iff EngineConfig.Archs was set; canonical names
+	archs    []string        // configured order when restricted
+	builders sync.Map        // canonical name -> *builderSlot
 	cache    *lru.Cache[engineKey, *engineEntry]
 	workers  int
 
@@ -66,9 +75,22 @@ type Engine struct {
 	misses atomic.Uint64
 }
 
-// engineKey identifies one memoized prediction.
+// builderSlot holds a memoized per-arch Builder and the registry version of
+// the config it was built from (the version also scopes cache keys). Names
+// are immutable within a registry and an engine's registry is fixed, so a
+// slot never goes stale.
+type builderSlot struct {
+	ver uint64
+	bd  *bb.Builder
+}
+
+// engineKey identifies one memoized prediction. The registry version makes
+// cache entries registry-scoped: two registries' same-named arches (or an
+// engine re-pointed at a different registry) can never alias each other's
+// cached predictions.
 type engineKey struct {
 	arch string
+	ver  uint64
 	mode Mode
 	code string // raw block bytes
 }
@@ -107,25 +129,29 @@ func (ent *engineEntry) speedups(mode Mode) map[string]float64 {
 	return ent.sp
 }
 
-// NewEngine constructs an Engine for the configured microarchitecture set.
-// It fails if cfg names an unknown microarchitecture.
+// NewEngine constructs an Engine over cfg.Registry (default: the process-
+// wide registry). It fails if cfg.Archs names a microarchitecture the
+// registry does not hold.
 func NewEngine(cfg EngineConfig) (*Engine, error) {
-	names := cfg.Archs
-	if len(names) == 0 {
-		names = Archs()
+	pub := cfg.Registry
+	if pub == nil {
+		pub = DefaultRegistry()
 	}
-	e := &Engine{builders: make(map[string]*bb.Builder, len(names))}
+	e := &Engine{reg: pub.reg(), pub: pub}
 	e.analyses.New = func() any { return core.NewAnalysis() }
-	for _, name := range names {
-		if _, dup := e.builders[name]; dup {
-			continue
+	if len(cfg.Archs) > 0 {
+		e.restrict = make(map[string]bool, len(cfg.Archs))
+		for _, name := range cfg.Archs {
+			uc, err := e.reg.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			if e.restrict[uc.Name] {
+				continue
+			}
+			e.restrict[uc.Name] = true
+			e.archs = append(e.archs, uc.Name)
 		}
-		uc, err := uarch.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		e.builders[name] = bb.NewBuilder(uc)
-		e.archs = append(e.archs, name)
 	}
 	size := cfg.CacheSize
 	if size <= 0 {
@@ -139,12 +165,55 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	return e, nil
 }
 
-// Archs returns the microarchitectures this engine serves, in configured
-// order.
+// Archs returns the microarchitectures this engine serves: the configured
+// subset when restricted, otherwise whatever its registry currently holds.
 func (e *Engine) Archs() []string {
-	out := make([]string, len(e.archs))
-	copy(out, e.archs)
-	return out
+	if e.restrict != nil {
+		out := make([]string, len(e.archs))
+		copy(out, e.archs)
+		return out
+	}
+	return e.reg.Names()
+}
+
+// Registry returns the registry this engine resolves microarchitectures
+// from. Arches registered on it become servable by the engine immediately
+// (unless the engine was constructed with a fixed EngineConfig.Archs set).
+func (e *Engine) Registry() *ArchRegistry { return e.pub }
+
+// Restricted reports whether the engine was constructed with a fixed
+// microarchitecture subset (EngineConfig.Archs), in which case registering
+// new arches on its registry does not extend what it serves.
+func (e *Engine) Restricted() bool { return e.restrict != nil }
+
+// HasArch reports whether the engine can serve arch (case-insensitively)
+// right now.
+func (e *Engine) HasArch(arch string) bool {
+	_, _, err := e.builder(arch)
+	return err == nil
+}
+
+// builder resolves arch through the registry (case-insensitively) and
+// returns the memoized per-arch Builder, creating it on first use.
+func (e *Engine) builder(arch string) (*bb.Builder, uint64, error) {
+	uc, ver, err := e.reg.Resolve(arch)
+	if err != nil {
+		return nil, 0, err
+	}
+	if e.restrict != nil && !e.restrict[uc.Name] {
+		return nil, 0, fmt.Errorf("facile: engine not configured for microarchitecture %q (one of %s)",
+			arch, strings.Join(e.archs, ", "))
+	}
+	if s, ok := e.builders.Load(uc.Name); ok {
+		return s.(*builderSlot).bd, ver, nil
+	}
+	slot := &builderSlot{ver: ver, bd: bb.NewBuilder(uc)}
+	// Two racing callers may both build; LoadOrStore keeps exactly one so
+	// the descriptor memo is shared from then on.
+	if s, raced := e.builders.LoadOrStore(uc.Name, slot); raced {
+		return s.(*builderSlot).bd, ver, nil
+	}
+	return slot.bd, ver, nil
 }
 
 // entry returns the single-flight cache slot for (code, arch, mode),
@@ -153,13 +222,11 @@ func (e *Engine) entry(code []byte, arch string, mode Mode) (*engineEntry, error
 	if err := checkMode(mode); err != nil {
 		return nil, err
 	}
-	bd, ok := e.builders[arch]
-	if !ok {
-		if _, err := uarch.ByName(arch); err != nil {
-			return nil, err
-		}
-		return nil, fmt.Errorf("facile: engine not configured for microarchitecture %q", arch)
+	bd, ver, err := e.builder(arch)
+	if err != nil {
+		return nil, err
 	}
+	canon := bd.Cfg().Name
 	if len(code) == 0 {
 		return nil, fmt.Errorf("facile: empty basic block")
 	}
@@ -167,11 +234,11 @@ func (e *Engine) entry(code []byte, arch string, mode Mode) (*engineEntry, error
 	// retain lookup keys, so the unsafe aliasing never outlives this call,
 	// and a warm hit performs no allocation. Only a miss pays for the
 	// durable key copy.
-	probe := engineKey{arch: arch, mode: mode, code: unsafeString(code)}
+	probe := engineKey{arch: canon, ver: ver, mode: mode, code: unsafeString(code)}
 	ent, hit := e.cache.Get(probe)
 	if !hit {
 		ent, hit = e.cache.GetOrAdd(
-			engineKey{arch: arch, mode: mode, code: string(code)},
+			engineKey{arch: canon, ver: ver, mode: mode, code: string(code)},
 			func() *engineEntry { return &engineEntry{} })
 	}
 	if hit {
@@ -189,7 +256,7 @@ func (e *Engine) entry(code []byte, arch string, mode Mode) (*engineEntry, error
 		a := e.analyses.Get().(*core.Analysis)
 		ent.core = a.Predict(block, coreMode(mode), core.Options{})
 		e.analyses.Put(a)
-		ent.pred = publicPrediction(&ent.core, block, arch, mode)
+		ent.pred = publicPrediction(&ent.core, block, canon, mode)
 	})
 	return ent, nil
 }

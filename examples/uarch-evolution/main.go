@@ -1,7 +1,13 @@
-// Uarch-evolution: exploit Facile's interpretability to compare
-// microarchitecture generations (the paper's §6.4): for a fixed workload,
-// how do the per-component bounds and the counterfactual headroom evolve
-// from Sandy Bridge to Rocket Lake?
+// Uarch-evolution: exploit Facile's interpretability and the runtime
+// microarchitecture registry to compare generations and hypothetical design
+// points (the paper's §6.4, extended in the AnICA "as many scenarios as you
+// can imagine" direction): for a fixed workload, how do the per-component
+// bounds evolve from Sandy Bridge to Rocket Lake — and what would change if
+// Skylake had kept its LSD, or Ice Lake issued only 4-wide?
+//
+// The what-if machines are spec overlays: a base arch plus just the
+// overridden fields, registered at runtime. No recompilation, and the same
+// engine caches predictions for built-in and derived arches alike.
 package main
 
 import (
@@ -12,6 +18,21 @@ import (
 	"facile/internal/asm"
 	"facile/internal/x86"
 )
+
+// variants are the what-if design points, as overlays on built-in bases.
+var variants = []struct {
+	name, base, why string
+	overlay         string
+}{
+	{"SKL+LSD", "SKL", "Skylake without the SKL150 erratum (LSD kept on)",
+		`{"lsd_enabled": true}`},
+	{"SKL-JCC", "SKL", "Skylake without the JCC-erratum mitigation",
+		`{"jcc_erratum": false}`},
+	{"ICL-4W", "ICL", "Ice Lake issuing 4-wide like SKL",
+		`{"issue_width": 4, "retire_width": 4}`},
+	{"ICL-FP1", "ICL", "Ice Lake with a single FP pipe (port 0 only)",
+		`{"role_ports": {"fpadd": [0], "fpmul": [0], "fma": [0]}}`},
+}
 
 func main() {
 	// A vectorized accumulate-multiply kernel with a mixed profile:
@@ -38,61 +59,72 @@ func main() {
 		fmt.Println("  " + l)
 	}
 
-	// One engine for all generations: the kernel is decoded and predicted
-	// once per arch, and the second table below is served from the cache.
-	engine, err := facile.NewEngine(facile.EngineConfig{})
+	// A private registry for the experiment: the nine built-ins plus the
+	// derived design points, isolated from the process default.
+	reg := facile.NewArchRegistry()
+	for _, v := range variants {
+		if _, err := reg.Derive(v.name, v.base, []byte(v.overlay)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// One engine over that registry: the kernel is decoded and predicted
+	// once per arch (built-in or derived), and repeat queries below are
+	// cache hits.
+	engine, err := facile.NewEngine(facile.EngineConfig{Registry: reg})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("\n%-5s %8s  %-12s %s\n", "uArch", "cyc/it", "bottleneck", "speedup if component idealized")
-	archs := facile.ArchInfos()
-	// Oldest first.
-	for i := len(archs) - 1; i >= 0; i-- {
-		arch := archs[i].Name
-		pred, err := engine.Predict(code, arch, facile.Loop)
-		if err != nil {
-			log.Fatal(err)
-		}
-		sp, err := engine.Speedups(code, arch, facile.Loop)
-		if err != nil {
-			log.Fatal(err)
-		}
-		primary := "-"
-		if len(pred.Bottlenecks) > 0 {
-			primary = pred.Bottlenecks[0]
-		}
-		fmt.Printf("%-5s %8.2f  %-12s", arch, pred.CyclesPerIteration, primary)
-		for _, c := range []string{"Ports", "Precedence", "Issue"} {
-			fmt.Printf(" %s=%.2fx", c, sp[c])
-		}
-		fmt.Println()
+	fmt.Println("\nGenerations (oldest first):")
+	printHeader()
+	infos := engine.Registry().Infos()
+	for i := 8; i >= 0; i-- { // the nine built-ins, oldest first
+		printRow(engine, code, infos[i].Name, "")
 	}
 
-	// The full bound vector per generation (components absent on a
-	// generation — e.g. the LSD where it is disabled — print as "-"), plus
-	// the front end that actually serves the loop.
-	fmt.Println("\nPer-component bounds by generation (cycles/iteration):")
-	fmt.Printf("%-5s", "uArch")
-	comps := facile.ComponentNames()
+	fmt.Println("\nWhat-if design points (spec overlays):")
+	printHeader()
+	for _, v := range variants {
+		printRow(engine, code, v.name, v.why)
+		// The base row again for contrast, served from the warm cache.
+		printRow(engine, code, v.base, "the shipped "+v.base)
+	}
+}
+
+var comps = facile.ComponentNames()
+
+func printHeader() {
+	fmt.Printf("%-10s %8s  %-12s", "uArch", "cyc/it", "bottleneck")
 	for _, c := range comps {
 		fmt.Printf(" %10s", c)
 	}
-	fmt.Printf(" %10s\n", "FE source")
-	for i := len(archs) - 1; i >= 0; i-- {
-		arch := archs[i].Name
-		pred, err := engine.Predict(code, arch, facile.Loop)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-5s", arch)
-		for _, c := range comps {
-			if v, ok := pred.Components[c]; ok {
-				fmt.Printf(" %10.2f", v)
-			} else {
-				fmt.Printf(" %10s", "-")
-			}
-		}
-		fmt.Printf(" %10s\n", pred.FrontEndSource)
+	fmt.Printf("  %s\n", "FE source")
+}
+
+// printRow predicts the kernel on arch (TPL) and prints one table row: the
+// headline number, the primary bottleneck, and the full bound vector
+// (components absent on an arch — e.g. a disabled LSD — print as "-").
+func printRow(engine *facile.Engine, code []byte, arch, note string) {
+	pred, err := engine.Predict(code, arch, facile.Loop)
+	if err != nil {
+		log.Fatal(err)
 	}
+	primary := "-"
+	if len(pred.Bottlenecks) > 0 {
+		primary = pred.Bottlenecks[0]
+	}
+	fmt.Printf("%-10s %8.2f  %-12s", arch, pred.CyclesPerIteration, primary)
+	for _, c := range comps {
+		if v, ok := pred.Components[c]; ok {
+			fmt.Printf(" %10.2f", v)
+		} else {
+			fmt.Printf(" %10s", "-")
+		}
+	}
+	fmt.Printf("  %-6s", pred.FrontEndSource)
+	if note != "" {
+		fmt.Printf("  %s", note)
+	}
+	fmt.Println()
 }

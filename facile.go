@@ -108,32 +108,32 @@ func ComponentNames() []string {
 	return out
 }
 
-// Archs returns the supported microarchitecture names, newest first
-// (Rocket Lake ... Sandy Bridge; paper Table 1).
-func Archs() []string {
-	var out []string
-	for _, cfg := range uarch.All() {
-		out = append(out, cfg.Name)
-	}
-	return out
-}
+// Archs returns the microarchitecture names registered in the default
+// registry: the nine built-ins newest first (Rocket Lake ... Sandy Bridge;
+// paper Table 1), then any runtime-registered ones.
+func Archs() []string { return DefaultRegistry().Archs() }
 
-// ArchInfo describes a supported microarchitecture.
+// ArchInfo describes a registered microarchitecture: its Table 1 identity
+// plus the key front- and back-end parameters, so clients can introspect
+// what they are predicting against.
 type ArchInfo struct {
 	Name     string
 	FullName string
-	CPU      string
+	CPU      string // the evaluation CPU from the paper's Table 1; empty for variants
 	Released int
+	// Gen is the generation the gen-gated instruction tables treat this
+	// microarchitecture as ("SNB" … "RKL").
+	Gen string
+	// Key pipeline parameters.
+	IssueWidth int
+	IDQSize    int
+	LSDEnabled bool
+	NumPorts   int
 }
 
-// ArchInfos returns details for all supported microarchitectures.
-func ArchInfos() []ArchInfo {
-	var out []ArchInfo
-	for _, cfg := range uarch.All() {
-		out = append(out, ArchInfo{cfg.Name, cfg.FullName, cfg.CPU, cfg.Released})
-	}
-	return out
-}
+// ArchInfos returns details for every microarchitecture in the default
+// registry, in Archs order.
+func ArchInfos() []ArchInfo { return DefaultRegistry().Infos() }
 
 func prepare(code []byte, arch string, mode Mode) (*bb.Block, error) {
 	if err := checkMode(mode); err != nil {
@@ -168,7 +168,9 @@ func Predict(code []byte, arch string, mode Mode) (Prediction, error) {
 	if err != nil {
 		return Prediction{}, err
 	}
-	return predictBlock(block, arch, mode), nil
+	// block.Cfg.Name, not arch: lookup is case-insensitive, the reported
+	// name is canonical.
+	return predictBlock(block, block.Cfg.Name, mode), nil
 }
 
 func predictBlock(block *bb.Block, arch string, mode Mode) Prediction {

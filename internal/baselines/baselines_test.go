@@ -21,7 +21,7 @@ func trainingData(t testing.TB, n int) ([]*bb.Block, []float64) {
 	var blocks []*bb.Block
 	var meas []float64
 	for _, bm := range corpus {
-		block, err := bb.Build(uarch.SKL, bm.Code)
+		block, err := bb.Build(uarch.MustByName("SKL"), bm.Code)
 		if err != nil {
 			continue
 		}

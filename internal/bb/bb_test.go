@@ -22,7 +22,7 @@ func build(t *testing.T, cfg *uarch.Config, instrs []asm.Instr) *Block {
 }
 
 func TestMacroFusionMarking(t *testing.T) {
-	block := build(t, uarch.SKL, []asm.Instr{
+	block := build(t, uarch.MustByName("SKL"), []asm.Instr{
 		asm.Mk(x86.ADD, 64, asm.R(x86.RAX), asm.I(1)),
 		asm.Mk(x86.CMP, 64, asm.R(x86.RAX), asm.R(x86.RBX)),
 		asm.MkCC(x86.JCC, x86.CondE, 64, asm.I(-12)),
@@ -39,13 +39,13 @@ func TestMacroFusionMarking(t *testing.T) {
 	}
 	// The fused pair's µop must run on the branch ports.
 	pairUops := block.Insts[1].Desc.Uops
-	if len(pairUops) != 1 || pairUops[0].Ports != uarch.SKL.PortsFor(uarch.RoleBranch) {
+	if len(pairUops) != 1 || pairUops[0].Ports != uarch.MustByName("SKL").PortsFor(uarch.RoleBranch) {
 		t.Fatalf("pair µop ports: %+v", pairUops)
 	}
 }
 
 func TestNoFusionOnUnfusablePair(t *testing.T) {
-	block := build(t, uarch.SKL, []asm.Instr{
+	block := build(t, uarch.MustByName("SKL"), []asm.Instr{
 		asm.Mk(x86.CMP, 64, asm.R(x86.RAX), asm.R(x86.RBX)),
 		asm.MkCC(x86.JCC, x86.CondS, 64, asm.I(-10)), // js does not fuse with cmp
 	})
@@ -58,7 +58,7 @@ func TestNoFusionOnUnfusablePair(t *testing.T) {
 }
 
 func TestExecUopsExcludesEliminated(t *testing.T) {
-	block := build(t, uarch.SKL, []asm.Instr{
+	block := build(t, uarch.MustByName("SKL"), []asm.Instr{
 		asm.Mk(x86.XOR, 64, asm.R(x86.RAX), asm.R(x86.RAX)), // zero idiom
 		asm.Mk(x86.MOV, 64, asm.R(x86.RBX), asm.R(x86.RCX)), // eliminated move
 		asm.Mk(x86.ADD, 64, asm.R(x86.RDX), asm.I(1)),
@@ -72,7 +72,7 @@ func TestExecUopsExcludesEliminated(t *testing.T) {
 func TestJCCErratumDetection(t *testing.T) {
 	// 30 bytes of nops + 2-byte jcc ends exactly at byte 32.
 	code := append(asm.NopBytes(30), 0x75, 0xE0)
-	block, err := Build(uarch.SKL, code)
+	block, err := Build(uarch.MustByName("SKL"), code)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestJCCErratumDetection(t *testing.T) {
 	}
 
 	// Same code on a non-erratum microarchitecture.
-	blockHSW, err := Build(uarch.HSW, code)
+	blockHSW, err := Build(uarch.MustByName("HSW"), code)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestJCCErratumDetection(t *testing.T) {
 
 	// A jcc well inside a 32-byte window is unaffected.
 	code2 := append(asm.NopBytes(10), 0x75, 0xF4)
-	block2, err := Build(uarch.SKL, code2)
+	block2, err := Build(uarch.MustByName("SKL"), code2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestJCCErratumDetection(t *testing.T) {
 		asm.MkCC(x86.JCC, x86.CondE, 64, asm.I(-33)),
 	})
 	code3 := append(asm.NopBytes(30), pair...) // cmp starts at 30, crosses 32
-	block3, err := Build(uarch.SKL, code3)
+	block3, err := Build(uarch.MustByName("SKL"), code3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestJCCErratumDetection(t *testing.T) {
 }
 
 func TestOffsetsAndLen(t *testing.T) {
-	block := build(t, uarch.SKL, []asm.Instr{
+	block := build(t, uarch.MustByName("SKL"), []asm.Instr{
 		asm.Mk(x86.ADD, 64, asm.R(x86.RAX), asm.R(x86.RBX)), // 3 bytes
 		asm.Mk(x86.NOP, 5),                  // 5 bytes
 		asm.Mk(x86.INC, 64, asm.R(x86.RCX)), // 3 bytes
@@ -135,10 +135,10 @@ func TestOffsetsAndLen(t *testing.T) {
 }
 
 func TestBuildErrors(t *testing.T) {
-	if _, err := Build(uarch.SKL, nil); err == nil {
+	if _, err := Build(uarch.MustByName("SKL"), nil); err == nil {
 		t.Fatal("empty block must error")
 	}
-	if _, err := Build(uarch.SKL, []byte{0xD9, 0xC0}); err == nil {
+	if _, err := Build(uarch.MustByName("SKL"), []byte{0xD9, 0xC0}); err == nil {
 		t.Fatal("undecodable block must error")
 	}
 }
@@ -148,8 +148,8 @@ func TestIssueUopsAcrossArches(t *testing.T) {
 		asm.Mk(x86.ADD, 64, asm.R(x86.RAX), asm.MX(x86.RBX, x86.RCX, 1, 0)),
 		asm.Mk(x86.MOV, 64, asm.MX(x86.RSI, x86.RDI, 1, 0), asm.R(x86.RAX)),
 	}
-	skl := build(t, uarch.SKL, instrs)
-	icl := build(t, uarch.ICL, instrs)
+	skl := build(t, uarch.MustByName("SKL"), instrs)
+	icl := build(t, uarch.MustByName("ICL"), instrs)
 	if skl.IssueUops() <= icl.IssueUops() {
 		t.Fatalf("SKL unlaminates (%d) and must exceed ICL (%d)",
 			skl.IssueUops(), icl.IssueUops())

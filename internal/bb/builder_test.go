@@ -50,7 +50,7 @@ func TestBuilderMatchesBuild(t *testing.T) {
 }
 
 func TestBuilderMemoizes(t *testing.T) {
-	bd := NewBuilder(uarch.SKL)
+	bd := NewBuilder(uarch.MustByName("SKL"))
 	code := mustHex(t, "4801d84801d84801d8") // the same add three times
 	if _, err := bd.Build(code); err != nil {
 		t.Fatal(err)
@@ -72,7 +72,7 @@ func TestBuilderMemoizes(t *testing.T) {
 // (which retargets the compute µop to the branch ports) does not leak into
 // the shared memoized descriptor.
 func TestBuilderFusionDoesNotPoisonCache(t *testing.T) {
-	bd := NewBuilder(uarch.SKL)
+	bd := NewBuilder(uarch.MustByName("SKL"))
 	fused := mustHex(t, "48ffc975fb") // dec rcx; jne  (fuses)
 	alone := mustHex(t, "48ffc9")     // dec rcx alone
 	blockFused, err := bd.Build(fused)
@@ -86,7 +86,7 @@ func TestBuilderFusionDoesNotPoisonCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _ := Build(uarch.SKL, alone)
+	want, _ := Build(uarch.MustByName("SKL"), alone)
 	if !reflect.DeepEqual(want.Insts[0].Desc, blockAlone.Insts[0].Desc) {
 		t.Fatalf("memoized descriptor was mutated by fusion:\nwant %+v\ngot  %+v",
 			want.Insts[0].Desc, blockAlone.Insts[0].Desc)
@@ -94,7 +94,7 @@ func TestBuilderFusionDoesNotPoisonCache(t *testing.T) {
 }
 
 func TestBuilderConcurrent(t *testing.T) {
-	bd := NewBuilder(uarch.RKL)
+	bd := NewBuilder(uarch.MustByName("RKL"))
 	codes := [][]byte{
 		mustHex(t, "4801d8"),
 		mustHex(t, "480fafc3"),

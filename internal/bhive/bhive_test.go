@@ -52,7 +52,7 @@ func TestGenerateDecodesEverywhere(t *testing.T) {
 
 func TestGenerateUVariantHasNoBranch(t *testing.T) {
 	for _, bm := range Generate(4, 80) {
-		block, err := bb.Build(uarch.SKL, bm.Code)
+		block, err := bb.Build(uarch.MustByName("SKL"), bm.Code)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -83,7 +83,7 @@ func TestLCPCategoryHasLCP(t *testing.T) {
 		if bm.Category != "lcp" {
 			continue
 		}
-		block, err := bb.Build(uarch.SKL, bm.Code)
+		block, err := bb.Build(uarch.MustByName("SKL"), bm.Code)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -101,11 +101,11 @@ func TestLCPCategoryHasLCP(t *testing.T) {
 func TestMeasureDeterministicAndPositive(t *testing.T) {
 	corpus := Generate(7, 24)
 	for _, bm := range corpus[:8] {
-		m1, err := Measure(uarch.SKL, bm.Code, false)
+		m1, err := Measure(uarch.MustByName("SKL"), bm.Code, false)
 		if err != nil {
 			t.Fatal(err)
 		}
-		m2, err := Measure(uarch.SKL, bm.Code, false)
+		m2, err := Measure(uarch.MustByName("SKL"), bm.Code, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -115,7 +115,7 @@ func TestMeasureDeterministicAndPositive(t *testing.T) {
 		if m1 <= 0 {
 			t.Fatalf("%s: non-positive measurement %v", bm.ID, m1)
 		}
-		ml, err := Measure(uarch.SKL, bm.LoopCode, true)
+		ml, err := Measure(uarch.MustByName("SKL"), bm.LoopCode, true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -128,12 +128,12 @@ func TestMeasureDeterministicAndPositive(t *testing.T) {
 func TestMeasureNoiseIsSmallAndNonNegative(t *testing.T) {
 	corpus := Generate(8, 16)
 	for _, bm := range corpus {
-		block, err := bb.Build(uarch.SKL, bm.Code)
+		block, err := bb.Build(uarch.MustByName("SKL"), bm.Code)
 		if err != nil {
 			t.Fatal(err)
 		}
 		noisy := MeasureBlock(block, false)
-		raw, err := Measure(uarch.SKL, bm.Code, false)
+		raw, err := Measure(uarch.MustByName("SKL"), bm.Code, false)
 		if err != nil {
 			t.Fatal(err)
 		}

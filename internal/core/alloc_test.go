@@ -24,7 +24,7 @@ func allocBlock(t testing.TB) *bb.Block {
 		0x48, 0xff, 0xc9, // dec rcx
 		0x75, 0xf2, // jne
 	}
-	block, err := bb.Build(uarch.SKL, code)
+	block, err := bb.Build(uarch.MustByName("SKL"), code)
 	if err != nil {
 		t.Fatal(err)
 	}

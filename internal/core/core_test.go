@@ -44,7 +44,7 @@ func TestPredecFourInstrsOneBlock(t *testing.T) {
 	code = append(code, asm.Nop(4)...)
 	code = append(code, asm.Nop(4)...)
 	code = append(code, asm.Nop(4)...)
-	block := mustBlockBytes(t, uarch.SKL, code)
+	block := mustBlockBytes(t, uarch.MustByName("SKL"), code)
 	if got := PredecBound(block, TPU); !approx(got, 1) {
 		t.Fatalf("Predec = %v, want 1", got)
 	}
@@ -59,7 +59,7 @@ func TestPredecSixInstrsOneBlock(t *testing.T) {
 	code = append(code, asm.Nop(3)...)
 	code = append(code, asm.Nop(3)...)
 	code = append(code, asm.Nop(3)...)
-	block := mustBlockBytes(t, uarch.SKL, code)
+	block := mustBlockBytes(t, uarch.MustByName("SKL"), code)
 	if got := PredecBound(block, TPU); !approx(got, 2) {
 		t.Fatalf("Predec = %v, want 2", got)
 	}
@@ -73,7 +73,7 @@ func TestPredecBoundaryCrossing(t *testing.T) {
 	code = append(code, asm.Nop(9)...) // bytes 9..17: crosses boundary at 16
 	code = append(code, asm.Nop(8)...)
 	code = append(code, asm.Nop(6)...)
-	block := mustBlockBytes(t, uarch.SKL, code)
+	block := mustBlockBytes(t, uarch.MustByName("SKL"), code)
 	// Block 0: L=1 (first nop), O=1 (crossing nop) => ceil(2/5) = 1.
 	// Block 1: L=3 (crossing, 8-byte, 6-byte) => ceil(3/5) = 1.
 	if got := PredecBound(block, TPU); !approx(got, 2) {
@@ -96,7 +96,7 @@ func TestPredecLCPPenalty(t *testing.T) {
 		t.Fatalf("unexpected encoding length %d", len(code))
 	}
 	code = append(code, asm.NopBytes(11)...)
-	block := mustBlockBytes(t, uarch.SKL, code)
+	block := mustBlockBytes(t, uarch.MustByName("SKL"), code)
 	if !block.Insts[0].Inst.HasLCP {
 		t.Fatal("expected LCP instruction")
 	}
@@ -114,7 +114,7 @@ func TestPredecUnrolling(t *testing.T) {
 		asm.Mk(x86.ADD, 64, asm.R(x86.RDX), asm.R(x86.RBX)),
 		asm.Mk(x86.ADD, 64, asm.R(x86.RSI), asm.R(x86.RBX)),
 	}
-	block := mustBlock(t, uarch.SKL, instrs)
+	block := mustBlock(t, uarch.MustByName("SKL"), instrs)
 	if block.Len() != 12 {
 		t.Fatalf("block length %d, want 12", block.Len())
 	}
@@ -141,7 +141,7 @@ func TestPredecUnrolling(t *testing.T) {
 
 func TestSimplePredec(t *testing.T) {
 	code := asm.NopBytes(24)
-	block := mustBlockBytes(t, uarch.SKL, code)
+	block := mustBlockBytes(t, uarch.MustByName("SKL"), code)
 	if got := SimplePredecBound(block, TPU); !approx(got, 1.5) {
 		t.Fatalf("SimplePredec = %v, want 1.5", got)
 	}
@@ -156,7 +156,7 @@ func TestDecFourSimpleInstrs(t *testing.T) {
 		asm.Mk(x86.ADD, 64, asm.R(x86.RDX), asm.R(x86.RBX)),
 		asm.Mk(x86.ADD, 64, asm.R(x86.RSI), asm.R(x86.RBX)),
 	}
-	block := mustBlock(t, uarch.SKL, instrs)
+	block := mustBlock(t, uarch.MustByName("SKL"), instrs)
 	if got := DecBound(block); !approx(got, 1) {
 		t.Fatalf("Dec = %v, want 1", got)
 	}
@@ -168,7 +168,7 @@ func TestDecFiveSimpleInstrsFourDecoders(t *testing.T) {
 	for _, r := range regs {
 		instrs = append(instrs, asm.Mk(x86.ADD, 64, asm.R(r), asm.R(x86.RBX)))
 	}
-	block := mustBlock(t, uarch.SKL, instrs) // SKL: 4 decoders
+	block := mustBlock(t, uarch.MustByName("SKL"), instrs) // SKL: 4 decoders
 	if got := DecBound(block); !approx(got, 1.25) {
 		t.Fatalf("Dec = %v, want 1.25", got)
 	}
@@ -183,7 +183,7 @@ func TestDecComplexOnly(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		instrs = append(instrs, asm.Mk(x86.MUL1, 64, asm.R(x86.RBX)))
 	}
-	block := mustBlock(t, uarch.SKL, instrs)
+	block := mustBlock(t, uarch.MustByName("SKL"), instrs)
 	if got := DecBound(block); !approx(got, 3) {
 		t.Fatalf("Dec = %v, want 3", got)
 	}
@@ -198,7 +198,7 @@ func TestDecICLFiveDecoders(t *testing.T) {
 	for _, r := range regs {
 		instrs = append(instrs, asm.Mk(x86.ADD, 64, asm.R(r), asm.R(x86.RBX)))
 	}
-	block := mustBlock(t, uarch.ICL, instrs) // ICL: 5 decoders
+	block := mustBlock(t, uarch.MustByName("ICL"), instrs) // ICL: 5 decoders
 	if got := DecBound(block); !approx(got, 1) {
 		t.Fatalf("Dec = %v, want 1", got)
 	}
@@ -214,7 +214,7 @@ func TestDSBBound(t *testing.T) {
 	for _, r := range regs {
 		instrs = append(instrs, asm.Mk(x86.ADD, 64, asm.R(r), asm.R(x86.RBX)))
 	}
-	block := mustBlock(t, uarch.SKL, instrs)
+	block := mustBlock(t, uarch.MustByName("SKL"), instrs)
 	if block.Len() >= 32 {
 		t.Fatalf("unexpected block length %d", block.Len())
 	}
@@ -225,7 +225,7 @@ func TestDSBBound(t *testing.T) {
 	// Same, padded past 32 bytes: no ceiling (5/6).
 	code := asm.MustEncodeBlock(instrs)
 	code = append(code, asm.NopBytes(20)...)
-	block2 := mustBlockBytes(t, uarch.SKL, code)
+	block2 := mustBlockBytes(t, uarch.MustByName("SKL"), code)
 	want := float64(5+3) / 6 // three 9-byte nops add 3 µops
 	if got := DSBBound(block2); !approx(got, want) {
 		t.Fatalf("DSB = %v, want %v", got, want)
@@ -241,13 +241,13 @@ func TestLSDBound(t *testing.T) {
 		asm.Mk(x86.ADD, 64, asm.R(x86.RCX), asm.R(x86.RBX)),
 		asm.Mk(x86.ADD, 64, asm.R(x86.RDX), asm.R(x86.RBX)),
 	}
-	block := mustBlock(t, uarch.HSW, instrs)
+	block := mustBlock(t, uarch.MustByName("HSW"), instrs)
 	if got := LSDBound(block); !approx(got, 0.75) {
 		t.Fatalf("LSD = %v, want 0.75", got)
 	}
 
 	// SNB does not unroll: ceil(3/4)/1 = 1.
-	blockSNB := mustBlock(t, uarch.SNB, instrs)
+	blockSNB := mustBlock(t, uarch.MustByName("SNB"), instrs)
 	if got := LSDBound(blockSNB); !approx(got, 1) {
 		t.Fatalf("LSD (SNB) = %v, want 1", got)
 	}
@@ -258,12 +258,12 @@ func TestIssueBoundUnlamination(t *testing.T) {
 	instrs := []asm.Instr{
 		asm.Mk(x86.ADD, 64, asm.R(x86.RAX), asm.MX(x86.RBX, x86.RCX, 1, 0)),
 	}
-	blockSKL := mustBlock(t, uarch.SKL, instrs)
+	blockSKL := mustBlock(t, uarch.MustByName("SKL"), instrs)
 	if got := IssueBound(blockSKL); !approx(got, 2.0/4) {
 		t.Fatalf("Issue (SKL) = %v, want 0.5", got)
 	}
 	// ICL does not unlaminate; issue width 5.
-	blockICL := mustBlock(t, uarch.ICL, instrs)
+	blockICL := mustBlock(t, uarch.MustByName("ICL"), instrs)
 	if got := IssueBound(blockICL); !approx(got, 1.0/5) {
 		t.Fatalf("Issue (ICL) = %v, want 0.2", got)
 	}
@@ -279,7 +279,7 @@ func TestPortsBoundSimple(t *testing.T) {
 		asm.Mk(x86.SHL, 64, asm.R(x86.RCX), asm.I(3)),
 		asm.Mk(x86.SHL, 64, asm.R(x86.RDX), asm.I(2)),
 	}
-	block := mustBlock(t, uarch.SKL, instrs)
+	block := mustBlock(t, uarch.MustByName("SKL"), instrs)
 	if got := PortsBound(block); !approx(got, 1) {
 		t.Fatalf("Ports = %v, want 1", got)
 	}
@@ -292,7 +292,7 @@ func TestPortsBoundContention(t *testing.T) {
 		asm.Mk(x86.IMUL, 64, asm.R(x86.RCX), asm.R(x86.RBX)),
 		asm.Mk(x86.IMUL, 64, asm.R(x86.RDX), asm.R(x86.RBX)),
 	}
-	block := mustBlock(t, uarch.SKL, instrs)
+	block := mustBlock(t, uarch.MustByName("SKL"), instrs)
 	got, detail := PortsBoundDetail(block)
 	if !approx(got, 3) {
 		t.Fatalf("Ports = %v, want 3", got)
@@ -312,7 +312,7 @@ func TestPortsEliminatedExcluded(t *testing.T) {
 		asm.Mk(x86.XOR, 64, asm.R(x86.RCX), asm.R(x86.RCX)), // zero idiom
 		asm.Mk(x86.IMUL, 64, asm.R(x86.RDX), asm.R(x86.RSI)),
 	}
-	block := mustBlock(t, uarch.SKL, instrs)
+	block := mustBlock(t, uarch.MustByName("SKL"), instrs)
 	if got := PortsBound(block); !approx(got, 1) {
 		t.Fatalf("Ports = %v, want 1 (only the imul)", got)
 	}
@@ -356,7 +356,7 @@ func TestPortsPairwiseMatchesExact(t *testing.T) {
 
 func TestPrecedenceSelfChain(t *testing.T) {
 	// add rax, rax: loop-carried latency-1 chain.
-	block := mustBlock(t, uarch.SKL, []asm.Instr{
+	block := mustBlock(t, uarch.MustByName("SKL"), []asm.Instr{
 		asm.Mk(x86.ADD, 64, asm.R(x86.RAX), asm.R(x86.RAX)),
 	})
 	got, chain := PrecedenceBound(block)
@@ -369,7 +369,7 @@ func TestPrecedenceSelfChain(t *testing.T) {
 }
 
 func TestPrecedenceImulChain(t *testing.T) {
-	block := mustBlock(t, uarch.SKL, []asm.Instr{
+	block := mustBlock(t, uarch.MustByName("SKL"), []asm.Instr{
 		asm.Mk(x86.IMUL, 64, asm.R(x86.RAX), asm.R(x86.RAX)),
 	})
 	if got, _ := PrecedenceBound(block); !approx(got, 3) {
@@ -378,7 +378,7 @@ func TestPrecedenceImulChain(t *testing.T) {
 }
 
 func TestPrecedenceTwoInstrCycle(t *testing.T) {
-	block := mustBlock(t, uarch.SKL, []asm.Instr{
+	block := mustBlock(t, uarch.MustByName("SKL"), []asm.Instr{
 		asm.Mk(x86.ADD, 64, asm.R(x86.RAX), asm.R(x86.RBX)),
 		asm.Mk(x86.ADD, 64, asm.R(x86.RBX), asm.R(x86.RAX)),
 	})
@@ -389,7 +389,7 @@ func TestPrecedenceTwoInstrCycle(t *testing.T) {
 
 func TestPrecedenceLoadChain(t *testing.T) {
 	// mov rax, [rax]: pointer chase, LoadLat = 5.
-	block := mustBlock(t, uarch.SKL, []asm.Instr{
+	block := mustBlock(t, uarch.MustByName("SKL"), []asm.Instr{
 		asm.Mk(x86.MOV, 64, asm.R(x86.RAX), asm.M(x86.RAX, 0)),
 	})
 	if got, _ := PrecedenceBound(block); !approx(got, 5) {
@@ -398,7 +398,7 @@ func TestPrecedenceLoadChain(t *testing.T) {
 }
 
 func TestPrecedenceZeroIdiomBreaksChain(t *testing.T) {
-	block := mustBlock(t, uarch.SKL, []asm.Instr{
+	block := mustBlock(t, uarch.MustByName("SKL"), []asm.Instr{
 		asm.Mk(x86.XOR, 64, asm.R(x86.RAX), asm.R(x86.RAX)),
 		asm.Mk(x86.ADD, 64, asm.R(x86.RAX), asm.I(1)),
 	})
@@ -410,7 +410,7 @@ func TestPrecedenceZeroIdiomBreaksChain(t *testing.T) {
 func TestPrecedenceEliminatedMoveZeroLatency(t *testing.T) {
 	// mov rbx, rax; add rax, rbx: on SKL the move is eliminated (latency
 	// 0), so the cycle is add's latency only.
-	block := mustBlock(t, uarch.SKL, []asm.Instr{
+	block := mustBlock(t, uarch.MustByName("SKL"), []asm.Instr{
 		asm.Mk(x86.MOV, 64, asm.R(x86.RBX), asm.R(x86.RAX)),
 		asm.Mk(x86.ADD, 64, asm.R(x86.RAX), asm.R(x86.RBX)),
 	})
@@ -418,7 +418,7 @@ func TestPrecedenceEliminatedMoveZeroLatency(t *testing.T) {
 		t.Fatalf("Precedence (SKL) = %v, want 1", got)
 	}
 	// On ICL GPR move elimination is disabled: latency 2.
-	blockICL := mustBlock(t, uarch.ICL, []asm.Instr{
+	blockICL := mustBlock(t, uarch.MustByName("ICL"), []asm.Instr{
 		asm.Mk(x86.MOV, 64, asm.R(x86.RBX), asm.R(x86.RAX)),
 		asm.Mk(x86.ADD, 64, asm.R(x86.RAX), asm.R(x86.RBX)),
 	})
@@ -429,7 +429,7 @@ func TestPrecedenceEliminatedMoveZeroLatency(t *testing.T) {
 
 func TestPrecedenceFlagsChain(t *testing.T) {
 	// adc rax, rbx depends on flags written by itself => latency cycle.
-	block := mustBlock(t, uarch.SKL, []asm.Instr{
+	block := mustBlock(t, uarch.MustByName("SKL"), []asm.Instr{
 		asm.Mk(x86.ADC, 64, asm.R(x86.RAX), asm.R(x86.RBX)),
 	})
 	if got, _ := PrecedenceBound(block); !approx(got, 1) {
@@ -441,7 +441,7 @@ func TestPrecedenceFlagsChain(t *testing.T) {
 
 func TestPredictTPUDepChainBound(t *testing.T) {
 	// A single imul chain: Precedence (3) dominates everything else.
-	block := mustBlock(t, uarch.SKL, []asm.Instr{
+	block := mustBlock(t, uarch.MustByName("SKL"), []asm.Instr{
 		asm.Mk(x86.IMUL, 64, asm.R(x86.RAX), asm.R(x86.RAX)),
 	})
 	p := Predict(block, TPU, Options{})
@@ -465,7 +465,7 @@ func TestPredictTPLLoop(t *testing.T) {
 		asm.Mk(x86.DEC, 64, asm.R(x86.RCX)),
 		asm.MkCC(x86.JCC, x86.CondNE, 64, asm.I(-100)),
 	)
-	block := mustBlock(t, uarch.SKL, instrs)
+	block := mustBlock(t, uarch.MustByName("SKL"), instrs)
 	if !block.Insts[8].FusedWithNext || !block.Insts[9].FusedWithPrev {
 		t.Fatal("dec/jnz must macro-fuse on SKL")
 	}
@@ -481,7 +481,7 @@ func TestPredictTPLLoop(t *testing.T) {
 }
 
 func TestPredictOnlyAndWithout(t *testing.T) {
-	block := mustBlock(t, uarch.SKL, []asm.Instr{
+	block := mustBlock(t, uarch.MustByName("SKL"), []asm.Instr{
 		asm.Mk(x86.IMUL, 64, asm.R(x86.RAX), asm.R(x86.RAX)),
 	})
 	only := Predict(block, TPU, Options{Include: Set(Issue)})
@@ -495,7 +495,7 @@ func TestPredictOnlyAndWithout(t *testing.T) {
 }
 
 func TestIdealizationSpeedup(t *testing.T) {
-	block := mustBlock(t, uarch.SKL, []asm.Instr{
+	block := mustBlock(t, uarch.MustByName("SKL"), []asm.Instr{
 		asm.Mk(x86.IMUL, 64, asm.R(x86.RAX), asm.R(x86.RAX)),
 	})
 	s := IdealizationSpeedup(block, TPU, Precedence)
@@ -518,7 +518,7 @@ func TestJCCErratumFrontEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	code = append(code, jcc...)
-	block := mustBlockBytes(t, uarch.SKL, code)
+	block := mustBlockBytes(t, uarch.MustByName("SKL"), code)
 	if !block.JCCErratumAffected() {
 		t.Fatal("expected JCC erratum to apply")
 	}
@@ -528,7 +528,7 @@ func TestJCCErratumFrontEnd(t *testing.T) {
 	}
 
 	// The same block on RKL (no erratum) uses the LSD or DSB.
-	blockRKL := mustBlockBytes(t, uarch.RKL, code)
+	blockRKL := mustBlockBytes(t, uarch.MustByName("RKL"), code)
 	if blockRKL.JCCErratumAffected() {
 		t.Fatal("RKL must not be affected")
 	}
@@ -545,13 +545,13 @@ func TestLSDSelectedWhenFits(t *testing.T) {
 		asm.Mk(x86.DEC, 64, asm.R(x86.RCX)),
 		asm.MkCC(x86.JCC, x86.CondNE, 64, asm.I(-10)),
 	}
-	block := mustBlock(t, uarch.HSW, instrs)
+	block := mustBlock(t, uarch.MustByName("HSW"), instrs)
 	p := Predict(block, TPL, Options{})
 	if p.FrontEndSource != LSD {
 		t.Fatalf("FE source = %v, want LSD", p.FrontEndSource)
 	}
 	// SKL has the LSD disabled: DSB.
-	blockSKL := mustBlock(t, uarch.SKL, instrs)
+	blockSKL := mustBlock(t, uarch.MustByName("SKL"), instrs)
 	pSKL := Predict(blockSKL, TPL, Options{})
 	if pSKL.FrontEndSource != DSB {
 		t.Fatalf("FE source (SKL) = %v, want DSB", pSKL.FrontEndSource)
@@ -561,7 +561,7 @@ func TestLSDSelectedWhenFits(t *testing.T) {
 func TestBottleneckOrdering(t *testing.T) {
 	// Construct a block where Predec and Ports tie; the primary bottleneck
 	// must be the front-end one (Predec).
-	block := mustBlock(t, uarch.SKL, []asm.Instr{
+	block := mustBlock(t, uarch.MustByName("SKL"), []asm.Instr{
 		asm.Mk(x86.ADD, 64, asm.R(x86.RAX), asm.R(x86.RBX)),
 	})
 	p := Predict(block, TPU, Options{})
@@ -578,10 +578,10 @@ func TestBottleneckOrdering(t *testing.T) {
 // the invariant that makes one-pass counterfactuals sound.
 func TestCombineMatchesRestrictedPredict(t *testing.T) {
 	blocks := []*bb.Block{
-		mustBlock(t, uarch.SKL, []asm.Instr{
+		mustBlock(t, uarch.MustByName("SKL"), []asm.Instr{
 			asm.Mk(x86.IMUL, 64, asm.R(x86.RAX), asm.R(x86.RAX)),
 		}),
-		mustBlock(t, uarch.HSW, []asm.Instr{ // LSD-served loop
+		mustBlock(t, uarch.MustByName("HSW"), []asm.Instr{ // LSD-served loop
 			asm.Mk(x86.ADD, 64, asm.R(x86.RAX), asm.I(1)),
 			asm.Mk(x86.DEC, 64, asm.R(x86.RCX)),
 			asm.MkCC(x86.JCC, x86.CondNE, 64, asm.I(-10)),
@@ -593,7 +593,7 @@ func TestCombineMatchesRestrictedPredict(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	blocks = append(blocks, mustBlockBytes(t, uarch.SKL, append(code, jcc...)))
+	blocks = append(blocks, mustBlockBytes(t, uarch.MustByName("SKL"), append(code, jcc...)))
 
 	for bi, block := range blocks {
 		for _, mode := range []Mode{TPU, TPL} {
@@ -614,7 +614,7 @@ func TestCombineMatchesRestrictedPredict(t *testing.T) {
 // one full component-bound computation per block; every per-component
 // counterfactual is recombination, not recomputation.
 func TestSpeedupsSingleBoundComputation(t *testing.T) {
-	block := mustBlock(t, uarch.SKL, []asm.Instr{
+	block := mustBlock(t, uarch.MustByName("SKL"), []asm.Instr{
 		asm.Mk(x86.IMUL, 64, asm.R(x86.RAX), asm.R(x86.RAX)),
 		asm.Mk(x86.ADD, 64, asm.R(x86.RBX), asm.R(x86.RAX)),
 	})
@@ -651,7 +651,7 @@ func TestSpeedupsSingleBoundComputation(t *testing.T) {
 // must not leak state between predictions.
 func TestPredictReusedAnalysisDeterministic(t *testing.T) {
 	a := NewAnalysis()
-	blocks := corpusBlocks(t, 7, 12, uarch.SKL, true)
+	blocks := corpusBlocks(t, 7, 12, uarch.MustByName("SKL"), true)
 	if len(blocks) < 4 {
 		t.Skip("corpus too small")
 	}

@@ -124,12 +124,12 @@ func TestQuickPortsPairwiseMatchesExact(t *testing.T) {
 // only increase the Issue bound (µop counts are additive).
 func TestQuickBoundMonotoneInBlockConcatenation(t *testing.T) {
 	f := func(seed int64) bool {
-		blocks := corpusBlocks(t, seed%2000, 2, uarch.SKL, false)
+		blocks := corpusBlocks(t, seed%2000, 2, uarch.MustByName("SKL"), false)
 		if len(blocks) < 2 {
 			return true
 		}
 		a, bB := blocks[0], blocks[1]
-		combined, err := bb.Build(uarch.SKL, append(append([]byte{}, a.Code...), bB.Code...))
+		combined, err := bb.Build(uarch.MustByName("SKL"), append(append([]byte{}, a.Code...), bB.Code...))
 		if err != nil {
 			return true
 		}
@@ -168,7 +168,7 @@ func TestQuickPredictDeterministic(t *testing.T) {
 		if loopRaw {
 			mode = TPL
 		}
-		for _, block := range corpusBlocks(t, seed%3000, 3, uarch.RKL, loopRaw) {
+		for _, block := range corpusBlocks(t, seed%3000, 3, uarch.MustByName("RKL"), loopRaw) {
 			a := Predict(block, mode, Options{})
 			b := Predict(block, mode, Options{})
 			if a.TP != b.TP || a.Bounds != b.Bounds {

@@ -37,7 +37,7 @@ func TestTable1ListsAllArches(t *testing.T) {
 
 func TestTable2Shape(t *testing.T) {
 	skipIfShort(t)
-	rows, text := Table2(testCorpusN, testTrainN, []*uarch.Config{uarch.SKL})
+	rows, text := Table2(testCorpusN, testTrainN, []*uarch.Config{uarch.MustByName("SKL")})
 	if !strings.Contains(text, "Facile") {
 		t.Fatal("missing Facile row")
 	}
@@ -79,7 +79,7 @@ func TestTable2Shape(t *testing.T) {
 
 func TestTable3Shape(t *testing.T) {
 	skipIfShort(t)
-	rows, _ := Table3(testCorpusN, []*uarch.Config{uarch.RKL})
+	rows, _ := Table3(testCorpusN, []*uarch.Config{uarch.MustByName("RKL")})
 	get := func(variant string) VariantRow {
 		for _, r := range rows {
 			if r.Variant == variant {
@@ -121,7 +121,7 @@ func TestTable3Shape(t *testing.T) {
 
 func TestTable4Shape(t *testing.T) {
 	skipIfShort(t)
-	rows, _ := Table4(testCorpusN, []*uarch.Config{uarch.SNB, uarch.RKL})
+	rows, _ := Table4(testCorpusN, []*uarch.Config{uarch.MustByName("SNB"), uarch.MustByName("RKL")})
 	for _, row := range rows {
 		for c, sp := range row.Speedups {
 			if sp < 1-1e-9 {
@@ -142,7 +142,7 @@ func TestTable4Shape(t *testing.T) {
 
 func TestFigure3Renders(t *testing.T) {
 	skipIfShort(t)
-	text := Figure3(80, uarch.RKL)
+	text := Figure3(80, uarch.MustByName("RKL"))
 	for _, want := range []string{"FIGURE 3", "Facile", "uiCA", "llvm-mca", "CQA"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("Figure 3 missing %q", want)
@@ -152,7 +152,7 @@ func TestFigure3Renders(t *testing.T) {
 
 func TestFigure4ComponentCosts(t *testing.T) {
 	skipIfShort(t)
-	tpu, tpl, text := Figure4(60, uarch.SKL)
+	tpu, tpl, text := Figure4(60, uarch.MustByName("SKL"))
 	if !strings.Contains(text, "Precedence") {
 		t.Fatal("missing Precedence timing")
 	}
@@ -178,7 +178,7 @@ func TestFigure4ComponentCosts(t *testing.T) {
 
 func TestFigure5FacileFastest(t *testing.T) {
 	skipIfShort(t)
-	rows, _ := Figure5(60, 60, uarch.SKL)
+	rows, _ := Figure5(60, 60, uarch.MustByName("SKL"))
 	var facileMs, uicaMs float64
 	for _, r := range rows {
 		switch r.Name {
@@ -201,7 +201,7 @@ func TestFigure5FacileFastest(t *testing.T) {
 
 func TestFigure6SharesShift(t *testing.T) {
 	skipIfShort(t)
-	text := BottleneckFlow(testCorpusN, []*uarch.Config{uarch.SNB, uarch.RKL})
+	text := BottleneckFlow(testCorpusN, []*uarch.Config{uarch.MustByName("SNB"), uarch.MustByName("RKL")})
 	if !strings.Contains(text, "SNB bottleneck shares") ||
 		!strings.Contains(text, "RKL bottleneck shares") ||
 		!strings.Contains(text, "Transitions SNB -> RKL") {

@@ -1,0 +1,109 @@
+package isa
+
+import (
+	"testing"
+
+	"facile/internal/asm"
+	"facile/internal/uarch"
+	"facile/internal/x86"
+)
+
+// TestGenGatedTablesMatchRegistry verifies the gen-gated instruction tables
+// against registry-supplied Gen values: for every registered
+// microarchitecture — the nine embedded ones and a set of derived variants
+// whose Gen comes from their base — each generation-dependent table entry
+// must agree with the config's Gen, not with its name or any other field.
+// This is what makes custom arches safe: a "SKL-LSD" overlay inherits
+// gen SKL and therefore SKL's µop breakdowns.
+func TestGenGatedTablesMatchRegistry(t *testing.T) {
+	reg := uarch.NewRegistry()
+	// Variants across the gen-gating boundaries (BDW for ADC, SKL for
+	// CMOV/divide, HSW for PMULLD), with unrelated fields perturbed.
+	for _, v := range []struct{ name, base, overlay string }{
+		{"V-HSW", "HSW", `{"idq_size": 60, "lsd_unroll_target": 30}`},
+		{"V-BDW", "BDW", `{"issue_width": 6, "retire_width": 6}`},
+		{"V-SKL", "SKL", `{"lsd_enabled": true}`},
+		{"V-RKL", "RKL", `{"rob_size": 512}`},
+		{"V-SNB", "SNB", `{"sched_size": 60}`},
+	} {
+		if _, err := reg.Derive(v.name, v.base, []byte(v.overlay)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	adc := asm.Mk(x86.ADC, 64, asm.R(x86.RAX), asm.R(x86.RBX))
+	cmov := asm.MkCC(x86.CMOVCC, x86.CondNE, 64, asm.R(x86.RAX), asm.R(x86.RBX))
+	pmulld := asm.Mk(x86.PMULLD, 128, asm.R(x86.X0), asm.R(x86.X1))
+	divps := asm.Mk(x86.DIVPS, 128, asm.R(x86.X0), asm.R(x86.X1))
+
+	for _, cfg := range reg.All() {
+		// ADC: two merge µops before Broadwell, one from Broadwell on.
+		_, d := mustDesc(t, cfg, adc)
+		want := 2
+		if cfg.Gen >= uarch.GenBDW {
+			want = 1
+		}
+		if len(d.Uops) != want {
+			t.Errorf("%s (gen %s): adc has %d µops, want %d", cfg.Name, cfg.Gen, len(d.Uops), want)
+		}
+
+		// CMOV: single µop from Skylake on.
+		_, d = mustDesc(t, cfg, cmov)
+		want = 2
+		if cfg.Gen >= uarch.GenSKL {
+			want = 1
+		}
+		if len(d.Uops) != want {
+			t.Errorf("%s (gen %s): cmov has %d µops, want %d", cfg.Name, cfg.Gen, len(d.Uops), want)
+		}
+
+		// PMULLD: double-pumped from Haswell on.
+		_, d = mustDesc(t, cfg, pmulld)
+		want = 1
+		if cfg.Gen >= uarch.GenHSW {
+			want = 2
+		}
+		if len(d.Uops) != want {
+			t.Errorf("%s (gen %s): pmulld has %d µops, want %d", cfg.Name, cfg.Gen, len(d.Uops), want)
+		}
+
+		// DIVPS: the radix-1024 divider (SKL on) more than halves the
+		// reciprocal throughput and trims latency.
+		_, d = mustDesc(t, cfg, divps)
+		wantRecTP, wantLat := 7, 13
+		if cfg.Gen >= uarch.GenSKL {
+			wantRecTP, wantLat = 3, 11
+		}
+		if len(d.Uops) != 1 || d.Uops[0].RecTP != wantRecTP || d.Latency != wantLat {
+			t.Errorf("%s (gen %s): divps = %d µops recTP %d lat %d, want 1/%d/%d",
+				cfg.Name, cfg.Gen, len(d.Uops), d.Uops[0].RecTP, d.Latency, wantRecTP, wantLat)
+		}
+
+		// Port assignments always come from the config's own role table.
+		for _, u := range d.Uops {
+			if u.Ports != cfg.PortsFor(u.Role) {
+				t.Errorf("%s: µop ports %v disagree with role table %v",
+					cfg.Name, u.Ports, cfg.PortsFor(u.Role))
+			}
+		}
+	}
+
+	// Variants must decode exactly like their bases: same gen, same tables.
+	for _, pair := range [][2]string{
+		{"V-HSW", "HSW"}, {"V-BDW", "BDW"}, {"V-SKL", "SKL"}, {"V-RKL", "RKL"}, {"V-SNB", "SNB"},
+	} {
+		vc, _ := reg.ByName(pair[0])
+		bc, _ := reg.ByName(pair[1])
+		if vc.Gen != bc.Gen {
+			t.Fatalf("%s: gen %s, want base %s's %s", pair[0], vc.Gen, pair[1], bc.Gen)
+		}
+		for _, ins := range []asm.Instr{adc, cmov, pmulld, divps} {
+			_, dv := mustDesc(t, vc, ins)
+			_, db := mustDesc(t, bc, ins)
+			if len(dv.Uops) != len(db.Uops) || dv.Latency != db.Latency {
+				t.Errorf("%s decodes %v unlike its base %s: %d µops lat %d vs %d µops lat %d",
+					pair[0], ins, pair[1], len(dv.Uops), dv.Latency, len(db.Uops), db.Latency)
+			}
+		}
+	}
+}

@@ -26,7 +26,7 @@ func mustDesc(t *testing.T, cfg *uarch.Config, ins asm.Instr) (*x86.Inst, *Desc)
 }
 
 func TestSimpleALU(t *testing.T) {
-	_, d := mustDesc(t, uarch.SKL, asm.Mk(x86.ADD, 64, asm.R(x86.RAX), asm.R(x86.RBX)))
+	_, d := mustDesc(t, uarch.MustByName("SKL"), asm.Mk(x86.ADD, 64, asm.R(x86.RAX), asm.R(x86.RBX)))
 	if d.FusedUops != 1 || d.IssueUops != 1 || len(d.Uops) != 1 {
 		t.Fatalf("%+v", d)
 	}
@@ -43,7 +43,7 @@ func TestSimpleALU(t *testing.T) {
 
 func TestLoadOp(t *testing.T) {
 	// add rax, [rbx]: 1 fused µop (micro-fused), 2 unfused.
-	_, d := mustDesc(t, uarch.SKL, asm.Mk(x86.ADD, 64, asm.R(x86.RAX), asm.M(x86.RBX, 0)))
+	_, d := mustDesc(t, uarch.MustByName("SKL"), asm.Mk(x86.ADD, 64, asm.R(x86.RAX), asm.M(x86.RBX, 0)))
 	if d.FusedUops != 1 || len(d.Uops) != 2 || !d.Load || d.Store {
 		t.Fatalf("%+v", d)
 	}
@@ -58,7 +58,7 @@ func TestLoadOp(t *testing.T) {
 
 func TestRMW(t *testing.T) {
 	// add [rbx], rax: 2 fused µops, 4 unfused (load, alu, sta, std).
-	_, d := mustDesc(t, uarch.SKL, asm.Mk(x86.ADD, 64, asm.M(x86.RBX, 0), asm.R(x86.RAX)))
+	_, d := mustDesc(t, uarch.MustByName("SKL"), asm.Mk(x86.ADD, 64, asm.M(x86.RBX, 0), asm.R(x86.RAX)))
 	if d.FusedUops != 2 || len(d.Uops) != 4 || !d.Load || !d.Store {
 		t.Fatalf("%+v", d)
 	}
@@ -73,7 +73,7 @@ func TestRMW(t *testing.T) {
 
 func TestStore(t *testing.T) {
 	// mov [rbx], rax: 1 fused µop (sta+std micro-fused), 2 unfused.
-	_, d := mustDesc(t, uarch.SKL, asm.Mk(x86.MOV, 64, asm.M(x86.RBX, 0), asm.R(x86.RAX)))
+	_, d := mustDesc(t, uarch.MustByName("SKL"), asm.Mk(x86.MOV, 64, asm.M(x86.RBX, 0), asm.R(x86.RAX)))
 	if d.FusedUops != 1 || len(d.Uops) != 2 {
 		t.Fatalf("%+v", d)
 	}
@@ -84,11 +84,11 @@ func TestStore(t *testing.T) {
 
 func TestUnlamination(t *testing.T) {
 	ins := asm.Mk(x86.ADD, 64, asm.R(x86.RAX), asm.MX(x86.RBX, x86.RCX, 1, 0))
-	_, dSKL := mustDesc(t, uarch.SKL, ins)
+	_, dSKL := mustDesc(t, uarch.MustByName("SKL"), ins)
 	if dSKL.IssueUops != 2 || !dSKL.Unlaminated {
 		t.Fatalf("SKL: %+v", dSKL)
 	}
-	_, dICL := mustDesc(t, uarch.ICL, ins)
+	_, dICL := mustDesc(t, uarch.MustByName("ICL"), ins)
 	if dICL.IssueUops != 1 || dICL.Unlaminated {
 		t.Fatalf("ICL: %+v", dICL)
 	}
@@ -104,7 +104,7 @@ func TestMoveElimination(t *testing.T) {
 		cfg  *uarch.Config
 		elim bool
 	}{
-		{uarch.SNB, false}, {uarch.IVB, true}, {uarch.SKL, true}, {uarch.ICL, false},
+		{uarch.MustByName("SNB"), false}, {uarch.MustByName("IVB"), true}, {uarch.MustByName("SKL"), true}, {uarch.MustByName("ICL"), false},
 	} {
 		_, d := mustDesc(t, c.cfg, ins)
 		if d.Eliminated != c.elim {
@@ -116,21 +116,21 @@ func TestMoveElimination(t *testing.T) {
 	}
 	// Vector moves are eliminated on ICL (only GPR elimination is disabled).
 	vins := asm.Mk(x86.MOVAPS, 128, asm.R(x86.X1), asm.R(x86.X2))
-	_, d := mustDesc(t, uarch.ICL, vins)
+	_, d := mustDesc(t, uarch.MustByName("ICL"), vins)
 	if !d.Eliminated {
 		t.Fatal("ICL must eliminate vector moves")
 	}
 }
 
 func TestZeroIdiom(t *testing.T) {
-	_, d := mustDesc(t, uarch.SNB, asm.Mk(x86.XOR, 64, asm.R(x86.RAX), asm.R(x86.RAX)))
+	_, d := mustDesc(t, uarch.MustByName("SNB"), asm.Mk(x86.XOR, 64, asm.R(x86.RAX), asm.R(x86.RAX)))
 	if !d.Eliminated || len(d.Uops) != 0 {
 		t.Fatalf("%+v", d)
 	}
 }
 
 func TestNop(t *testing.T) {
-	_, d := mustDesc(t, uarch.SKL, Instr0())
+	_, d := mustDesc(t, uarch.MustByName("SKL"), Instr0())
 	if d.FusedUops != 1 || len(d.Uops) != 0 || d.Eliminated {
 		t.Fatalf("%+v", d)
 	}
@@ -141,11 +141,11 @@ func Instr0() asm.Instr { return asm.Mk(x86.NOP, 1) }
 
 func TestADCGenerations(t *testing.T) {
 	ins := asm.Mk(x86.ADC, 64, asm.R(x86.RAX), asm.R(x86.RBX))
-	_, dHSW := mustDesc(t, uarch.HSW, ins)
+	_, dHSW := mustDesc(t, uarch.MustByName("HSW"), ins)
 	if len(dHSW.Uops) != 2 || dHSW.Latency != 2 {
 		t.Fatalf("HSW adc: %+v", dHSW)
 	}
-	_, dBDW := mustDesc(t, uarch.BDW, ins)
+	_, dBDW := mustDesc(t, uarch.MustByName("BDW"), ins)
 	if len(dBDW.Uops) != 1 || dBDW.Latency != 1 {
 		t.Fatalf("BDW adc: %+v", dBDW)
 	}
@@ -153,18 +153,18 @@ func TestADCGenerations(t *testing.T) {
 
 func TestCMOVGenerations(t *testing.T) {
 	ins := asm.MkCC(x86.CMOVCC, x86.CondNE, 64, asm.R(x86.RAX), asm.R(x86.RBX))
-	_, dHSW := mustDesc(t, uarch.HSW, ins)
+	_, dHSW := mustDesc(t, uarch.MustByName("HSW"), ins)
 	if len(dHSW.Uops) != 2 {
 		t.Fatalf("HSW cmov: %+v", dHSW)
 	}
-	_, dSKL := mustDesc(t, uarch.SKL, ins)
+	_, dSKL := mustDesc(t, uarch.MustByName("SKL"), ins)
 	if len(dSKL.Uops) != 1 {
 		t.Fatalf("SKL cmov: %+v", dSKL)
 	}
 }
 
 func TestDIVHeavy(t *testing.T) {
-	_, d := mustDesc(t, uarch.SKL, asm.Mk(x86.DIV, 64, asm.R(x86.RBX)))
+	_, d := mustDesc(t, uarch.MustByName("SKL"), asm.Mk(x86.DIV, 64, asm.R(x86.RBX)))
 	if !d.Complex || d.AvailSimple != 1 {
 		t.Fatalf("%+v", d)
 	}
@@ -186,10 +186,10 @@ func TestFMAUnsupportedOnSNB(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Lookup(uarch.SNB, &inst); err == nil {
+	if _, err := Lookup(uarch.MustByName("SNB"), &inst); err == nil {
 		t.Fatal("FMA must be unsupported on SNB")
 	}
-	if _, err := Lookup(uarch.HSW, &inst); err != nil {
+	if _, err := Lookup(uarch.MustByName("HSW"), &inst); err != nil {
 		t.Fatalf("FMA must be supported on HSW: %v", err)
 	}
 }
@@ -225,33 +225,33 @@ func TestMacroFusionRules(t *testing.T) {
 	cmpMemImm := asm.Mk(x86.CMP, 64, asm.M(x86.RAX, 0), asm.I(5))
 	addMem := asm.Mk(x86.ADD, 64, asm.M(x86.RAX, 0), asm.R(x86.RBX))
 
-	if !mk(uarch.SKL, cmp, x86.CondE) {
+	if !mk(uarch.MustByName("SKL"), cmp, x86.CondE) {
 		t.Error("cmp+je must fuse on SKL")
 	}
-	if mk(uarch.SKL, cmp, x86.CondS) {
+	if mk(uarch.MustByName("SKL"), cmp, x86.CondS) {
 		t.Error("cmp+js must not fuse")
 	}
-	if !mk(uarch.SKL, test, x86.CondS) {
+	if !mk(uarch.MustByName("SKL"), test, x86.CondS) {
 		t.Error("test+js must fuse")
 	}
-	if mk(uarch.SKL, dec, x86.CondB) {
+	if mk(uarch.MustByName("SKL"), dec, x86.CondB) {
 		t.Error("dec+jb must not fuse (dec does not write CF)")
 	}
-	if !mk(uarch.SKL, dec, x86.CondNE) {
+	if !mk(uarch.MustByName("SKL"), dec, x86.CondNE) {
 		t.Error("dec+jne must fuse")
 	}
-	if mk(uarch.SKL, cmpMemImm, x86.CondE) {
+	if mk(uarch.MustByName("SKL"), cmpMemImm, x86.CondE) {
 		t.Error("cmp mem,imm must not fuse")
 	}
-	if mk(uarch.SKL, addMem, x86.CondE) {
+	if mk(uarch.MustByName("SKL"), addMem, x86.CondE) {
 		t.Error("RMW add must not fuse")
 	}
 	// SNB does not fuse memory-operand compares at all.
 	cmpMem := asm.Mk(x86.CMP, 64, asm.R(x86.RAX), asm.M(x86.RBX, 0))
-	if mk(uarch.SNB, cmpMem, x86.CondE) {
+	if mk(uarch.MustByName("SNB"), cmpMem, x86.CondE) {
 		t.Error("cmp r,m must not fuse on SNB")
 	}
-	if !mk(uarch.SKL, cmpMem, x86.CondE) {
+	if !mk(uarch.MustByName("SKL"), cmpMem, x86.CondE) {
 		t.Error("cmp r,m must fuse on SKL")
 	}
 }

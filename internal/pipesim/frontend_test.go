@@ -20,7 +20,7 @@ func TestFrontendJCCErratumForcesLegacyPath(t *testing.T) {
 	// cannot be used, so the loop pays the predecode/decode cost each
 	// iteration; on HSW (no erratum) it streams from the LSD.
 	code := append(asm.NopBytes(30), 0x75, 0xE0) // 30B nops + jne => ends at 32
-	blockSKL, err := bb.Build(uarch.SKL, code)
+	blockSKL, err := bb.Build(uarch.MustByName("SKL"), code)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +29,7 @@ func TestFrontendJCCErratumForcesLegacyPath(t *testing.T) {
 	}
 	resSKL := Run(blockSKL, Options{Loop: true})
 
-	blockHSW, err := bb.Build(uarch.HSW, code)
+	blockHSW, err := bb.Build(uarch.MustByName("HSW"), code)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestFrontendDSB32ByteRule(t *testing.T) {
 		asm.Mk(x86.TEST, 64, asm.R(x86.R15), asm.R(x86.R15)),
 		asm.MkCC(x86.JCC, x86.CondNE, 64, asm.I(-20)),
 	}
-	blockShort, err := bb.Build(uarch.SKL, asm.MustEncodeBlock(short))
+	blockShort, err := bb.Build(uarch.MustByName("SKL"), asm.MustEncodeBlock(short))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,11 +86,11 @@ func TestFrontendLCPStallsOnlyLegacyPath(t *testing.T) {
 		asm.MkCC(x86.JCC, x86.CondNE, 64, asm.I(-15)),
 	}
 	code := asm.MustEncodeBlock(instrs)
-	blockU, err := bb.Build(uarch.RKL, code[:len(code)-5]) // drop test+jcc for U
+	blockU, err := bb.Build(uarch.MustByName("RKL"), code[:len(code)-5]) // drop test+jcc for U
 	if err != nil {
 		t.Fatal(err)
 	}
-	blockL, err := bb.Build(uarch.RKL, code)
+	blockL, err := bb.Build(uarch.MustByName("RKL"), code)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestBackendROBLimitsDistantParallelism(t *testing.T) {
 		asm.Mk(x86.ADD, 64, asm.R(x86.RAX), asm.I(1)),
 		asm.Mk(x86.ADD, 64, asm.R(x86.RBX), asm.I(1)),
 	}
-	block, err := bb.Build(uarch.SKL, asm.MustEncodeBlock(instrs))
+	block, err := bb.Build(uarch.MustByName("SKL"), asm.MustEncodeBlock(instrs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestSimScalesWindowForLargeBlocks(t *testing.T) {
 	for i := 0; i < 120; i++ {
 		instrs = append(instrs, asm.Mk(x86.ADD, 64, asm.R(regs[i%len(regs)]), asm.I(1)))
 	}
-	block, err := bb.Build(uarch.SKL, asm.MustEncodeBlock(instrs))
+	block, err := bb.Build(uarch.MustByName("SKL"), asm.MustEncodeBlock(instrs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,13 +153,13 @@ func TestSimMoveElimGenerations(t *testing.T) {
 		}
 		return Run(block, Options{}).TP
 	}
-	if skl := tp(uarch.SKL); skl > 1.2 {
+	if skl := tp(uarch.MustByName("SKL")); skl > 1.2 {
 		t.Fatalf("SKL TP = %v, want ~1 (move eliminated)", skl)
 	}
-	if snb := tp(uarch.SNB); snb < 1.8 {
+	if snb := tp(uarch.MustByName("SNB")); snb < 1.8 {
 		t.Fatalf("SNB TP = %v, want ~2 (no move elimination)", snb)
 	}
-	if icl := tp(uarch.ICL); icl < 1.8 {
+	if icl := tp(uarch.MustByName("ICL")); icl < 1.8 {
 		t.Fatalf("ICL TP = %v, want ~2 (GPR move elimination disabled)", icl)
 	}
 }
@@ -169,7 +169,7 @@ func TestSimZeroIdiomBreaksChainInBackend(t *testing.T) {
 		asm.Mk(x86.XOR, 64, asm.R(x86.RAX), asm.R(x86.RAX)),
 		asm.Mk(x86.IMUL, 64, asm.R(x86.RAX), asm.R(x86.RBX)),
 	}
-	block, err := bb.Build(uarch.SKL, asm.MustEncodeBlock(instrs))
+	block, err := bb.Build(uarch.MustByName("SKL"), asm.MustEncodeBlock(instrs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +193,7 @@ func TestSimMacroFusionReducesIssuePressure(t *testing.T) {
 		asm.Mk(x86.CMP, 64, asm.R(x86.R11), asm.R(x86.R12)),
 		asm.MkCC(x86.JCC, x86.CondNE, 64, asm.I(-60)),
 	)
-	block, err := bb.Build(uarch.HSW, asm.MustEncodeBlock(instrs))
+	block, err := bb.Build(uarch.MustByName("HSW"), asm.MustEncodeBlock(instrs))
 	if err != nil {
 		t.Fatal(err)
 	}

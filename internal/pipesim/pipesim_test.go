@@ -35,7 +35,7 @@ func TestSimIndependentAdds(t *testing.T) {
 		asm.Mk(x86.ADD, 64, asm.R(x86.RDX), asm.I(1)),
 		asm.Mk(x86.ADD, 64, asm.R(x86.RSI), asm.I(1)),
 	}
-	block := mustBlock(t, uarch.SKL, instrs)
+	block := mustBlock(t, uarch.MustByName("SKL"), instrs)
 	res := Run(block, Options{})
 	if !near(res.TP, 1.0, 0.15) {
 		t.Fatalf("TP = %v, want ~1.0", res.TP)
@@ -44,7 +44,7 @@ func TestSimIndependentAdds(t *testing.T) {
 
 func TestSimDependencyChain(t *testing.T) {
 	// imul rax, rax: latency 3 loop-carried chain.
-	block := mustBlock(t, uarch.SKL, []asm.Instr{
+	block := mustBlock(t, uarch.MustByName("SKL"), []asm.Instr{
 		asm.Mk(x86.IMUL, 64, asm.R(x86.RAX), asm.R(x86.RAX)),
 	})
 	res := Run(block, Options{})
@@ -60,7 +60,7 @@ func TestSimPortContention(t *testing.T) {
 		asm.Mk(x86.IMUL, 64, asm.R(x86.RCX), asm.R(x86.RBX)),
 		asm.Mk(x86.IMUL, 64, asm.R(x86.RDX), asm.R(x86.RBX)),
 	}
-	block := mustBlock(t, uarch.SKL, instrs)
+	block := mustBlock(t, uarch.MustByName("SKL"), instrs)
 	res := Run(block, Options{})
 	if !near(res.TP, 3.0, 0.2) {
 		t.Fatalf("TP = %v, want ~3.0", res.TP)
@@ -75,7 +75,7 @@ func TestSimDividerOccupancy(t *testing.T) {
 	instrs := []asm.Instr{
 		asm.Mk(x86.DIVPS, 128, asm.R(x86.X0), asm.R(x86.X8)),
 	}
-	block := mustBlock(t, uarch.SKL, instrs)
+	block := mustBlock(t, uarch.MustByName("SKL"), instrs)
 	res := Run(block, Options{})
 	if res.TP < 2.5 {
 		t.Fatalf("TP = %v, want >= 2.5 (divider occupancy)", res.TP)
@@ -92,7 +92,7 @@ func TestSimLoopLSD(t *testing.T) {
 		asm.Mk(x86.TEST, 64, asm.R(x86.RCX), asm.R(x86.RCX)),
 		asm.MkCC(x86.JCC, x86.CondNE, 64, asm.I(-14)),
 	}
-	block := mustBlock(t, uarch.HSW, instrs)
+	block := mustBlock(t, uarch.MustByName("HSW"), instrs)
 	res := Run(block, Options{Loop: true})
 	if !near(res.TP, 0.75, 0.15) {
 		t.Fatalf("TP = %v, want ~0.75", res.TP)
@@ -109,7 +109,7 @@ func TestSimLoopDSB(t *testing.T) {
 		asm.Mk(x86.DEC, 64, asm.R(x86.RCX)),
 		asm.MkCC(x86.JCC, x86.CondNE, 64, asm.I(-12)),
 	}
-	block := mustBlock(t, uarch.SKL, instrs)
+	block := mustBlock(t, uarch.MustByName("SKL"), instrs)
 	res := Run(block, Options{Loop: true})
 	if !near(res.TP, 1.0, 0.15) {
 		t.Fatalf("TP = %v, want ~1.0", res.TP)
@@ -124,7 +124,7 @@ func TestSimTPUDecodeBound(t *testing.T) {
 	for _, r := range regs {
 		instrs = append(instrs, asm.Mk(x86.ADD, 64, asm.R(r), asm.I(1)))
 	}
-	block := mustBlock(t, uarch.SKL, instrs)
+	block := mustBlock(t, uarch.MustByName("SKL"), instrs)
 	res := Run(block, Options{})
 	if !near(res.TP, 1.25, 0.15) {
 		t.Fatalf("TP = %v, want ~1.25", res.TP)
@@ -137,7 +137,7 @@ func TestSimLCPPenalty(t *testing.T) {
 		asm.Mk(x86.ADD, 16, asm.R(x86.RAX), asm.I(0x1234)), // LCP
 		asm.Mk(x86.ADD, 16, asm.R(x86.RBX), asm.I(0x1234)), // LCP
 	}
-	block := mustBlock(t, uarch.SKL, instrs)
+	block := mustBlock(t, uarch.MustByName("SKL"), instrs)
 	res := Run(block, Options{})
 	// Analytical: 2 LCP instructions cost ~3 cycles each, minus overlap.
 	if res.TP < 4.0 {
@@ -146,7 +146,7 @@ func TestSimLCPPenalty(t *testing.T) {
 }
 
 func TestSimPointerChase(t *testing.T) {
-	block := mustBlock(t, uarch.SKL, []asm.Instr{
+	block := mustBlock(t, uarch.MustByName("SKL"), []asm.Instr{
 		asm.Mk(x86.MOV, 64, asm.R(x86.RAX), asm.M(x86.RAX, 0)),
 	})
 	res := Run(block, Options{})
@@ -183,7 +183,7 @@ func TestSimFacileOptimism(t *testing.T) {
 			asm.Mk(x86.SAR, 64, asm.R(x86.RDX), asm.I(1)),
 		},
 	}
-	for _, cfg := range []*uarch.Config{uarch.SNB, uarch.HSW, uarch.SKL, uarch.RKL} {
+	for _, cfg := range []*uarch.Config{uarch.MustByName("SNB"), uarch.MustByName("HSW"), uarch.MustByName("SKL"), uarch.MustByName("RKL")} {
 		for bi, instrs := range blocks {
 			block := mustBlock(t, cfg, instrs)
 			sim := Run(block, Options{})
@@ -217,7 +217,7 @@ func TestSimCloseToFacileOnSimpleBlocks(t *testing.T) {
 		},
 	}
 	for bi, instrs := range blocks {
-		block := mustBlock(t, uarch.SKL, instrs)
+		block := mustBlock(t, uarch.MustByName("SKL"), instrs)
 		sim := Run(block, Options{})
 		facile := core.Predict(block, core.TPU, core.Options{})
 		if math.Abs(sim.TP-facile.TP) > 0.2*math.Max(1, facile.TP) {

@@ -81,12 +81,49 @@ type ArchsResponse struct {
 	Archs []Arch `json:"archs"`
 }
 
-// Arch is the wire form of a facile.ArchInfo.
+// Arch is the wire form of a facile.ArchInfo: the Table 1 identity plus the
+// key front-/back-end parameters, so clients can introspect what they are
+// predicting against.
 type Arch struct {
-	Name     string `json:"name"`
-	FullName string `json:"full_name"`
-	CPU      string `json:"cpu"`
-	Released int    `json:"released"`
+	Name       string `json:"name"`
+	FullName   string `json:"full_name,omitempty"`
+	CPU        string `json:"cpu,omitempty"`
+	Released   int    `json:"released,omitempty"`
+	Gen        string `json:"gen"`
+	IssueWidth int    `json:"issue_width"`
+	IDQSize    int    `json:"idq_size"`
+	LSDEnabled bool   `json:"lsd_enabled"`
+	NumPorts   int    `json:"num_ports"`
+}
+
+// wireArch converts a facile.ArchInfo to its wire form.
+func wireArch(info facile.ArchInfo) Arch {
+	return Arch{
+		Name: info.Name, FullName: info.FullName,
+		CPU: info.CPU, Released: info.Released,
+		Gen:        info.Gen,
+		IssueWidth: info.IssueWidth, IDQSize: info.IDQSize,
+		LSDEnabled: info.LSDEnabled, NumPorts: info.NumPorts,
+	}
+}
+
+// RegisterArchRequest is the wire form of POST /v1/archs. Exactly one of
+// the two shapes must be used: a full (or base+overlay) spec document in
+// Spec, or the compact variant form Name+Base+Overlay.
+type RegisterArchRequest struct {
+	// Spec is a complete microarchitecture spec document (it may itself
+	// carry a "base" field for the overlay form).
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Name+Base+Overlay register a variant: Base is an already registered
+	// arch, Overlay a JSON object with just the overridden spec fields.
+	Name    string          `json:"name,omitempty"`
+	Base    string          `json:"base,omitempty"`
+	Overlay json.RawMessage `json:"overlay,omitempty"`
+}
+
+// RegisterArchResponse is the wire form of a successful POST /v1/archs.
+type RegisterArchResponse struct {
+	Arch Arch `json:"arch"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
@@ -160,7 +197,9 @@ func (s *Server) decodeBlock(req *BlockRequest) (facile.BatchRequest, error) {
 	if req.Arch == "" {
 		return out, badRequest("missing \"arch\" (one of %s)", strings.Join(s.engine.Archs(), ", "))
 	}
-	if !s.archs[req.Arch] {
+	// The arch set is the engine's at request time, not a construction-time
+	// snapshot: arches registered via POST /v1/archs validate immediately.
+	if !s.engine.HasArch(req.Arch) {
 		return out, badRequest("unknown microarchitecture %q (one of %s)", req.Arch, strings.Join(s.engine.Archs(), ", "))
 	}
 	mode, err := parseMode(req.Mode)

@@ -54,7 +54,6 @@ type Config struct {
 // done. See docs/API.md for the endpoint reference.
 type Server struct {
 	engine        *facile.Engine
-	archs         map[string]bool
 	mux           *http.ServeMux
 	batcher       *batcher // nil when micro-batching is disabled
 	timeout       time.Duration
@@ -90,15 +89,11 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		engine:        cfg.Engine,
-		archs:         make(map[string]bool),
 		mux:           http.NewServeMux(),
 		timeout:       cfg.RequestTimeout,
 		maxBlockBytes: cfg.MaxBlockBytes,
 		maxBatchItems: cfg.MaxBatchItems,
 		maxBodyBytes:  cfg.MaxBodyBytes,
-	}
-	for _, a := range cfg.Engine.Archs() {
-		s.archs[a] = true
 	}
 	if s.timeout == 0 {
 		s.timeout = DefaultRequestTimeout
@@ -126,6 +121,7 @@ func New(cfg Config) (*Server, error) {
 	s.route("POST /v1/explain", s.handleExplain)
 	s.route("POST /v1/speedups", s.handleSpeedups)
 	s.route("GET /v1/archs", s.handleArchs)
+	s.route("POST /v1/archs", s.handleRegisterArch)
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /metrics", s.handleMetrics)
 	return s, nil
@@ -372,16 +368,56 @@ func (s *Server) handleSpeedups(w http.ResponseWriter, r *http.Request) (any, er
 }
 
 func (s *Server) handleArchs(w http.ResponseWriter, r *http.Request) (any, error) {
+	// The served set comes from the engine at request time, so arches
+	// registered after startup (POST /v1/archs) are listed immediately.
+	reg := s.engine.Registry()
 	var resp ArchsResponse
-	for _, info := range facile.ArchInfos() {
-		if s.archs[info.Name] {
-			resp.Archs = append(resp.Archs, Arch{
-				Name: info.Name, FullName: info.FullName,
-				CPU: info.CPU, Released: info.Released,
-			})
+	for _, name := range s.engine.Archs() {
+		info, err := reg.Info(name)
+		if err != nil {
+			continue // raced with nothing: registered names never disappear
 		}
+		resp.Archs = append(resp.Archs, wireArch(info))
 	}
 	return resp, nil
+}
+
+// handleRegisterArch opens a new microarchitecture scenario over HTTP: a
+// full spec document, a spec with a "base" (overlay form), or the compact
+// {name, base, overlay} variant form. The arch is served without restart:
+// it is immediately valid for /v1/predict and listed by GET /v1/archs.
+func (s *Server) handleRegisterArch(w http.ResponseWriter, r *http.Request) (any, error) {
+	var wire RegisterArchRequest
+	if err := readJSON(json.NewDecoder(r.Body), &wire); err != nil {
+		return nil, wrapBodyErr(err)
+	}
+	if s.engine.Restricted() {
+		return nil, &apiError{status: http.StatusForbidden,
+			msg: "this server serves a fixed microarchitecture set (started with -archs); restart without it to register arches"}
+	}
+	reg := s.engine.Registry()
+	var info facile.ArchInfo
+	var err error
+	switch {
+	case len(wire.Spec) > 0 && (wire.Name != "" || wire.Base != "" || len(wire.Overlay) > 0):
+		return nil, badRequest("set either \"spec\" or \"name\"/\"base\"/\"overlay\", not both")
+	case len(wire.Spec) > 0:
+		info, err = reg.LoadSpec(wire.Spec)
+	case wire.Base != "":
+		if wire.Name == "" {
+			return nil, badRequest("missing \"name\" for the variant of %q", wire.Base)
+		}
+		info, err = reg.Derive(wire.Name, wire.Base, wire.Overlay)
+	default:
+		return nil, badRequest("missing spec: set \"spec\" (full document) or \"name\"+\"base\" (+\"overlay\")")
+	}
+	if err != nil {
+		if errors.Is(err, facile.ErrDuplicateArch) || errors.Is(err, facile.ErrArchRegistryFull) {
+			return nil, &apiError{status: http.StatusConflict, msg: err.Error()}
+		}
+		return nil, badRequest("%v", err)
+	}
+	return RegisterArchResponse{Arch: wireArch(info)}, nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) (any, error) {

@@ -1,10 +1,17 @@
-// Package uarch holds the microarchitecture configuration database: one
-// Config per modeled Intel Core generation (the nine microarchitectures of
-// the paper's Table 1, Sandy Bridge through Rocket Lake). It is the
-// stand-in for uiCA's microArchConfigs.py.
+// Package uarch holds the microarchitecture layer: a declarative spec
+// format (Spec, one JSON document per machine), parse-time validation, and
+// a thread-safe runtime Registry of parsed Configs. It is the stand-in for
+// uiCA's microArchConfigs.py, made data-driven: the nine microarchitectures
+// of the paper's Table 1 (Sandy Bridge through Rocket Lake) ship as
+// embedded spec files in specs/, and new scenarios — hypothetical design
+// points, erratum toggles, future cores — are opened by loading a spec or
+// deriving a variant overlay at runtime, not by recompiling
+// (docs/ARCHITECTURE.md, "The microarchitecture registry").
 //
 // Parameter values follow publicly documented figures (uops.info, the uiCA
 // paper, Agner Fog's tables) where known; the remainder are plausible
 // reconstructions, used identically by the analytical model and the
 // reference simulator (see docs/ARCHITECTURE.md, "Modeling limits").
+// TestSpecSeedParity pins the embedded specs field-for-field to the seed
+// hardcoded tables they replaced.
 package uarch

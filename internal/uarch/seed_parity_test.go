@@ -1,0 +1,237 @@
+package uarch
+
+import (
+	"reflect"
+	"testing"
+)
+
+// This file preserves the seed hardcoded microarchitecture tables that the
+// embedded spec files replaced, as test fixtures only. TestSpecSeedParity
+// asserts that every parsed spec is field-identical to its seed table — the
+// Config-level half of the parity gate (the prediction-level half is
+// TestArchParity at the repository root).
+
+// seedAll mirrors the seed package-level registry, newest first.
+var seedAll = []*Config{seedRKL, seedTGL, seedICL, seedCLX, seedSKL, seedBDW, seedHSW, seedIVB, seedSNB}
+
+// TestSpecSeedParity: each embedded spec must reproduce its seed hardcoded
+// Config exactly, field for field.
+func TestSpecSeedParity(t *testing.T) {
+	for _, want := range seedAll {
+		got, err := Default().ByName(want.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", want.Name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: embedded spec diverges from the seed table:\n got: %+v\nwant: %+v",
+				want.Name, got, want)
+		}
+	}
+	if got := Default().Len(); got < len(seedAll) {
+		t.Errorf("default registry has %d entries, want at least %d", got, len(seedAll))
+	}
+}
+
+// Port layouts per family.
+var (
+	portsSNB = [NumRoles]PortMask{
+		RoleALU:        P(0, 1, 5),
+		RoleShift:      P(0, 5),
+		RoleBranch:     P(5),
+		RoleMul:        P(1),
+		RoleDiv:        P(0),
+		RoleLEA:        P(0, 5),
+		RoleSlowLEA:    P(1),
+		RoleLoad:       P(2, 3),
+		RoleStoreAddr:  P(2, 3),
+		RoleStoreData:  P(4),
+		RoleVecALU:     P(0, 1, 5),
+		RoleVecFPAdd:   P(1),
+		RoleVecFPMul:   P(0),
+		RoleVecFMA:     0, // no FMA units
+		RoleVecDiv:     P(0),
+		RoleVecShuffle: P(5),
+		RoleVecMove:    P(0, 1, 5),
+	}
+
+	portsHSW = [NumRoles]PortMask{
+		RoleALU:        P(0, 1, 5, 6),
+		RoleShift:      P(0, 6),
+		RoleBranch:     P(0, 6),
+		RoleMul:        P(1),
+		RoleDiv:        P(0),
+		RoleLEA:        P(1, 5),
+		RoleSlowLEA:    P(1),
+		RoleLoad:       P(2, 3),
+		RoleStoreAddr:  P(2, 3, 7),
+		RoleStoreData:  P(4),
+		RoleVecALU:     P(0, 1, 5),
+		RoleVecFPAdd:   P(1),
+		RoleVecFPMul:   P(0, 1),
+		RoleVecFMA:     P(0, 1),
+		RoleVecDiv:     P(0),
+		RoleVecShuffle: P(5),
+		RoleVecMove:    P(0, 1, 5),
+	}
+
+	portsSKL = [NumRoles]PortMask{
+		RoleALU:        P(0, 1, 5, 6),
+		RoleShift:      P(0, 6),
+		RoleBranch:     P(0, 6),
+		RoleMul:        P(1),
+		RoleDiv:        P(0),
+		RoleLEA:        P(1, 5),
+		RoleSlowLEA:    P(1),
+		RoleLoad:       P(2, 3),
+		RoleStoreAddr:  P(2, 3, 7),
+		RoleStoreData:  P(4),
+		RoleVecALU:     P(0, 1, 5),
+		RoleVecFPAdd:   P(0, 1), // FP add moved to the FMA units on SKL
+		RoleVecFPMul:   P(0, 1),
+		RoleVecFMA:     P(0, 1),
+		RoleVecDiv:     P(0),
+		RoleVecShuffle: P(5),
+		RoleVecMove:    P(0, 1, 5),
+	}
+
+	portsICL = [NumRoles]PortMask{
+		RoleALU:        P(0, 1, 5, 6),
+		RoleShift:      P(0, 6),
+		RoleBranch:     P(0, 6),
+		RoleMul:        P(1),
+		RoleDiv:        P(0),
+		RoleLEA:        P(1, 5),
+		RoleSlowLEA:    P(1),
+		RoleLoad:       P(2, 3),
+		RoleStoreAddr:  P(7, 8), // dedicated store-AGU ports on ICL+
+		RoleStoreData:  P(4, 9), // second store-data port on ICL+
+		RoleVecALU:     P(0, 1, 5),
+		RoleVecFPAdd:   P(0, 1),
+		RoleVecFPMul:   P(0, 1),
+		RoleVecFMA:     P(0, 1),
+		RoleVecDiv:     P(0),
+		RoleVecShuffle: P(1, 5), // second shuffle unit on ICL+
+		RoleVecMove:    P(0, 1, 5),
+	}
+)
+
+// The nine microarchitectures of Table 1.
+var (
+	seedSNB = &Config{
+		Name: "SNB", FullName: "Sandy Bridge", CPU: "Intel Core i7-2600",
+		Released: 2011, Gen: GenSNB,
+		PredecWidth: 5, NumDecoders: 4, IQSize: 20,
+		DSBWidth: 4, IDQSize: 28, LSDEnabled: true, LSDUnrollTgt: 0,
+		JCCErratum: false,
+		IssueWidth: 4, RetireWidth: 4, ROBSize: 168, SchedSize: 54, NumPorts: 6,
+		MacroFusion: true, FusibleOnLastDecoder: false, FuseWithMem: false,
+		MoveElimGPR: false, MoveElimVec: false, UnlaminateIndexed: true,
+		LoadLat: 5, FPAddLat: 3, FPMulLat: 5, FMALat: 0,
+		RolePorts: portsSNB,
+	}
+
+	seedIVB = &Config{
+		Name: "IVB", FullName: "Ivy Bridge", CPU: "Intel Core i5-3470",
+		Released: 2012, Gen: GenIVB,
+		PredecWidth: 5, NumDecoders: 4, IQSize: 20,
+		DSBWidth: 4, IDQSize: 28, LSDEnabled: true, LSDUnrollTgt: 0,
+		JCCErratum: false,
+		IssueWidth: 4, RetireWidth: 4, ROBSize: 168, SchedSize: 54, NumPorts: 6,
+		MacroFusion: true, FusibleOnLastDecoder: false, FuseWithMem: false,
+		MoveElimGPR: true, MoveElimVec: true, UnlaminateIndexed: true,
+		LoadLat: 5, FPAddLat: 3, FPMulLat: 5, FMALat: 0,
+		RolePorts: portsSNB,
+	}
+
+	seedHSW = &Config{
+		Name: "HSW", FullName: "Haswell", CPU: "Intel Xeon E3-1225 v3",
+		Released: 2013, Gen: GenHSW,
+		PredecWidth: 5, NumDecoders: 4, IQSize: 20,
+		DSBWidth: 4, IDQSize: 56, LSDEnabled: true, LSDUnrollTgt: 28,
+		JCCErratum: false,
+		IssueWidth: 4, RetireWidth: 4, ROBSize: 192, SchedSize: 60, NumPorts: 8,
+		MacroFusion: true, FusibleOnLastDecoder: false, FuseWithMem: true,
+		MoveElimGPR: true, MoveElimVec: true, UnlaminateIndexed: true,
+		LoadLat: 5, FPAddLat: 3, FPMulLat: 5, FMALat: 5,
+		RolePorts: portsHSW,
+	}
+
+	seedBDW = &Config{
+		Name: "BDW", FullName: "Broadwell", CPU: "Intel Core i5-5200U",
+		Released: 2015, Gen: GenBDW,
+		PredecWidth: 5, NumDecoders: 4, IQSize: 20,
+		DSBWidth: 4, IDQSize: 56, LSDEnabled: true, LSDUnrollTgt: 28,
+		JCCErratum: false,
+		IssueWidth: 4, RetireWidth: 4, ROBSize: 192, SchedSize: 64, NumPorts: 8,
+		MacroFusion: true, FusibleOnLastDecoder: false, FuseWithMem: true,
+		MoveElimGPR: true, MoveElimVec: true, UnlaminateIndexed: true,
+		LoadLat: 5, FPAddLat: 3, FPMulLat: 3, FMALat: 5,
+		RolePorts: portsHSW,
+	}
+
+	seedSKL = &Config{
+		Name: "SKL", FullName: "Skylake", CPU: "Intel Core i7-6500U",
+		Released: 2015, Gen: GenSKL,
+		PredecWidth: 5, NumDecoders: 4, IQSize: 25,
+		DSBWidth: 6, IDQSize: 64, LSDEnabled: false /* SKL150 */, LSDUnrollTgt: 28,
+		JCCErratum: true,
+		IssueWidth: 4, RetireWidth: 4, ROBSize: 224, SchedSize: 97, NumPorts: 8,
+		MacroFusion: true, FusibleOnLastDecoder: true, FuseWithMem: true,
+		MoveElimGPR: true, MoveElimVec: true, UnlaminateIndexed: true,
+		LoadLat: 5, FPAddLat: 4, FPMulLat: 4, FMALat: 4,
+		RolePorts: portsSKL,
+	}
+
+	seedCLX = &Config{
+		Name: "CLX", FullName: "Cascade Lake", CPU: "Intel Core i9-10980XE",
+		Released: 2019, Gen: GenCLX,
+		PredecWidth: 5, NumDecoders: 4, IQSize: 25,
+		DSBWidth: 6, IDQSize: 64, LSDEnabled: false /* SKL150 */, LSDUnrollTgt: 28,
+		JCCErratum: true,
+		IssueWidth: 4, RetireWidth: 4, ROBSize: 224, SchedSize: 97, NumPorts: 8,
+		MacroFusion: true, FusibleOnLastDecoder: true, FuseWithMem: true,
+		MoveElimGPR: true, MoveElimVec: true, UnlaminateIndexed: true,
+		LoadLat: 5, FPAddLat: 4, FPMulLat: 4, FMALat: 4,
+		RolePorts: portsSKL,
+	}
+
+	seedICL = &Config{
+		Name: "ICL", FullName: "Ice Lake", CPU: "Intel Core i5-1035G1",
+		Released: 2019, Gen: GenICL,
+		PredecWidth: 5, NumDecoders: 5, IQSize: 25,
+		DSBWidth: 6, IDQSize: 70, LSDEnabled: true, LSDUnrollTgt: 30,
+		JCCErratum: false,
+		IssueWidth: 5, RetireWidth: 5, ROBSize: 352, SchedSize: 160, NumPorts: 10,
+		MacroFusion: true, FusibleOnLastDecoder: true, FuseWithMem: true,
+		MoveElimGPR: false /* disabled by erratum */, MoveElimVec: true,
+		UnlaminateIndexed: false,
+		LoadLat:           5, FPAddLat: 4, FPMulLat: 4, FMALat: 4,
+		RolePorts: portsICL,
+	}
+
+	seedTGL = &Config{
+		Name: "TGL", FullName: "Tiger Lake", CPU: "Intel Core i7-1165G7",
+		Released: 2020, Gen: GenTGL,
+		PredecWidth: 5, NumDecoders: 5, IQSize: 25,
+		DSBWidth: 6, IDQSize: 70, LSDEnabled: true, LSDUnrollTgt: 30,
+		JCCErratum: false,
+		IssueWidth: 5, RetireWidth: 5, ROBSize: 352, SchedSize: 160, NumPorts: 10,
+		MacroFusion: true, FusibleOnLastDecoder: true, FuseWithMem: true,
+		MoveElimGPR: false, MoveElimVec: true, UnlaminateIndexed: false,
+		LoadLat: 5, FPAddLat: 4, FPMulLat: 4, FMALat: 4,
+		RolePorts: portsICL,
+	}
+
+	seedRKL = &Config{
+		Name: "RKL", FullName: "Rocket Lake", CPU: "Intel Core i9-11900",
+		Released: 2021, Gen: GenRKL,
+		PredecWidth: 5, NumDecoders: 5, IQSize: 25,
+		DSBWidth: 6, IDQSize: 70, LSDEnabled: true, LSDUnrollTgt: 30,
+		JCCErratum: false,
+		IssueWidth: 5, RetireWidth: 5, ROBSize: 352, SchedSize: 160, NumPorts: 10,
+		MacroFusion: true, FusibleOnLastDecoder: true, FuseWithMem: true,
+		MoveElimGPR: false, MoveElimVec: true, UnlaminateIndexed: false,
+		LoadLat: 5, FPAddLat: 4, FPMulLat: 4, FMALat: 4,
+		RolePorts: portsICL,
+	}
+)

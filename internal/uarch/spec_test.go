@@ -1,0 +1,286 @@
+package uarch
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSpecRoundTrip: Config → Spec → JSON → Spec → Config must be the
+// identity for every registered microarchitecture.
+func TestSpecRoundTrip(t *testing.T) {
+	for _, cfg := range All() {
+		spec := SpecFromConfig(cfg)
+		data, err := spec.JSON()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", cfg.Name, err)
+		}
+		parsed, err := ParseSpec(data)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", cfg.Name, err)
+		}
+		back, err := parsed.Config()
+		if err != nil {
+			t.Fatalf("%s: to config: %v", cfg.Name, err)
+		}
+		if !reflect.DeepEqual(back, cfg) {
+			t.Errorf("%s: round trip diverges:\n got: %+v\nwant: %+v", cfg.Name, back, cfg)
+		}
+	}
+}
+
+// TestSpecJSONBracketsInStrings: the port-list collapsing in Spec.JSON must
+// not touch bracketed text in string fields.
+func TestSpecJSONBracketsInStrings(t *testing.T) {
+	s := validSpec()
+	s.Name = "Bracketed"
+	s.FullName = "test [1, 2] machine"
+	data, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.FullName != s.FullName {
+		t.Fatalf("FullName corrupted by rendering: %q", parsed.FullName)
+	}
+}
+
+func TestRegistryCapacity(t *testing.T) {
+	r := NewRegistry()
+	for i := r.Len(); i < MaxEntries; i++ {
+		if _, err := r.Derive(fmt.Sprintf("C%d", i), "SKL", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := r.Derive("overflow", "SKL", nil)
+	if !errors.Is(err, ErrRegistryFull) {
+		t.Fatalf("register past cap = %v, want ErrRegistryFull", err)
+	}
+	// Existing entries still resolve.
+	if _, err := r.ByName("C42"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// validSpec returns a fresh, valid spec to mutate per rejection case.
+func validSpec() *Spec {
+	return SpecFromConfig(MustByName("SKL"))
+}
+
+func TestSpecValidationRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Spec)
+		wantSub string
+	}{
+		{"missing name", func(s *Spec) { s.Name = "" }, "missing \"name\""},
+		{"name with space", func(s *Spec) { s.Name = "my arch" }, "whitespace"},
+		{"unknown gen", func(s *Spec) { s.Gen = "P4" }, "unknown generation"},
+		{"missing gen", func(s *Spec) { s.Gen = "" }, "missing \"gen\""},
+		{"unresolved base", func(s *Spec) { s.Base = "SKL" }, "unresolved \"base\""},
+		{"zero issue width", func(s *Spec) { s.IssueWidth = 0 }, "issue_width must be positive"},
+		{"negative idq", func(s *Spec) { s.IDQSize = -4 }, "idq_size must be positive"},
+		{"too many ports", func(s *Spec) { s.NumPorts = 17 }, "16-port mask"},
+		{"negative latency", func(s *Spec) { s.LoadLat = -1 }, "load_latency"},
+		{"lsd window exceeds idq", func(s *Spec) { s.LSDUnrollTgt = s.IDQSize + 1 },
+			"exceeds idq_size"},
+		{"missing role", func(s *Spec) { delete(s.RolePorts, "load") },
+			"missing role \"load\""},
+		{"unknown role", func(s *Spec) { s.RolePorts["warp"] = PortList{0} },
+			"unknown role \"warp\""},
+		{"port out of range", func(s *Spec) { s.RolePorts["alu"] = PortList{0, s.NumPorts} },
+			"outside [0, 8)"},
+		{"negative port", func(s *Spec) { s.RolePorts["alu"] = PortList{-1} },
+			"outside [0, 8)"},
+		{"duplicate port", func(s *Spec) { s.RolePorts["alu"] = PortList{0, 0} },
+			"lists port 0 twice"},
+		{"empty non-fma role", func(s *Spec) { s.RolePorts["load"] = PortList{} },
+			"role \"load\" has no ports"},
+		{"fma ports without latency", func(s *Spec) { s.FMALat = 0 },
+			"fma_latency 0 disagrees"},
+		{"fma latency without ports", func(s *Spec) { s.RolePorts["fma"] = PortList{} },
+			"disagrees"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validSpec()
+			tc.mutate(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("invalid spec accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+			// The same rejection must surface through registration.
+			if _, rerr := NewRegistry().Register(s); rerr == nil {
+				t.Fatal("Register accepted an invalid spec")
+			}
+		})
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"name":"X","gen":"SKL","lsd_enable":true}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestRegistryDuplicateName(t *testing.T) {
+	r := NewRegistry()
+	s := validSpec()
+	s.Name = "Custom1"
+	if _, err := r.Register(s); err != nil {
+		t.Fatal(err)
+	}
+	// Exact and case-folded duplicates must both be rejected, and be
+	// distinguishable from validation failures.
+	for _, dup := range []string{"Custom1", "CUSTOM1", "custom1", "skl"} {
+		d := validSpec()
+		d.Name = dup
+		_, err := r.Register(d)
+		if !errors.Is(err, ErrDuplicate) {
+			t.Fatalf("Register(%q) = %v, want ErrDuplicate", dup, err)
+		}
+	}
+}
+
+func TestRegistryCaseInsensitiveLookup(t *testing.T) {
+	for _, name := range []string{"SKL", "skl", "Skl", "rKL"} {
+		cfg, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if !strings.EqualFold(cfg.Name, name) {
+			t.Fatalf("ByName(%q) = %s", name, cfg.Name)
+		}
+	}
+	_, err := ByName("P4")
+	if err == nil {
+		t.Fatal("unknown name must error")
+	}
+	// The error must still list the valid names.
+	for _, want := range []string{"SKL", "RKL", "SNB"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not list %s", err, want)
+		}
+	}
+}
+
+func TestRegistryLoadOverlay(t *testing.T) {
+	r := NewRegistry()
+	cfg, err := r.Load([]byte(`{"name": "SKL-LSD", "base": "SKL", "lsd_enabled": true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	skl := MustByName("SKL")
+	if !cfg.LSDEnabled {
+		t.Fatal("overlay did not apply")
+	}
+	if cfg.CPU != "" || cfg.Released != 0 {
+		t.Fatalf("variant inherited the base CPU %q / release year %d", cfg.CPU, cfg.Released)
+	}
+	// Everything not overridden must match the base.
+	want := *skl
+	want.Name, want.FullName, want.CPU, want.Released = "SKL-LSD", skl.FullName, "", 0
+	want.LSDEnabled = true
+	if !reflect.DeepEqual(cfg, &want) {
+		t.Errorf("overlay result diverges:\n got: %+v\nwant: %+v", cfg, &want)
+	}
+	// Role-port overlays merge into the base map instead of replacing it.
+	cfg2, err := r.Load([]byte(`{"name": "SKL-1LD", "base": "SKL", "role_ports": {"load": [2]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg2.PortsFor(RoleLoad); got != P(2) {
+		t.Fatalf("load ports = %v, want p2", got)
+	}
+	if got := cfg2.PortsFor(RoleALU); got != skl.PortsFor(RoleALU) {
+		t.Fatalf("alu ports changed by unrelated overlay: %v", got)
+	}
+	// The base in the same registry must be untouched.
+	base, _ := r.ByName("SKL")
+	if base.LSDEnabled || base.PortsFor(RoleLoad) != P(2, 3) {
+		t.Fatal("overlay mutated its base")
+	}
+
+	if _, err := r.Load([]byte(`{"name": "X", "base": "P4"}`)); err == nil {
+		t.Fatal("unknown base accepted")
+	}
+	if _, err := r.Load([]byte(`{"base": "SKL"}`)); err == nil {
+		t.Fatal("overlay without a name accepted")
+	}
+}
+
+func TestRegistryDerive(t *testing.T) {
+	r := NewRegistry()
+	cfg, err := r.Derive("ICL-4W", "ICL", []byte(`{"issue_width": 4, "retire_width": 4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.IssueWidth != 4 || cfg.RetireWidth != 4 {
+		t.Fatalf("derive did not apply: %+v", cfg)
+	}
+	if cfg.Gen != GenICL || cfg.NumPorts != 10 {
+		t.Fatal("derive lost base fields")
+	}
+	if _, err := r.Derive("X", "ICL", []byte(`{"base": "SKL"}`)); err == nil {
+		t.Fatal("derive overlay with base accepted")
+	}
+	if _, err := r.Derive("Y", "ICL", []byte(`{"issue_width": 0}`)); err == nil {
+		t.Fatal("derive result skipped validation")
+	}
+	// A derive may rename itself via the overlay? No: the name argument wins.
+	cfg2, err := r.Derive("Z", "ICL", []byte(`{"name": "ignored"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.Name != "Z" {
+		t.Fatalf("derive name = %q, want Z", cfg2.Name)
+	}
+}
+
+// TestRegistryConcurrentRegisterLookup races Register against ByName/All
+// under -race: registration must never tear a lookup.
+func TestRegistryConcurrentRegisterLookup(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := r.ByName("SKL"); err != nil {
+					t.Error(err)
+					return
+				}
+				for _, cfg := range r.All() {
+					_ = cfg.Name
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := r.Derive("V"+string(rune('A'+i%26))+string(rune('0'+i/26)), "SKL",
+			[]byte(`{"lsd_enabled": true}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if r.Len() != 9+50 {
+		t.Fatalf("Len = %d, want 59", r.Len())
+	}
+}

@@ -68,15 +68,15 @@ func TestByName(t *testing.T) {
 
 func TestLSDUnroll(t *testing.T) {
 	// SNB does not unroll.
-	if u := SNB.LSDUnroll(3); u != 1 {
+	if u := MustByName("SNB").LSDUnroll(3); u != 1 {
 		t.Fatalf("SNB unroll = %d", u)
 	}
 	// HSW: 3 µops, target 28, IDQ 56: 3·16 = 48 <= 56 and >= 28.
-	if u := HSW.LSDUnroll(3); u != 16 {
+	if u := MustByName("HSW").LSDUnroll(3); u != 16 {
 		t.Fatalf("HSW unroll(3) = %d, want 16", u)
 	}
 	// Large loops are not unrolled.
-	if u := HSW.LSDUnroll(40); u != 1 {
+	if u := MustByName("HSW").LSDUnroll(40); u != 1 {
 		t.Fatalf("HSW unroll(40) = %d, want 1", u)
 	}
 	// The unrolled copy must always fit in the IDQ.
@@ -113,22 +113,22 @@ func TestPortMaskHelpers(t *testing.T) {
 
 func TestGenerationalDifferencesExist(t *testing.T) {
 	// The properties the evaluation depends on.
-	if SKL.LSDEnabled || CLX.LSDEnabled {
+	if MustByName("SKL").LSDEnabled || MustByName("CLX").LSDEnabled {
 		t.Fatal("SKL/CLX must have the LSD disabled (SKL150)")
 	}
-	if !HSW.LSDEnabled || !RKL.LSDEnabled {
+	if !MustByName("HSW").LSDEnabled || !MustByName("RKL").LSDEnabled {
 		t.Fatal("HSW/RKL must have the LSD enabled")
 	}
-	if !SKL.JCCErratum || !CLX.JCCErratum || RKL.JCCErratum {
+	if !MustByName("SKL").JCCErratum || !MustByName("CLX").JCCErratum || MustByName("RKL").JCCErratum {
 		t.Fatal("JCC erratum applies to SKL/CLX only")
 	}
-	if ICL.IssueWidth <= SKL.IssueWidth {
+	if MustByName("ICL").IssueWidth <= MustByName("SKL").IssueWidth {
 		t.Fatal("ICL must be wider than SKL")
 	}
-	if ICL.NumDecoders <= SKL.NumDecoders {
+	if MustByName("ICL").NumDecoders <= MustByName("SKL").NumDecoders {
 		t.Fatal("ICL must have more decoders")
 	}
-	if SNB.MoveElimGPR || !IVB.MoveElimGPR || ICL.MoveElimGPR {
+	if MustByName("SNB").MoveElimGPR || !MustByName("IVB").MoveElimGPR || MustByName("ICL").MoveElimGPR {
 		t.Fatal("GPR move-elimination generations wrong")
 	}
 }
