@@ -3,6 +3,7 @@
 package facile_test
 
 import (
+	"context"
 	"testing"
 
 	"facile"
@@ -49,5 +50,28 @@ func TestEngineWarmHitZeroAllocs(t *testing.T) {
 		}
 	}); allocs != 0 {
 		t.Errorf("warm Engine.Explain hit allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestAnalyzeWarmHitZeroAllocs: a warm Analyze at any Detail returns the
+// memoized shared Analysis — one cache resolution, zero allocations — so
+// the unified entrypoint costs no more than the narrowest legacy view.
+func TestAnalyzeWarmHitZeroAllocs(t *testing.T) {
+	e := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}})
+	code := decode(t, "480307 4883c708 48ffc9 75f2")
+	ctx := context.Background()
+
+	for d := facile.DetailPrediction; d <= facile.DetailFull; d++ {
+		req := facile.Request{Code: code, Arch: "SKL", Mode: facile.Loop, Detail: d}
+		if _, err := e.Analyze(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+		if allocs := testing.AllocsPerRun(200, func() {
+			if _, err := e.Analyze(ctx, req); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs != 0 {
+			t.Errorf("warm Analyze(%v) hit allocates %.1f/op, want 0", d, allocs)
+		}
 	}
 }

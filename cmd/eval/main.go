@@ -7,27 +7,40 @@
 //	eval -table 2             # one table
 //	eval -figure 6            # one figure
 //	eval -corpus 400 -train 300   # smaller corpora for a quick pass
+//	eval -table 3 -archs RKL,SKL  # restrict an experiment's arch set
 //
-// See docs/ARCHITECTURE.md, "Evaluation pipeline", for how the
-// experiments map onto packages.
+// Arch names are resolved through the public registry (the same surface the
+// Analyze API validates against), so -arch-dir spec files and overlays work
+// here too. A -all run is cancellable: SIGINT/SIGTERM stops between
+// experiments instead of abandoning a half-printed table.
+//
+// See docs/ARCHITECTURE.md, "Evaluation pipeline", for how the experiments
+// map onto packages.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
+	"facile"
 	"facile/internal/eval"
 	"facile/internal/uarch"
 )
 
 func main() {
 	var (
-		table  = flag.Int("table", 0, "regenerate one table (1-4)")
-		figure = flag.Int("figure", 0, "regenerate one figure (3-6)")
-		all    = flag.Bool("all", false, "regenerate everything")
-		corpus = flag.Int("corpus", 1000, "evaluation corpus size")
-		train  = flag.Int("train", 400, "training corpus size for learned baselines")
+		table   = flag.Int("table", 0, "regenerate one table (1-4)")
+		figure  = flag.Int("figure", 0, "regenerate one figure (3-6)")
+		all     = flag.Bool("all", false, "regenerate everything")
+		corpus  = flag.Int("corpus", 1000, "evaluation corpus size")
+		train   = flag.Int("train", 400, "training corpus size for learned baselines")
+		archs   = flag.String("archs", "", "comma-separated microarchitectures for Table 2-4 and Figure 6 (default: each experiment's paper set)")
+		archDir = flag.String("arch-dir", "", "directory of additional microarchitecture spec files (*.json)")
 	)
 	flag.Parse()
 
@@ -36,18 +49,34 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *archDir != "" {
+		if _, err := facile.LoadArchDir(*archDir); err != nil {
+			fatal(err)
+		}
+	}
+	chosen, err := chooseArchs(*archs)
+	if err != nil {
+		fatal(err)
+	}
+	pick := func(fallback []*uarch.Config) []*uarch.Config {
+		if chosen != nil {
+			return chosen
+		}
+		return fallback
+	}
+
 	runTable := func(n int) {
 		switch n {
 		case 1:
 			fmt.Println(eval.Table1())
 		case 2:
-			_, text := eval.Table2(*corpus, *train, eval.ArchesForExperiment())
+			_, text := eval.Table2(*corpus, *train, pick(eval.ArchesForExperiment()))
 			fmt.Println(text)
 		case 3:
-			_, text := eval.Table3(*corpus, []*uarch.Config{uarch.MustByName("RKL"), uarch.MustByName("SKL"), uarch.MustByName("SNB")})
+			_, text := eval.Table3(*corpus, pick([]*uarch.Config{uarch.MustByName("RKL"), uarch.MustByName("SKL"), uarch.MustByName("SNB")}))
 			fmt.Println(text)
 		case 4:
-			_, text := eval.Table4(*corpus, uarch.Chronological())
+			_, text := eval.Table4(*corpus, pick(uarch.Chronological()))
 			fmt.Println(text)
 		default:
 			fatal(fmt.Errorf("unknown table %d", n))
@@ -65,17 +94,26 @@ func main() {
 			fmt.Println(text)
 		case 6:
 			fmt.Println(eval.BottleneckFlow(*corpus,
-				[]*uarch.Config{uarch.MustByName("SNB"), uarch.MustByName("HSW"), uarch.MustByName("CLX"), uarch.MustByName("RKL")}))
+				pick([]*uarch.Config{uarch.MustByName("SNB"), uarch.MustByName("HSW"), uarch.MustByName("CLX"), uarch.MustByName("RKL")})))
 		default:
 			fatal(fmt.Errorf("unknown figure %d", n))
 		}
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	if *all {
 		for t := 1; t <= 4; t++ {
+			if ctx.Err() != nil {
+				fatal(ctx.Err())
+			}
 			runTable(t)
 		}
 		for f := 3; f <= 6; f++ {
+			if ctx.Err() != nil {
+				fatal(ctx.Err())
+			}
 			runFigure(f)
 		}
 		return
@@ -86,6 +124,34 @@ func main() {
 	if *figure != 0 {
 		runFigure(*figure)
 	}
+}
+
+// chooseArchs resolves a comma-separated arch list against the default
+// registry, returning nil when the flag is unset (each experiment then uses
+// its paper default). Resolution is case-insensitive and reports the known
+// names on failure, matching the Analyze boundary's vocabulary.
+func chooseArchs(list string) ([]*uarch.Config, error) {
+	if list == "" {
+		return nil, nil
+	}
+	var out []*uarch.Config
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		// The default registry behind the public Analyze surface:
+		// case-insensitive, lists the known names on failure.
+		cfg, err := uarch.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cfg)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("eval: -archs lists no microarchitectures")
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -8,6 +8,7 @@
 //
 // Endpoints (see docs/API.md for the full reference):
 //
+//	POST /v1/analyze         {"code":"4801d8480fafc3","arch":"SKL","mode":"loop","detail":"full"}
 //	POST /v1/predict         {"code":"4801d8480fafc3","arch":"SKL","mode":"loop"}
 //	POST /v1/predict/batch   {"requests":[...],"concurrency":4}
 //	POST /v1/explain         same body as /v1/predict
@@ -16,6 +17,12 @@
 //	POST /v1/archs           {"name":"SKL-LSD","base":"SKL","overlay":{"lsd_enabled":true}}
 //	GET  /healthz
 //	GET  /metrics
+//
+// /v1/analyze is the primary endpoint: one engine analysis returns the
+// prediction, the ordered per-component bound breakdown, the sorted
+// counterfactual speedups, and the structured report. The /v1/predict,
+// /v1/explain, and /v1/speedups endpoints are views over the same single
+// analysis, kept for wire compatibility.
 //
 // Microarchitectures come from the runtime registry: the nine built-ins,
 // plus any spec files loaded at startup via -arch-dir, plus anything

@@ -7,18 +7,24 @@
 //	facile -arch SKL -mode loop -hex "4801d8480fafc3"
 //	facile -arch RKL -mode unroll -file block.bin -explain
 //	facile -arch SKL -hex "..." -speedups
+//	facile -arch SKL -hex "..." -json | jq .speedups
 //	facile -arch-dir ./myarchs -arch SKL-LSD -hex "..."
 //	facile -list
 //
 // The input block is raw machine code, given as a hex string (-hex) or a
-// binary file (-file). -arch-dir loads additional microarchitecture spec
-// files (*.json, full specs or base+overlay variants; see the README's
-// "Custom microarchitectures") before anything else runs, so hypothetical
-// design points are predictable without recompiling.
+// binary file (-file). Every query is one Engine.Analyze call; -json emits
+// the resulting structured Analysis (prediction, ordered bound breakdown,
+// sorted counterfactual speedups, structured report) as JSON. -arch-dir
+// loads additional microarchitecture spec files (*.json, full specs or
+// base+overlay variants; see the README's "Custom microarchitectures")
+// before anything else runs, so hypothetical design points are predictable
+// without recompiling.
 package main
 
 import (
+	"context"
 	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +42,7 @@ func main() {
 		file     = flag.String("file", "", "basic block as a binary file")
 		explain  = flag.Bool("explain", false, "print the full bottleneck report")
 		speedups = flag.Bool("speedups", false, "print the counterfactual per-component speedups")
+		jsonOut  = flag.Bool("json", false, "emit the full structured Analysis as JSON")
 		sim      = flag.Bool("simulate", false, "also run the reference cycle-accurate simulator")
 		list     = flag.Bool("list", false, "list supported microarchitectures and exit")
 	)
@@ -67,51 +74,56 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-
-	m := facile.Loop
-	switch strings.ToLower(*mode) {
-	case "loop", "tpl":
-		m = facile.Loop
-	case "unroll", "tpu":
-		m = facile.Unroll
-	default:
-		fatal(fmt.Errorf("unknown mode %q (want loop or unroll)", *mode))
-	}
-
-	// All queries below share one engine, so the block is decoded and
-	// predicted once even when -explain and -simulate are both requested.
-	engine, err := facile.NewEngine(facile.EngineConfig{Archs: []string{*arch}})
+	m, err := facile.ParseMode(*mode)
 	if err != nil {
 		fatal(err)
 	}
 
-	if *explain {
-		report, err := engine.Explain(code, *arch, m)
-		if err != nil {
+	// Pick the cheapest detail the requested outputs need; -json always
+	// carries the full analysis.
+	detail := facile.DetailPrediction
+	if *speedups {
+		detail = facile.DetailSpeedups
+	}
+	if *explain || *jsonOut {
+		detail = facile.DetailFull
+	}
+
+	// One engine, one Analyze call: prediction, report, and speedups all
+	// come from the same cached entry even when several outputs are
+	// requested.
+	engine, err := facile.NewEngine(facile.EngineConfig{Archs: []string{*arch}})
+	if err != nil {
+		fatal(err)
+	}
+	ana, err := engine.Analyze(context.Background(), facile.Request{
+		Code: code, Arch: *arch, Mode: m, Detail: detail,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(ana); err != nil {
 			fatal(err)
 		}
-		fmt.Print(report)
-	} else {
-		pred, err := engine.Predict(code, *arch, m)
-		if err != nil {
-			fatal(err)
-		}
+	case *explain:
+		fmt.Print(ana.Report.Text())
+	default:
+		pred := ana.Prediction
 		fmt.Printf("%.2f cycles/iteration (%s, %s)\n", pred.CyclesPerIteration, pred.Arch, pred.Mode)
 		if len(pred.Bottlenecks) > 0 {
 			fmt.Printf("bottleneck: %s\n", strings.Join(pred.Bottlenecks, ", "))
 		}
 	}
 
-	if *speedups && !*explain { // -explain already includes the speedup table
-		sp, err := engine.Speedups(code, *arch, m)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println("counterfactual speedups (component made infinitely fast):")
-		for _, name := range facile.ComponentNames() {
-			if v, ok := sp[name]; ok {
-				fmt.Printf("  %-11s %.2fx\n", name, v)
-			}
+	if *speedups && !*explain && !*jsonOut { // those outputs already include the table
+		fmt.Println("counterfactual speedups (component made infinitely fast, most profitable first):")
+		for _, sp := range ana.Speedups {
+			fmt.Printf("  %-11s %.2fx\n", sp.Component, sp.Factor)
 		}
 	}
 

@@ -1,7 +1,7 @@
 package facile
 
 import (
-	"fmt"
+	"context"
 	"runtime"
 	"strings"
 	"sync"
@@ -18,6 +18,12 @@ import (
 // leaves CacheSize unset.
 const DefaultCacheSize = 4096
 
+// DefaultMaxCodeBytes bounds Request.Code when EngineConfig leaves
+// MaxCodeBytes unset. Real basic blocks are tens of bytes; the generous
+// default exists to bound cache-key memory against hostile input, not to
+// constrain legitimate blocks.
+const DefaultMaxCodeBytes = 1 << 20
+
 // EngineConfig configures an Engine. The zero value is a valid
 // configuration: all microarchitectures, DefaultCacheSize cache entries, and
 // one worker per CPU for batches.
@@ -30,43 +36,51 @@ type EngineConfig struct {
 	// Registry supplies the engine's microarchitectures. Nil selects the
 	// process-wide DefaultRegistry.
 	Registry *ArchRegistry
-	// CacheSize bounds the prediction LRU (entries). Values <= 0 select
-	// DefaultCacheSize.
+	// CacheSize bounds the prediction LRU (entries). Zero selects
+	// DefaultCacheSize; negative disables memoization entirely (every call
+	// recomputes — the uncached baseline for benchmarks and for
+	// non-repeating streams).
 	CacheSize int
-	// Workers is the PredictBatch worker-pool size. Values <= 0 select
+	// Workers is the batch worker-pool size. Values <= 0 select
 	// runtime.GOMAXPROCS(0).
 	Workers int
+	// MaxCodeBytes bounds Request.Code; oversized blocks are rejected at
+	// the Analyze boundary with an ErrBadRequest-classified error. Values
+	// <= 0 select DefaultMaxCodeBytes.
+	MaxCodeBytes int
 }
 
-// Engine is a reusable, concurrency-safe prediction engine. Constructed once
-// per microarchitecture set, it amortizes all per-call setup that the
-// one-shot Predict path pays every time:
+// Engine is a reusable, concurrency-safe analysis engine and the home of the
+// public entrypoint, Analyze. Constructed once per microarchitecture set, it
+// amortizes all per-call setup that a one-shot analysis pays every time:
 //
 //   - per-microarchitecture configuration and instruction descriptors are
 //     resolved once and shared across calls (via bb.Builder memoization);
-//   - decoded blocks, predictions, counterfactual speedups, and rendered
-//     Explain reports are memoized in a bounded LRU keyed by (code bytes,
-//     microarchitecture, mode) — repeated queries, e.g. from a
-//     superoptimizer revisiting candidates or a BHive-scale evaluation,
-//     become cache hits, and a warm Predict hit performs no heap
-//     allocations at all;
+//   - decoded blocks and complete analyses — prediction, ordered bound
+//     breakdown, counterfactual speedups, structured report — are memoized
+//     in a bounded LRU keyed by (code bytes, microarchitecture, mode);
+//     repeated queries become cache hits, and a warm Analyze at any Detail
+//     performs exactly one cache entry resolution and no heap allocations;
 //   - cache misses draw their analysis scratch state (per-component
 //     predictor buffers) from a sync.Pool, so a warm miss computes the full
 //     bound vector without transient allocations in the analysis core;
-//   - PredictBatch fans independent requests across a worker pool while
-//     keeping result order deterministic.
+//   - AnalyzeBatch fans independent requests across a worker pool while
+//     keeping result order deterministic, and observes its context between
+//     items so a cancelled batch stops computing.
 //
-// Cached results are shared between callers: the Prediction values returned
-// by an Engine (and their Components/Bottlenecks/Instructions fields), the
-// Speedups maps, and the Explain reports must be treated as read-only.
+// Cached results are shared between callers: the Analysis values returned by
+// an Engine (and their Prediction/Bounds/Speedups/Report fields, and the
+// views served by the legacy per-question methods) must be treated as
+// read-only.
 type Engine struct {
 	reg      *uarch.Registry
-	pub      *ArchRegistry   // the public view handed out by Registry()
-	restrict map[string]bool // non-nil iff EngineConfig.Archs was set; canonical names
-	archs    []string        // configured order when restricted
-	builders sync.Map        // canonical name -> *builderSlot
-	cache    *lru.Cache[engineKey, *engineEntry]
+	pub      *ArchRegistry                       // the public view handed out by Registry()
+	restrict map[string]bool                     // non-nil iff EngineConfig.Archs was set; canonical names
+	archs    []string                            // configured order when restricted
+	builders sync.Map                            // canonical name -> *builderSlot
+	cache    *lru.Cache[engineKey, *engineEntry] // nil when memoization is disabled
 	workers  int
+	maxCode  int
 
 	// analyses pools core.Analysis scratch contexts across cache misses.
 	analyses sync.Pool
@@ -84,10 +98,10 @@ type builderSlot struct {
 	bd  *bb.Builder
 }
 
-// engineKey identifies one memoized prediction. The registry version makes
+// engineKey identifies one memoized analysis. The registry version makes
 // cache entries registry-scoped: two registries' same-named arches (or an
 // engine re-pointed at a different registry) can never alias each other's
-// cached predictions.
+// cached analyses.
 type engineKey struct {
 	arch string
 	ver  uint64
@@ -99,34 +113,82 @@ type engineKey struct {
 // block and prediction under once; concurrent callers for the same key block
 // on once and then share the result. Decode/lookup errors are cached too, so
 // repeatedly querying an undecodable block stays cheap. The derived views —
-// simulation, speedups, Explain report — are memoized lazily alongside the
-// prediction; each is a pure recombination or rendering of the cached bound
-// vector, never a re-run of the component predictors.
+// simulation, sorted speedups, structured report, and the per-Detail
+// Analysis values — are memoized lazily alongside the prediction; each is a
+// pure recombination or rendering of the cached bound vector, never a re-run
+// of the component predictors.
 type engineEntry struct {
-	once  sync.Once
-	block *bb.Block
-	pred  Prediction
-	core  core.Prediction
-	err   error
+	once   sync.Once
+	block  *bb.Block
+	pred   Prediction
+	core   core.Prediction
+	bounds []ComponentBound
+	err    error
 
 	simOnce sync.Once
 	sim     float64
 
 	spOnce sync.Once
-	sp     map[string]float64
+	spList []Speedup // sorted descending
+
+	// The legacy map view is built only when Engine.Speedups asks for it,
+	// so the primary Analyze path never pays for the deprecated surface.
+	spMapOnce sync.Once
+	spMap     map[string]float64
 
 	repOnce sync.Once
-	report  string
+	report  *Report
+
+	anaOnce [numDetails]sync.Once
+	ana     [numDetails]*Analysis
 }
 
-// speedups returns the entry's memoized counterfactual speedups, computing
-// them on first use by recombining the cached bound vector.
-func (ent *engineEntry) speedups(mode Mode) map[string]float64 {
+// speedups returns the entry's memoized sorted speedup list, computing it
+// on first use by recombining the cached bound vector.
+func (ent *engineEntry) speedups() []Speedup {
 	ent.spOnce.Do(func() {
-		m := coreMode(mode)
-		ent.sp = speedupMap(ent.core.Bounds.Speedups(m), m)
+		ent.spList = speedupList(&ent.core.Bounds, coreMode(ent.pred.Mode))
 	})
-	return ent.sp
+	return ent.spList
+}
+
+// speedupMap returns the memoized legacy map view of the sorted speedup
+// list, building it on first use.
+func (ent *engineEntry) speedupMap() map[string]float64 {
+	ent.spMapOnce.Do(func() {
+		list := ent.speedups()
+		ent.spMap = make(map[string]float64, len(list))
+		for _, s := range list {
+			ent.spMap[s.Component] = s.Factor
+		}
+	})
+	return ent.spMap
+}
+
+// reportView returns the entry's memoized structured report.
+func (ent *engineEntry) reportView() *Report {
+	ent.repOnce.Do(func() {
+		ent.report = buildReport(&ent.pred, ent.bounds, ent.speedups())
+	})
+	return ent.report
+}
+
+// analysis returns the entry's memoized Analysis for one detail level. The
+// three levels share their underlying slices and report; only the Analysis
+// shell differs, so a warm Analyze returns an existing pointer without
+// allocating.
+func (ent *engineEntry) analysis(d Detail) *Analysis {
+	ent.anaOnce[d].Do(func() {
+		a := &Analysis{Prediction: ent.pred, Bounds: ent.bounds}
+		if d >= DetailSpeedups {
+			a.Speedups = ent.speedups()
+		}
+		if d >= DetailFull {
+			a.Report = ent.reportView()
+		}
+		ent.ana[d] = a
+	})
+	return ent.ana[d]
 }
 
 // NewEngine constructs an Engine over cfg.Registry (default: the process-
@@ -153,14 +215,19 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 			e.archs = append(e.archs, uc.Name)
 		}
 	}
-	size := cfg.CacheSize
-	if size <= 0 {
-		size = DefaultCacheSize
+	switch size := cfg.CacheSize; {
+	case size == 0:
+		e.cache = lru.New[engineKey, *engineEntry](DefaultCacheSize)
+	case size > 0:
+		e.cache = lru.New[engineKey, *engineEntry](size)
 	}
-	e.cache = lru.New[engineKey, *engineEntry](size)
 	e.workers = cfg.Workers
 	if e.workers <= 0 {
 		e.workers = runtime.GOMAXPROCS(0)
+	}
+	e.maxCode = cfg.MaxCodeBytes
+	if e.maxCode <= 0 {
+		e.maxCode = DefaultMaxCodeBytes
 	}
 	return e, nil
 }
@@ -194,14 +261,16 @@ func (e *Engine) HasArch(arch string) bool {
 }
 
 // builder resolves arch through the registry (case-insensitively) and
-// returns the memoized per-arch Builder, creating it on first use.
+// returns the memoized per-arch Builder, creating it on first use. Lookup
+// and restriction failures are classified as ErrBadRequest: the arch name is
+// client input.
 func (e *Engine) builder(arch string) (*bb.Builder, uint64, error) {
 	uc, ver, err := e.reg.Resolve(arch)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, asBadRequest(err)
 	}
 	if e.restrict != nil && !e.restrict[uc.Name] {
-		return nil, 0, fmt.Errorf("facile: engine not configured for microarchitecture %q (one of %s)",
+		return nil, 0, badRequestf("facile: engine not configured for microarchitecture %q (one of %s)",
 			arch, strings.Join(e.archs, ", "))
 	}
 	if s, ok := e.builders.Load(uc.Name); ok {
@@ -216,9 +285,25 @@ func (e *Engine) builder(arch string) (*bb.Builder, uint64, error) {
 	return slot.bd, ver, nil
 }
 
+// checkCode validates the block bytes at the Analyze boundary.
+func (e *Engine) checkCode(code []byte) error {
+	if len(code) == 0 {
+		return errEmptyBlock
+	}
+	if len(code) > e.maxCode {
+		return badRequestf("facile: basic block is %d bytes; the limit is %d (EngineConfig.MaxCodeBytes)",
+			len(code), e.maxCode)
+	}
+	return nil
+}
+
 // entry returns the single-flight cache slot for (code, arch, mode),
-// computing the decoded block and prediction on first use.
-func (e *Engine) entry(code []byte, arch string, mode Mode) (*engineEntry, error) {
+// computing the decoded block and prediction on first use. Exactly one
+// cache resolution happens per call; every derived view hangs off the
+// returned entry. The context is observed between the cache probe and the
+// computation: a cancelled caller never pays for (or pollutes stats with) a
+// cache miss, while a warm hit is served regardless — it costs nothing.
+func (e *Engine) entry(ctx context.Context, code []byte, arch string, mode Mode) (*engineEntry, error) {
 	if err := checkMode(mode); err != nil {
 		return nil, err
 	}
@@ -227,29 +312,45 @@ func (e *Engine) entry(code []byte, arch string, mode Mode) (*engineEntry, error
 		return nil, err
 	}
 	canon := bd.Cfg().Name
-	if len(code) == 0 {
-		return nil, fmt.Errorf("facile: empty basic block")
+	if err := e.checkCode(code); err != nil {
+		return nil, err
 	}
-	// Probe with a zero-copy string view of code first: the cache does not
-	// retain lookup keys, so the unsafe aliasing never outlives this call,
-	// and a warm hit performs no allocation. Only a miss pays for the
-	// durable key copy.
-	probe := engineKey{arch: canon, ver: ver, mode: mode, code: unsafeString(code)}
-	ent, hit := e.cache.Get(probe)
-	if !hit {
-		ent, hit = e.cache.GetOrAdd(
-			engineKey{arch: canon, ver: ver, mode: mode, code: string(code)},
-			func() *engineEntry { return &engineEntry{} })
-	}
-	if hit {
-		e.hits.Add(1)
-	} else {
+	var ent *engineEntry
+	if e.cache == nil {
+		// Memoization disabled: every call recomputes on a private entry.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		e.misses.Add(1)
+		ent = &engineEntry{}
+	} else {
+		// Probe with a zero-copy string view of code first: the cache does
+		// not retain lookup keys, so the unsafe aliasing never outlives this
+		// call, and a warm hit performs no allocation. Only a miss pays for
+		// the durable key copy.
+		probe := engineKey{arch: canon, ver: ver, mode: mode, code: unsafeString(code)}
+		ent2, hit := e.cache.Get(probe)
+		ent = ent2
+		if !hit {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			ent, hit = e.cache.GetOrAdd(
+				engineKey{arch: canon, ver: ver, mode: mode, code: string(code)},
+				func() *engineEntry { return &engineEntry{} })
+		}
+		if hit {
+			e.hits.Add(1)
+		} else {
+			e.misses.Add(1)
+		}
 	}
 	ent.once.Do(func() {
 		block, err := bd.Build(code)
 		if err != nil {
-			ent.err = err
+			// Decode failures are about the request's bytes: classify them
+			// into the uniform bad-request vocabulary (text unchanged).
+			ent.err = asBadRequest(err)
 			return
 		}
 		ent.block = block
@@ -257,6 +358,7 @@ func (e *Engine) entry(code []byte, arch string, mode Mode) (*engineEntry, error
 		ent.core = a.Predict(block, coreMode(mode), core.Options{})
 		e.analyses.Put(a)
 		ent.pred = publicPrediction(&ent.core, block, canon, mode)
+		ent.bounds = componentBounds(&ent.core)
 	})
 	return ent, nil
 }
@@ -267,21 +369,124 @@ func unsafeString(b []byte) string {
 	return unsafe.String(unsafe.SliceData(b), len(b))
 }
 
-// Predict computes (or recalls) the throughput prediction for the block.
-// The returned Prediction may be shared with other callers and must be
-// treated as read-only.
+// Analyze is the entrypoint of the public API: one typed Request in, one
+// typed Analysis out. A single cheap bound computation (or a single cache
+// entry resolution, when warm) yields the prediction, the ordered
+// per-component breakdown, and — as req.Detail asks for them — the sorted
+// counterfactual speedups and the structured bottleneck report, so callers
+// that only want a number never pay for interpretation.
+//
+// Request validation is uniform: an empty or oversized Code, an invalid
+// Mode or Detail, an unknown microarchitecture, or undecodable block bytes
+// all return errors matching ErrBadRequest (with the same message text as
+// the historical entry points).
+//
+// ctx is observed between the cache probe and the computation: a cancelled
+// request is still served from a warm entry (it costs nothing), but never
+// starts a computation. A nil ctx is treated as context.Background().
+//
+// The returned Analysis is memoized and shared with other callers; treat it
+// (and everything it references) as read-only.
+func (e *Engine) Analyze(ctx context.Context, req Request) (*Analysis, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := checkDetail(req.Detail); err != nil {
+		return nil, err
+	}
+	ent, err := e.entry(ctx, req.Code, req.Arch, req.Mode)
+	if err != nil {
+		return nil, err
+	}
+	if ent.err != nil {
+		return nil, ent.err
+	}
+	return ent.analysis(req.Detail), nil
+}
+
+// AnalyzeBatch analyzes every request, fanning the work across the engine's
+// worker pool. Result ordering is deterministic: out[i] always corresponds
+// to reqs[i], regardless of worker scheduling. Per-request failures are
+// reported in the corresponding AnalysisResult; they do not affect other
+// requests.
+//
+// Cancellation aborts unstarted work: once ctx is done, every item not yet
+// begun completes with ctx's error instead of computing, and items already
+// past the cache probe finish normally — so a cancelled batch still returns
+// one deterministic result per request.
+func (e *Engine) AnalyzeBatch(ctx context.Context, reqs []Request) []AnalysisResult {
+	return e.AnalyzeBatchN(ctx, reqs, 0)
+}
+
+// AnalyzeBatchN is AnalyzeBatch with an explicit concurrency bound: at most
+// workers requests are computed at once. Values <= 0 or above the engine's
+// configured pool size select the pool size — callers (e.g. a server
+// answering many independent batch requests) can bound an individual
+// batch's parallelism but never exceed the engine's.
+func (e *Engine) AnalyzeBatchN(ctx context.Context, reqs []Request, workers int) []AnalysisResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]AnalysisResult, len(reqs))
+	e.runWorkers(len(reqs), workers, func(i int) {
+		if err := ctx.Err(); err != nil {
+			out[i].Err = err
+			return
+		}
+		out[i].Analysis, out[i].Err = e.Analyze(ctx, reqs[i])
+	})
+	return out
+}
+
+// runWorkers executes do(0..n-1) across at most workers goroutines (clamped
+// to the engine pool size), returning when every index has run. Index order
+// of completion is unspecified; assignment order is monotonic.
+func (e *Engine) runWorkers(n, workers int, do func(int)) {
+	if workers <= 0 || workers > e.workers {
+		workers = e.workers
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			do(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				do(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Predict computes (or recalls) the throughput prediction for the block — a
+// view over Analyze at DetailPrediction, retained for one release. The
+// returned Prediction may be shared with other callers and must be treated
+// as read-only.
 func (e *Engine) Predict(code []byte, arch string, mode Mode) (Prediction, error) {
-	ent, err := e.entry(code, arch, mode)
+	ana, err := e.Analyze(context.Background(), Request{Code: code, Arch: arch, Mode: mode})
 	if err != nil {
 		return Prediction{}, err
 	}
-	if ent.err != nil {
-		return Prediction{}, ent.err
-	}
-	return ent.pred, nil
+	return ana.Prediction, nil
 }
 
-// BatchRequest is one prediction request of a batch.
+// BatchRequest is one prediction request of a legacy PredictBatch call; new
+// code should use Request with AnalyzeBatch.
 type BatchRequest struct {
 	Code []byte
 	Arch string
@@ -294,95 +499,62 @@ type BatchResult struct {
 	Err        error
 }
 
-// PredictBatch predicts every request, fanning the work across the engine's
-// worker pool. Result ordering is deterministic: out[i] always corresponds
-// to reqs[i], regardless of worker scheduling. Per-request failures are
-// reported in the corresponding BatchResult; they do not affect other
-// requests.
+// PredictBatch predicts every request — a view over AnalyzeBatch at
+// DetailPrediction with a background context, retained for one release.
+// Result ordering is deterministic: out[i] always corresponds to reqs[i].
 func (e *Engine) PredictBatch(reqs []BatchRequest) []BatchResult {
 	return e.PredictBatchN(reqs, 0)
 }
 
-// PredictBatchN is PredictBatch with an explicit concurrency bound: at most
-// workers requests are computed at once. Values <= 0 or above the engine's
-// configured pool size select the pool size — callers (e.g. a server
-// answering many independent batch requests) can bound an individual
-// batch's parallelism but never exceed the engine's. Result ordering is
-// deterministic, as for PredictBatch.
+// PredictBatchN is PredictBatch with an explicit concurrency bound, with the
+// same semantics as AnalyzeBatchN's.
 func (e *Engine) PredictBatchN(reqs []BatchRequest, workers int) []BatchResult {
+	areqs := make([]Request, len(reqs))
+	for i, r := range reqs {
+		areqs[i] = Request{Code: r.Code, Arch: r.Arch, Mode: r.Mode}
+	}
 	out := make([]BatchResult, len(reqs))
-	do := func(i int) {
-		out[i].Prediction, out[i].Err = e.Predict(reqs[i].Code, reqs[i].Arch, reqs[i].Mode)
-	}
-	if workers <= 0 || workers > e.workers {
-		workers = e.workers
-	}
-	if workers > len(reqs) {
-		workers = len(reqs)
-	}
-	if workers <= 1 {
-		for i := range reqs {
-			do(i)
+	for i, res := range e.AnalyzeBatchN(context.Background(), areqs, workers) {
+		if res.Err != nil {
+			out[i].Err = res.Err
+			continue
 		}
-		return out
+		out[i].Prediction = res.Analysis.Prediction
 	}
-	var next atomic.Int64
-	next.Store(-1)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1))
-				if i >= len(reqs) {
-					return
-				}
-				do(i)
-			}
-		}()
-	}
-	wg.Wait()
 	return out
 }
 
-// Speedups answers the counterfactual question of the paper's Table 4. The
-// result is memoized alongside the cached prediction: the first call
-// recombines the cached bound vector (no predictor re-runs), subsequent
-// calls return the same map, which must be treated as read-only.
+// Speedups answers the counterfactual question of the paper's Table 4 as the
+// legacy map view — a view over Analyze at DetailSpeedups, retained for one
+// release; new code should read the sorted Analysis.Speedups. The map is
+// memoized alongside the cached analysis and must be treated as read-only.
 func (e *Engine) Speedups(code []byte, arch string, mode Mode) (map[string]float64, error) {
-	ent, err := e.entry(code, arch, mode)
+	ent, err := e.entry(context.Background(), code, arch, mode)
 	if err != nil {
 		return nil, err
 	}
 	if ent.err != nil {
 		return nil, ent.err
 	}
-	return ent.speedups(mode), nil
+	return ent.speedupMap(), nil
 }
 
-// Explain produces the human-readable bottleneck report. The rendered
-// report is memoized alongside the cached prediction; repeated calls return
-// the same string without re-rendering.
+// Explain produces the human-readable bottleneck report — a view over
+// Analyze at DetailFull followed by Report.Text, retained for one release.
+// The rendering is memoized; repeated calls return the same string.
 func (e *Engine) Explain(code []byte, arch string, mode Mode) (string, error) {
-	ent, err := e.entry(code, arch, mode)
+	ana, err := e.Analyze(context.Background(), Request{Code: code, Arch: arch, Mode: mode, Detail: DetailFull})
 	if err != nil {
 		return "", err
 	}
-	if ent.err != nil {
-		return "", ent.err
-	}
-	ent.repOnce.Do(func() {
-		ent.report = renderReport(ent.pred, ent.speedups(mode))
-	})
-	return ent.report, nil
+	return ana.Report.Text(), nil
 }
 
 // Simulate runs the reference cycle-accurate pipeline simulator on the
 // engine's cached decoded block; the result is memoized alongside the
-// prediction.
+// analysis.
 func (e *Engine) Simulate(code []byte, arch string, mode Mode) (float64, error) {
-	ent, err := e.entry(code, arch, mode)
+	ent, err := e.entry(context.Background(), code, arch, mode)
 	if err != nil {
 		return 0, err
 	}
@@ -395,21 +567,25 @@ func (e *Engine) Simulate(code []byte, arch string, mode Mode) (float64, error) 
 
 // EngineStats is a snapshot of the engine's cache accounting.
 type EngineStats struct {
-	// Hits and Misses count cache lookups by outcome. A lookup that joins a
-	// computation already in flight counts as a hit.
+	// Hits and Misses count cache entry resolutions by outcome; one Analyze
+	// performs exactly one resolution regardless of Detail. A lookup that
+	// joins a computation already in flight counts as a hit.
 	Hits, Misses uint64
 	// Evictions counts entries displaced from the bounded LRU.
 	Evictions uint64
-	// Entries is the current number of cached predictions.
+	// Entries is the current number of cached analyses.
 	Entries int
 }
 
 // Stats returns a snapshot of the engine's cache accounting.
 func (e *Engine) Stats() EngineStats {
-	return EngineStats{
-		Hits:      e.hits.Load(),
-		Misses:    e.misses.Load(),
-		Evictions: e.cache.Evicted(),
-		Entries:   e.cache.Len(),
+	st := EngineStats{
+		Hits:   e.hits.Load(),
+		Misses: e.misses.Load(),
 	}
+	if e.cache != nil {
+		st.Evictions = e.cache.Evicted()
+		st.Entries = e.cache.Len()
+	}
+	return st
 }

@@ -380,7 +380,9 @@ func TestEngineInvalidMode(t *testing.T) {
 
 // TestEngineBatchFasterThanOneShot is a coarse regression guard for the
 // engine's amortization on repeated workloads; BenchmarkEngineVsPredict
-// quantifies the speedup properly.
+// quantifies the speedup properly. The baseline is an uncached engine
+// (CacheSize < 0) — the one-shot cost of recomputing every request — since
+// the package-level Predict shim now shares the default engine's cache.
 func TestEngineBatchFasterThanOneShot(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing comparison skipped in -short mode")
@@ -401,9 +403,10 @@ func TestEngineBatchFasterThanOneShot(t *testing.T) {
 		reqs = append(reqs, reqs[len(reqs)%distinct])
 	}
 
+	uncached := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}, CacheSize: -1})
 	start := time.Now()
 	for _, r := range reqs {
-		if _, err := facile.Predict(r.Code, r.Arch, r.Mode); err != nil {
+		if _, err := uncached.Predict(r.Code, r.Arch, r.Mode); err != nil {
 			t.Fatal(err)
 		}
 	}

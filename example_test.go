@@ -1,12 +1,48 @@
 package facile_test
 
 import (
+	"context"
 	"encoding/hex"
 	"fmt"
 	"log"
 
 	"facile"
 )
+
+// ExampleEngine_Analyze is the canonical entrypoint: one typed Request in,
+// one typed Analysis out. A single bound computation yields the prediction,
+// the deterministic per-component breakdown, and (at DetailSpeedups and up)
+// the counterfactual speedups sorted most-profitable first.
+func ExampleEngine_Analyze() {
+	engine, err := facile.NewEngine(facile.EngineConfig{Archs: []string{"SKL"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	code, _ := hex.DecodeString("4801d8" + "480fafc3") // add rax,rbx; imul rax,rbx
+	ana, err := engine.Analyze(context.Background(), facile.Request{
+		Code: code, Arch: "SKL", Mode: facile.Loop, Detail: facile.DetailSpeedups,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.2f cycles/iteration on %s\n", ana.Prediction.CyclesPerIteration, ana.Prediction.Arch)
+	for _, b := range ana.Bounds {
+		mark := " "
+		if b.Bottleneck {
+			mark = "*"
+		}
+		fmt.Printf("%s %-11s %.2f\n", mark, b.Component, b.Cycles)
+	}
+	top := ana.Speedups[0]
+	fmt.Printf("idealizing %s would give %.2fx\n", top.Component, top.Factor)
+	// Output:
+	// 4.00 cycles/iteration on SKL
+	//   DSB         1.00
+	//   Issue       0.50
+	//   Ports       1.00
+	// * Precedence  4.00
+	// idealizing Precedence would give 4.00x
+}
 
 // ExamplePredict is the one-shot path: decode and analyze a block from
 // scratch. Use it for one-off queries; bulk workloads should use an Engine.

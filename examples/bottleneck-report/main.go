@@ -1,11 +1,13 @@
 // Bottleneck-report: demonstrate Facile's interpretability on blocks with
 // deliberately different bottlenecks — the use case of the paper's §6.4.
-// Each block is analyzed with facile.Explain, which names the limiting
-// pipeline component, marks the responsible instructions, and quantifies the
-// counterfactual gain of idealizing each component.
+// Each block goes through one Engine.Analyze call at DetailFull, whose
+// structured Report names the limiting pipeline component, marks the
+// responsible instructions, and quantifies the counterfactual gain of
+// idealizing each component — renderable as text (below) or JSON.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -77,14 +79,22 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("==== %s ====\n", c.title)
-		report, err := engine.Explain(code, "SKL", c.mode)
+		ana, err := engine.Analyze(context.Background(), facile.Request{
+			Code: code, Arch: "SKL", Mode: c.mode, Detail: facile.DetailFull,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(report)
+		fmt.Println(ana.Report.Text())
+		// The same analysis answers structured questions without another
+		// engine call: the report object and the sorted speedup list are
+		// views of one cached bound computation.
+		top := ana.Speedups[0]
+		fmt.Printf("(structured: primary=%s, best counterfactual: %s %.2fx)\n\n",
+			ana.Report.PrimaryBottleneck, top.Component, top.Factor)
 	}
-	// Rendered reports are memoized alongside the cached predictions:
-	// re-explaining any block above is a pure cache hit.
+	// Analyses (and their rendered reports) are memoized alongside the
+	// cached predictions: re-analyzing any block above is a pure cache hit.
 	st := engine.Stats()
 	fmt.Printf("engine cache: %d entries, %d misses\n", st.Entries, st.Misses)
 }

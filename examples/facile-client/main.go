@@ -1,6 +1,7 @@
 // Command facile-client demonstrates driving the Facile prediction service
 // (cmd/facile-serve) over HTTP from Go: one single-block prediction, one
-// batch, and the counterfactual speedup table.
+// batch, and the structured /v1/analyze response with its bound breakdown
+// and sorted counterfactual speedup table.
 //
 // Start the server, then run the client:
 //
@@ -42,9 +43,26 @@ type batchResponse struct {
 	} `json:"results"`
 }
 
-type speedupsResponse struct {
-	CyclesPerIteration float64            `json:"cycles_per_iteration"`
-	Speedups           map[string]float64 `json:"speedups"`
+type analyzeRequest struct {
+	blockRequest
+	Detail string `json:"detail,omitempty"`
+}
+
+// analyzeResponse declares the subset of the /v1/analyze structured
+// Analysis this client reads: the prediction, the ordered bound breakdown,
+// and the counterfactual speedups — already sorted descending by the
+// server, so rendering needs no map iteration.
+type analyzeResponse struct {
+	Prediction prediction `json:"prediction"`
+	Bounds     []struct {
+		Component  string  `json:"component"`
+		Cycles     float64 `json:"cycles"`
+		Bottleneck bool    `json:"bottleneck"`
+	} `json:"bounds"`
+	Speedups []struct {
+		Component string  `json:"component"`
+		Factor    float64 `json:"factor"`
+	} `json:"speedups"`
 }
 
 func main() {
@@ -84,14 +102,26 @@ func main() {
 		fmt.Printf("  %-4s %.2f cycles/iteration\n", archs[i], res.Prediction.CyclesPerIteration)
 	}
 
-	// What would help? The counterfactual table of the paper's Table 4.
-	var sp speedupsResponse
-	post(client, *addr+"/v1/speedups",
-		blockRequest{Code: "4801d8480fafc3", Arch: "SKL", Mode: "loop"}, &sp)
-	fmt.Println("\ncounterfactual speedups on SKL:")
-	for comp, v := range sp.Speedups {
-		if v > 1 {
-			fmt.Printf("  %-11s %.2fx\n", comp, v)
+	// What would help? One /v1/analyze round trip returns the structured
+	// analysis: bound breakdown plus the counterfactual table of the
+	// paper's Table 4, sorted most-profitable first.
+	var ana analyzeResponse
+	post(client, *addr+"/v1/analyze", analyzeRequest{
+		blockRequest: blockRequest{Code: "4801d8480fafc3", Arch: "SKL", Mode: "loop"},
+		Detail:       "speedups",
+	}, &ana)
+	fmt.Println("\nbound breakdown on SKL (pipeline order, * = bottleneck):")
+	for _, b := range ana.Bounds {
+		mark := " "
+		if b.Bottleneck {
+			mark = "*"
+		}
+		fmt.Printf("  %s %-11s %.2f\n", mark, b.Component, b.Cycles)
+	}
+	fmt.Println("\ncounterfactual speedups on SKL (most profitable first):")
+	for _, sp := range ana.Speedups {
+		if sp.Factor > 1 {
+			fmt.Printf("  %-11s %.2fx\n", sp.Component, sp.Factor)
 		}
 	}
 }

@@ -1,8 +1,10 @@
-// Quickstart: predict the throughput of a basic block on several
-// microarchitectures with the public facile API.
+// Quickstart: analyze a basic block on several microarchitectures with the
+// public facile API — one Engine.Analyze request per arch, each returning
+// prediction, bound breakdown, and sorted counterfactual speedups together.
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"fmt"
 	"log"
@@ -31,29 +33,35 @@ func main() {
 	}
 
 	// One engine serves all microarchitectures; the batch call fans the
-	// per-arch predictions across a worker pool and returns them in order.
+	// per-arch analyses across a worker pool and returns them in order.
+	// DetailSpeedups materializes the counterfactual table alongside each
+	// prediction — same single bound computation either way.
 	engine, err := facile.NewEngine(facile.EngineConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	archs := engine.Archs()
-	reqs := make([]facile.BatchRequest, len(archs))
+	reqs := make([]facile.Request, len(archs))
 	for i, arch := range archs {
-		reqs[i] = facile.BatchRequest{Code: code, Arch: arch, Mode: facile.Loop}
+		reqs[i] = facile.Request{Code: code, Arch: arch, Mode: facile.Loop, Detail: facile.DetailSpeedups}
 	}
 
 	fmt.Println("\nPredicted loop throughput (cycles/iteration):")
-	for i, res := range engine.PredictBatch(reqs) {
+	for i, res := range engine.AnalyzeBatch(context.Background(), reqs) {
 		if res.Err != nil {
 			log.Fatal(res.Err)
 		}
-		fmt.Printf("  %-4s %5.2f   front end: %-6s bottleneck: %v\n",
-			archs[i], res.Prediction.CyclesPerIteration,
-			res.Prediction.FrontEndSource, res.Prediction.Bottlenecks)
+		pred := res.Analysis.Prediction
+		// Speedups are sorted descending, so the first entry is the most
+		// profitable component to idealize on that arch.
+		top := res.Analysis.Speedups[0]
+		fmt.Printf("  %-4s %5.2f   front end: %-6s bottleneck: %-12v idealize %s -> %.2fx\n",
+			archs[i], pred.CyclesPerIteration, pred.FrontEndSource, pred.Bottlenecks,
+			top.Component, top.Factor)
 	}
 
 	// Cross-check one prediction against the reference simulator; the engine
-	// reuses the block it already decoded for the prediction above.
+	// reuses the block it already decoded for the analysis above.
 	sim, err := engine.Simulate(code, "SKL", facile.Loop)
 	if err != nil {
 		log.Fatal(err)

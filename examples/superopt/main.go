@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -99,42 +100,36 @@ func main() {
 	for _, k := range []int64{3, 5, 6, 8, 10, 1000} {
 		fmt.Printf("==== rax = rbx * %d on %s ====\n", k, arch)
 		cands := candidatesForMul(k)
-		reqs := make([]facile.BatchRequest, len(cands))
+		reqs := make([]facile.Request, len(cands))
 		for i, cand := range cands {
 			code, err := asm.EncodeBlock(cand.instrs)
 			if err != nil {
 				log.Fatal(err)
 			}
-			reqs[i] = facile.BatchRequest{Code: code, Arch: arch, Mode: facile.Unroll}
+			// DetailSpeedups: the ranking and the winner's headroom come out
+			// of the same single bound computation per candidate.
+			reqs[i] = facile.Request{Code: code, Arch: arch, Mode: facile.Unroll, Detail: facile.DetailSpeedups}
 		}
+		results := engine.AnalyzeBatch(context.Background(), reqs)
 		best := -1
 		bestTP := 0.0
-		for i, res := range engine.PredictBatch(reqs) {
+		for i, res := range results {
 			if res.Err != nil {
 				log.Fatal(res.Err)
 			}
+			pred := res.Analysis.Prediction
 			fmt.Printf("  %-36s %5.2f cyc/iter  bottleneck %v\n",
-				cands[i].name, res.Prediction.CyclesPerIteration, res.Prediction.Bottlenecks)
-			if best < 0 || res.Prediction.CyclesPerIteration < bestTP {
-				best, bestTP = i, res.Prediction.CyclesPerIteration
+				cands[i].name, pred.CyclesPerIteration, pred.Bottlenecks)
+			if best < 0 || pred.CyclesPerIteration < bestTP {
+				best, bestTP = i, pred.CyclesPerIteration
 			}
 		}
-		// The winner's remaining headroom: counterfactual speedups are a
-		// free recombination of the winner's cached bound vector, so asking
-		// costs (almost) nothing inside the search loop.
-		sp, err := engine.Speedups(reqs[best].Code, arch, facile.Unroll)
-		if err != nil {
-			log.Fatal(err)
-		}
-		limit, limitSp := "", 1.0
-		for name, v := range sp {
-			if v > limitSp {
-				limit, limitSp = name, v
-			}
-		}
+		// The winner's remaining headroom is the head of its sorted speedup
+		// list — no map iteration, no second engine call.
+		top := results[best].Analysis.Speedups[0]
 		fmt.Printf("  -> selected: %s (%.2f cycles)", cands[best].name, bestTP)
-		if limit != "" {
-			fmt.Printf("; idealizing %s would gain another %.2fx", limit, limitSp)
+		if top.Factor > 1 {
+			fmt.Printf("; idealizing %s would gain another %.2fx", top.Component, top.Factor)
 		}
 		fmt.Print("\n\n")
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -102,22 +103,30 @@ func printHeader() {
 	fmt.Printf("  %s\n", "FE source")
 }
 
-// printRow predicts the kernel on arch (TPL) and prints one table row: the
-// headline number, the primary bottleneck, and the full bound vector
-// (components absent on an arch — e.g. a disabled LSD — print as "-").
+// printRow analyzes the kernel on arch (TPL) and prints one table row: the
+// headline number, the primary bottleneck, and the full bound breakdown in
+// its deterministic pipeline order (components absent on an arch — e.g. a
+// disabled LSD — print as "-").
 func printRow(engine *facile.Engine, code []byte, arch, note string) {
-	pred, err := engine.Predict(code, arch, facile.Loop)
+	ana, err := engine.Analyze(context.Background(), facile.Request{
+		Code: code, Arch: arch, Mode: facile.Loop,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	pred := ana.Prediction
 	primary := "-"
 	if len(pred.Bottlenecks) > 0 {
 		primary = pred.Bottlenecks[0]
 	}
 	fmt.Printf("%-10s %8.2f  %-12s", arch, pred.CyclesPerIteration, primary)
+	// ana.Bounds is already in pipeline order; walk it against the full
+	// component list so absent components keep their column.
+	next := 0
 	for _, c := range comps {
-		if v, ok := pred.Components[c]; ok {
-			fmt.Printf(" %10.2f", v)
+		if next < len(ana.Bounds) && ana.Bounds[next].Component == c {
+			fmt.Printf(" %10.2f", ana.Bounds[next].Cycles)
+			next++
 		} else {
 			fmt.Printf(" %10s", "-")
 		}

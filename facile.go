@@ -16,25 +16,36 @@
 //
 // # Quick start
 //
-//	code, _ := hex.DecodeString("4801d8" + "480fafc3")     // add rax,rbx; imul rax,rbx
-//	pred, err := facile.Predict(code, "SKL", facile.Loop)
+// The entrypoint is Engine.Analyze: one typed Request in, one typed
+// Analysis out — prediction, per-component breakdown, counterfactual
+// speedups, and bottleneck report from a single bound computation, with
+// Request.Detail selecting how much to materialize:
+//
+//	engine, _ := facile.NewEngine(facile.EngineConfig{})
+//	code, _ := hex.DecodeString("4801d8" + "480fafc3") // add rax,rbx; imul rax,rbx
+//	ana, err := engine.Analyze(context.Background(), facile.Request{
+//	    Code: code, Arch: "SKL", Mode: facile.Loop, Detail: facile.DetailFull,
+//	})
 //	if err != nil { ... }
 //	fmt.Printf("%.2f cycles/iteration, bottleneck: %s\n",
-//	    pred.CyclesPerIteration, pred.Bottlenecks[0])
+//	    ana.Prediction.CyclesPerIteration, ana.Prediction.Bottlenecks[0])
+//	fmt.Printf("idealizing %s would give %.2fx\n",
+//	    ana.Speedups[0].Component, ana.Speedups[0].Factor)
 //
-// The package also exposes the reference cycle-accurate pipeline simulator
-// (Simulate) used as the measurement substrate of the evaluation, and a
-// disassembler (Disassemble) for the supported instruction subset.
+// The package-level Predict, Speedups, Explain, and Simulate functions are
+// thin shims over a shared default engine (DefaultEngine), retained for one
+// release. The package also exposes the reference cycle-accurate pipeline
+// simulator (Simulate) used as the measurement substrate of the evaluation,
+// and a disassembler (Disassemble) for the supported instruction subset.
 package facile
 
 import (
-	"fmt"
 	"math"
+	"strings"
 
 	"facile/internal/bb"
 	"facile/internal/core"
 	"facile/internal/pipesim"
-	"facile/internal/uarch"
 	"facile/internal/x86"
 )
 
@@ -57,12 +68,46 @@ func (m Mode) String() string {
 	return "TPU (unroll)"
 }
 
+// MarshalText renders the Mode in its wire vocabulary ("loop"/"unroll"),
+// so JSON-marshaled predictions and reports carry a readable mode.
+func (m Mode) MarshalText() ([]byte, error) {
+	if err := checkMode(m); err != nil {
+		return nil, err
+	}
+	if m == Loop {
+		return []byte("loop"), nil
+	}
+	return []byte("unroll"), nil
+}
+
+// UnmarshalText parses the wire vocabulary accepted by ParseMode.
+func (m *Mode) UnmarshalText(text []byte) error {
+	v, err := ParseMode(string(text))
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
+}
+
+// ParseMode maps the wire vocabulary onto a Mode: "loop" or "tpl" select
+// Loop, "unroll" or "tpu" select Unroll (case-insensitively).
+func ParseMode(s string) (Mode, error) {
+	switch {
+	case strings.EqualFold(s, "loop"), strings.EqualFold(s, "tpl"):
+		return Loop, nil
+	case strings.EqualFold(s, "unroll"), strings.EqualFold(s, "tpu"):
+		return Unroll, nil
+	}
+	return 0, badRequestf("facile: invalid mode %q (want \"loop\"/\"tpl\" or \"unroll\"/\"tpu\")", s)
+}
+
 // checkMode rejects Mode values outside the defined constants: the public
 // entry points validate instead of silently treating unknown modes as
-// Unroll.
+// Unroll. The rejection is part of the ErrBadRequest vocabulary.
 func checkMode(m Mode) error {
 	if m != Unroll && m != Loop {
-		return fmt.Errorf("facile: invalid mode %d (want Unroll or Loop)", int(m))
+		return badRequestf("facile: invalid mode %d (want Unroll or Loop)", int(m))
 	}
 	return nil
 }
@@ -70,36 +115,36 @@ func checkMode(m Mode) error {
 // Prediction is the result of a Facile throughput prediction.
 type Prediction struct {
 	// CyclesPerIteration is the predicted reciprocal throughput.
-	CyclesPerIteration float64
+	CyclesPerIteration float64 `json:"cycles_per_iteration"`
 	// Arch is the microarchitecture the prediction is for (e.g. "SKL").
-	Arch string
-	Mode Mode
+	Arch string `json:"arch"`
+	Mode Mode   `json:"mode"`
 	// Components maps component names ("Predec", "Dec", "DSB", "LSD",
-	// "Issue", "Ports", "Precedence") to their individual bounds. It is the
-	// map view of the analysis core's fixed bound vector, materialized at
-	// this boundary.
-	Components map[string]float64
+	// "Issue", "Ports", "Precedence") to their individual bounds — the
+	// legacy map view; Analysis.Bounds carries the same data as an ordered
+	// typed breakdown.
+	Components map[string]float64 `json:"components"`
 	// Bottlenecks lists the components whose bound equals the prediction,
 	// in front-end-first order; the first entry is the primary bottleneck.
-	Bottlenecks []string
+	Bottlenecks []string `json:"bottlenecks"`
 	// FrontEndSource names the front-end component selected for TPL
 	// predictions ("LSD", "DSB", "Predec", or "Dec"); empty for TPU.
-	FrontEndSource string
+	FrontEndSource string `json:"front_end_source,omitempty"`
 	// CriticalChain lists the instruction indices of a maximum-latency
 	// loop-carried dependence cycle (when Precedence was computed).
-	CriticalChain []int
+	CriticalChain []int `json:"critical_chain,omitempty"`
 	// ContendedPorts and ContendedInstrs describe the maximally contended
 	// execution-port combination (when Ports was computed).
-	ContendedPorts  string
-	ContendedInstrs []int
+	ContendedPorts  string `json:"contended_ports,omitempty"`
+	ContendedInstrs []int  `json:"contended_instrs,omitempty"`
 	// Instructions is the decoded block in Intel-like syntax.
-	Instructions []string
+	Instructions []string `json:"instructions"`
 }
 
 // ComponentNames returns every component name in pipeline order (front end
 // first): Predec, Dec, DSB, LSD, Issue, Ports, Precedence. The order matches
-// the bottleneck tie-breaking order of Prediction.Bottlenecks and the row
-// order of Explain reports.
+// the bottleneck tie-breaking order of Prediction.Bottlenecks, the order of
+// Analysis.Bounds, and the row order of report renderings.
 func ComponentNames() []string {
 	out := make([]string, core.NumComponents)
 	for c := core.Component(0); c < core.NumComponents; c++ {
@@ -135,20 +180,6 @@ type ArchInfo struct {
 // registry, in Archs order.
 func ArchInfos() []ArchInfo { return DefaultRegistry().Infos() }
 
-func prepare(code []byte, arch string, mode Mode) (*bb.Block, error) {
-	if err := checkMode(mode); err != nil {
-		return nil, err
-	}
-	cfg, err := uarch.ByName(arch)
-	if err != nil {
-		return nil, err
-	}
-	if len(code) == 0 {
-		return nil, fmt.Errorf("facile: empty basic block")
-	}
-	return bb.Build(cfg, code)
-}
-
 func coreMode(mode Mode) core.Mode {
 	if mode == Loop {
 		return core.TPL
@@ -157,30 +188,17 @@ func coreMode(mode Mode) core.Mode {
 }
 
 // Predict computes the Facile throughput prediction for the basic block
-// encoded in code on the given microarchitecture.
-//
-// Predict is the one-shot path: it decodes the block and derives all
-// per-instruction state from scratch on every call. Bulk workloads — batch
-// evaluation, superoptimizer search loops, repeated queries — should use an
-// Engine, which shares that state across calls and memoizes predictions.
+// encoded in code on the given microarchitecture — a view over the default
+// engine's Analyze at DetailPrediction, retained as a thin shim for one
+// release. New code should construct an Engine and call Analyze; programs
+// that need isolation from the shared default cache should do so today.
 func Predict(code []byte, arch string, mode Mode) (Prediction, error) {
-	block, err := prepare(code, arch, mode)
-	if err != nil {
-		return Prediction{}, err
-	}
-	// block.Cfg.Name, not arch: lookup is case-insensitive, the reported
-	// name is canonical.
-	return predictBlock(block, block.Cfg.Name, mode), nil
-}
-
-func predictBlock(block *bb.Block, arch string, mode Mode) Prediction {
-	p := core.Predict(block, coreMode(mode), core.Options{})
-	return publicPrediction(&p, block, arch, mode)
+	return DefaultEngine().Predict(code, arch, mode)
 }
 
 // publicPrediction materializes the exported Prediction from the core
-// result: the fixed bound vector becomes the Components map, the bottleneck
-// set becomes an ordered name list.
+// result: the ordered bound walk becomes the Components map view, the
+// bottleneck set becomes an ordered name list.
 func publicPrediction(p *core.Prediction, block *bb.Block, arch string, mode Mode) Prediction {
 	out := Prediction{
 		CyclesPerIteration: round2(p.TP),
@@ -191,13 +209,11 @@ func publicPrediction(p *core.Prediction, block *bb.Block, arch string, mode Mod
 		ContendedPorts:     p.ContendedPorts,
 		ContendedInstrs:    p.ContendedInstrs,
 	}
-	for c := core.Component(0); c < core.NumComponents; c++ {
-		if v, ok := p.Bounds.Get(c); ok {
-			out.Components[c.String()] = v
+	p.EachBound(func(c core.Component, v float64, bottleneck bool) {
+		out.Components[c.String()] = v
+		if bottleneck {
+			out.Bottlenecks = append(out.Bottlenecks, c.String())
 		}
-	}
-	p.EachBottleneck(func(c core.Component) {
-		out.Bottlenecks = append(out.Bottlenecks, c.String())
 	})
 	if mode == Loop {
 		out.FrontEndSource = p.FrontEndSource.String()
@@ -209,43 +225,19 @@ func publicPrediction(p *core.Prediction, block *bb.Block, arch string, mode Mod
 }
 
 // Speedups answers the counterfactual question of the paper's Table 4 for a
-// single block: the factor by which the prediction would improve if each
-// component were infinitely fast. The per-component answers share one
-// component-bound computation; each is a pure recombination of that bound
-// vector.
+// single block as the legacy map view — a shim over the default engine,
+// retained for one release; new code should read the sorted
+// Analysis.Speedups from Engine.Analyze.
 func Speedups(code []byte, arch string, mode Mode) (map[string]float64, error) {
-	block, err := prepare(code, arch, mode)
-	if err != nil {
-		return nil, err
-	}
-	return speedupsForBlock(block, mode), nil
-}
-
-func speedupsForBlock(block *bb.Block, mode Mode) map[string]float64 {
-	m := coreMode(mode)
-	return speedupMap(core.IdealizationSpeedups(block, m), m)
-}
-
-// speedupMap materializes the map view of a speedup vector for the
-// components meaningful in the mode.
-func speedupMap(sp [core.NumComponents]float64, m core.Mode) map[string]float64 {
-	comps := core.SpeedupComponents(m)
-	out := make(map[string]float64, len(comps))
-	for _, c := range comps {
-		out[c.String()] = sp[c]
-	}
-	return out
+	return DefaultEngine().Speedups(code, arch, mode)
 }
 
 // Simulate runs the reference cycle-accurate pipeline simulator (the uiCA
 // stand-in and measurement substrate of the evaluation) and returns the
-// steady-state cycles per iteration.
+// steady-state cycles per iteration — a shim over the default engine,
+// retained for one release.
 func Simulate(code []byte, arch string, mode Mode) (float64, error) {
-	block, err := prepare(code, arch, mode)
-	if err != nil {
-		return 0, err
-	}
-	return simulateBlock(block, mode), nil
+	return DefaultEngine().Simulate(code, arch, mode)
 }
 
 func simulateBlock(block *bb.Block, mode Mode) float64 {
@@ -257,11 +249,11 @@ func simulateBlock(block *bb.Block, mode Mode) float64 {
 // Intel-like syntax. Empty input is an error, matching Predict.
 func Disassemble(code []byte) ([]string, error) {
 	if len(code) == 0 {
-		return nil, fmt.Errorf("facile: empty basic block")
+		return nil, errEmptyBlock
 	}
 	insts, err := x86.DecodeBlock(code)
 	if err != nil {
-		return nil, err
+		return nil, asBadRequest(err)
 	}
 	out := make([]string, len(insts))
 	for i := range insts {

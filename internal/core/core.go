@@ -276,6 +276,19 @@ func (p *Prediction) EachBottleneck(fn func(Component)) {
 	}
 }
 
+// EachBound calls fn for every computed component bound in pipeline
+// (front-end-first) order, together with whether that component is a
+// bottleneck of the prediction. It is the ordered typed walk of the bound
+// vector: consumers that need a deterministic breakdown iterate it directly
+// instead of re-deriving an order from a map view.
+func (p *Prediction) EachBound(fn func(c Component, cycles float64, bottleneck bool)) {
+	for _, c := range bottleneckOrder {
+		if v, ok := p.Bounds.Get(c); ok {
+			fn(c, v, p.Bottlenecks.Has(c))
+		}
+	}
+}
+
 // analysisPool backs the package-level entry points (Predict, ComputeBounds,
 // IdealizationSpeedups, and the exported per-component bound functions) so
 // that one-shot calls reuse scratch state instead of reallocating it.

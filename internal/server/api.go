@@ -37,6 +37,59 @@ type BatchRequest struct {
 	Concurrency int `json:"concurrency,omitempty"`
 }
 
+// AnalyzeRequest is the wire form of POST /v1/analyze: a block query plus
+// the detail level of the analysis to materialize.
+type AnalyzeRequest struct {
+	BlockRequest
+	// Detail selects how much of the analysis to return: "prediction",
+	// "speedups", or "full" (the default).
+	Detail string `json:"detail,omitempty"`
+}
+
+// AnalyzeResponse is the wire form of a /v1/analyze response: the full
+// structured Analysis. Bounds is always present (the deterministic
+// per-component breakdown, front-end first); Speedups (sorted descending)
+// and Report/ReportText appear at the matching detail levels.
+type AnalyzeResponse struct {
+	Prediction Prediction              `json:"prediction"`
+	Bounds     []facile.ComponentBound `json:"bounds"`
+	Speedups   []facile.Speedup        `json:"speedups,omitempty"`
+	Report     *facile.Report          `json:"report,omitempty"`
+	// ReportText is the rendered human-readable report (identical to the
+	// /v1/explain "report" field), included alongside the structured form.
+	ReportText string `json:"report_text,omitempty"`
+}
+
+// wireAnalysis converts an engine Analysis to its wire form. The Analysis
+// is shared and read-only; the wire form aliases its slices, which is safe
+// because they are only marshaled.
+func wireAnalysis(ana *facile.Analysis) AnalyzeResponse {
+	resp := AnalyzeResponse{
+		Prediction: wirePrediction(&ana.Prediction),
+		Bounds:     ana.Bounds,
+		Speedups:   ana.Speedups,
+		Report:     ana.Report,
+	}
+	if ana.Report != nil {
+		resp.ReportText = ana.Report.Text()
+	}
+	return resp
+}
+
+// parseDetail maps the wire detail vocabulary onto a facile.Detail. The
+// empty string defaults to "full": /v1/analyze exists to serve the whole
+// analysis; narrower callers opt down.
+func parseDetail(s string) (facile.Detail, error) {
+	if s == "" {
+		return facile.DetailFull, nil
+	}
+	d, err := facile.ParseDetail(s)
+	if err != nil {
+		return 0, badRequest("%v", err)
+	}
+	return d, nil
+}
+
 // Prediction is the wire form of a facile.Prediction.
 type Prediction struct {
 	CyclesPerIteration float64            `json:"cycles_per_iteration"`
@@ -151,24 +204,27 @@ func modeString(m facile.Mode) string {
 	return "unroll"
 }
 
-// parseMode maps the wire vocabulary onto facile.Mode. The empty string
-// defaults to Loop (TPL), matching the paper's headline metric.
+// parseMode maps the wire vocabulary onto facile.Mode via facile.ParseMode.
+// The empty string defaults to Loop (TPL), matching the paper's headline
+// metric.
 func parseMode(s string) (facile.Mode, error) {
-	switch strings.ToLower(s) {
-	case "", "loop", "tpl":
+	if s == "" {
 		return facile.Loop, nil
-	case "unroll", "tpu":
-		return facile.Unroll, nil
 	}
-	return 0, badRequest("invalid mode %q (want \"loop\"/\"tpl\" or \"unroll\"/\"tpu\")", s)
+	m, err := facile.ParseMode(s)
+	if err != nil {
+		return 0, badRequest("invalid mode %q (want \"loop\"/\"tpl\" or \"unroll\"/\"tpu\")", s)
+	}
+	return m, nil
 }
 
 // decodeBlock validates a BlockRequest against the server's limits and the
-// engine's microarchitecture set, returning the engine-level request. All
-// failures are 400s with a field-specific message; nothing reaches the
+// engine's microarchitecture set, returning the engine-level request (with
+// the zero, cheapest Detail; callers raise it as their endpoint requires).
+// All failures are 400s with a field-specific message; nothing reaches the
 // engine undecoded.
-func (s *Server) decodeBlock(req *BlockRequest) (facile.BatchRequest, error) {
-	var out facile.BatchRequest
+func (s *Server) decodeBlock(req *BlockRequest) (facile.Request, error) {
+	var out facile.Request
 	var code []byte
 	switch {
 	case req.Code != "" && req.CodeB64 != "":
@@ -206,7 +262,7 @@ func (s *Server) decodeBlock(req *BlockRequest) (facile.BatchRequest, error) {
 	if err != nil {
 		return out, err
 	}
-	return facile.BatchRequest{Code: code, Arch: req.Arch, Mode: mode}, nil
+	return facile.Request{Code: code, Arch: req.Arch, Mode: mode}, nil
 }
 
 // wirePrediction converts an engine prediction to its wire form. The

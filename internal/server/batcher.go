@@ -15,22 +15,22 @@ import (
 // Close; the HTTP layer maps it to 503.
 var errShuttingDown = errors.New("server is shutting down")
 
-// batchItem is one single-block prediction waiting to be coalesced.
+// batchItem is one single-block analysis waiting to be coalesced.
 type batchItem struct {
 	ctx context.Context
-	req facile.BatchRequest
-	res chan facile.BatchResult // buffered(1); the collector never blocks on it
+	req facile.Request
+	res chan facile.AnalysisResult // buffered(1); the collector never blocks on it
 }
 
-// batcher coalesces concurrent single-block /v1/predict requests into
-// Engine.PredictBatch calls. Batching is adaptive with no timer in the
-// path: the collector goroutine blocks for the first request, then drains
-// whatever else is already queued (up to maxBatch) and predicts the whole
-// group at once. While a group computes, new arrivals accumulate in the
-// queue, so the batch size tracks the instantaneous load — an idle server
-// adds zero latency (batch of one, immediately), a loaded one amortizes
-// engine dispatch and fans each group across the engine's worker pool,
-// keeping tail latency flat instead of queueing convoy-style.
+// batcher coalesces concurrent single-block requests (/v1/predict and
+// /v1/analyze) into Engine.AnalyzeBatch calls. Batching is adaptive with no
+// timer in the path: the collector goroutine blocks for the first request,
+// then drains whatever else is already queued (up to maxBatch) and analyzes
+// the whole group at once. While a group computes, new arrivals accumulate
+// in the queue, so the batch size tracks the instantaneous load — an idle
+// server adds zero latency (batch of one, immediately), a loaded one
+// amortizes engine dispatch and fans each group across the engine's worker
+// pool, keeping tail latency flat instead of queueing convoy-style.
 type batcher struct {
 	engine   *facile.Engine
 	queue    chan batchItem
@@ -76,42 +76,42 @@ func (b *batcher) start() {
 	go b.collect()
 }
 
-// predict submits one block and waits for its result, honoring ctx: a
+// analyze submits one request and waits for its analysis, honoring ctx: a
 // request abandoned by its client (or past its deadline) stops waiting
 // immediately, even if its group is still computing.
-func (b *batcher) predict(ctx context.Context, req facile.BatchRequest) (facile.Prediction, error) {
-	item := batchItem{ctx: ctx, req: req, res: make(chan facile.BatchResult, 1)}
+func (b *batcher) analyze(ctx context.Context, req facile.Request) (*facile.Analysis, error) {
+	item := batchItem{ctx: ctx, req: req, res: make(chan facile.AnalysisResult, 1)}
 	select {
 	case b.queue <- item:
 	case <-b.done:
-		return facile.Prediction{}, errShuttingDown
+		return nil, errShuttingDown
 	case <-ctx.Done():
-		return facile.Prediction{}, ctx.Err()
+		return nil, ctx.Err()
 	}
 	select {
 	case res := <-item.res:
-		return res.Prediction, res.Err
+		return res.Analysis, res.Err
 	case <-item.ctx.Done():
-		return facile.Prediction{}, ctx.Err()
+		return nil, ctx.Err()
 	case <-b.stopped:
 		// The collector has exited. Our item was either answered by the
 		// final drain or enqueued just after it checked; settle the race
 		// with one non-blocking read.
 		select {
 		case res := <-item.res:
-			return res.Prediction, res.Err
+			return res.Analysis, res.Err
 		default:
-			return facile.Prediction{}, errShuttingDown
+			return nil, errShuttingDown
 		}
 	}
 }
 
 // collect is the collector goroutine: block for one item, drain the rest of
-// the queue into the group, predict, distribute, repeat.
+// the queue into the group, analyze, distribute, repeat.
 func (b *batcher) collect() {
 	defer close(b.stopped)
 	items := make([]batchItem, 0, b.maxBatch)
-	reqs := make([]facile.BatchRequest, 0, b.maxBatch)
+	reqs := make([]facile.Request, 0, b.maxBatch)
 	for {
 		items = items[:0]
 		select {
@@ -134,12 +134,13 @@ func (b *batcher) collect() {
 	}
 }
 
-// process predicts one gathered group and distributes the results. It
+// process analyzes one gathered group and distributes the results. It
 // returns the request scratch slice for reuse.
-func (b *batcher) process(items []batchItem, reqs []facile.BatchRequest) []facile.BatchRequest {
-	// Drop requests whose caller already gave up; computing them would
-	// spend engine capacity on answers nobody reads (a cache miss can be
-	// the dominant cost of the whole group).
+func (b *batcher) process(items []batchItem, reqs []facile.Request) []facile.Request {
+	// Drop requests whose caller already gave up — the same pre-compute
+	// cancellation the engine applies between cache probe and compute;
+	// computing them would spend engine capacity on answers nobody reads (a
+	// cache miss can be the dominant cost of the whole group).
 	live := items[:0]
 	for _, it := range items {
 		if it.ctx.Err() == nil {
@@ -153,7 +154,10 @@ func (b *batcher) process(items []batchItem, reqs []facile.BatchRequest) []facil
 	for _, it := range live {
 		reqs = append(reqs, it.req)
 	}
-	results := b.engine.PredictBatch(reqs)
+	// The group runs under a background context: per-item cancellation was
+	// already honored above, and one caller's deadline must not abort its
+	// groupmates' work.
+	results := b.engine.AnalyzeBatch(context.Background(), reqs)
 	for i, it := range live {
 		it.res <- results[i]
 	}
@@ -168,7 +172,7 @@ func (b *batcher) drain() {
 	for {
 		select {
 		case it := <-b.queue:
-			it.res <- facile.BatchResult{Err: errShuttingDown}
+			it.res <- facile.AnalysisResult{Err: errShuttingDown}
 		default:
 			return
 		}

@@ -36,13 +36,13 @@ func newStoppedBatcher(t *testing.T, maxBatch int) *batcher {
 func TestBatcherSingle(t *testing.T) {
 	b := newTestBatcher(t, 8)
 	raw := mustHex(t, testBlockHex)
-	pred, err := b.predict(context.Background(),
-		facile.BatchRequest{Code: raw, Arch: "SKL", Mode: facile.Loop})
+	ana, err := b.analyze(context.Background(),
+		facile.Request{Code: raw, Arch: "SKL", Mode: facile.Loop})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pred.CyclesPerIteration <= 0 {
-		t.Errorf("bad prediction %+v", pred)
+	if ana.Prediction.CyclesPerIteration <= 0 {
+		t.Errorf("bad prediction %+v", ana.Prediction)
 	}
 	if b.batches.Load() != 1 || b.blocks.Load() != 1 {
 		t.Errorf("batches %d, blocks %d; want 1, 1", b.batches.Load(), b.blocks.Load())
@@ -69,8 +69,8 @@ func TestBatcherCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			req := facile.BatchRequest{Code: uniqueBlock(t, uint32(i)), Arch: "SKL", Mode: facile.Loop}
-			_, results[i] = b.predict(context.Background(), req)
+			req := facile.Request{Code: uniqueBlock(t, uint32(i)), Arch: "SKL", Mode: facile.Loop}
+			_, results[i] = b.analyze(context.Background(), req)
 		}(i)
 	}
 	// Wait for all n submissions to be queued (the producers then block
@@ -110,9 +110,9 @@ func TestBatcherManyClients(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < perC; i++ {
-				req := facile.BatchRequest{
+				req := facile.Request{
 					Code: uniqueBlock(t, uint32(c*perC+i)), Arch: "SKL", Mode: facile.Loop}
-				if _, err := b.predict(context.Background(), req); err != nil {
+				if _, err := b.analyze(context.Background(), req); err != nil {
 					errs <- fmt.Errorf("client %d: %w", c, err)
 					return
 				}
@@ -134,7 +134,7 @@ func TestBatcherCanceledRequest(t *testing.T) {
 	b := newTestBatcher(t, 8)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := b.predict(ctx, facile.BatchRequest{
+	_, err := b.analyze(ctx, facile.Request{
 		Code: mustHex(t, testBlockHex), Arch: "SKL", Mode: facile.Loop})
 	if err == nil {
 		t.Fatal("canceled request succeeded")
@@ -144,7 +144,7 @@ func TestBatcherCanceledRequest(t *testing.T) {
 func TestBatcherClosedErrors(t *testing.T) {
 	b := newTestBatcher(t, 8)
 	b.close()
-	_, err := b.predict(context.Background(), facile.BatchRequest{
+	_, err := b.analyze(context.Background(), facile.Request{
 		Code: mustHex(t, testBlockHex), Arch: "SKL", Mode: facile.Loop})
 	if err != errShuttingDown {
 		t.Fatalf("got %v, want errShuttingDown", err)

@@ -116,6 +116,7 @@ func New(cfg Config) (*Server, error) {
 		s.batcher.start()
 	}
 
+	s.route("POST /v1/analyze", s.handleAnalyze)
 	s.route("POST /v1/predict", s.handlePredict)
 	s.route("POST /v1/predict/batch", s.handlePredictBatch)
 	s.route("POST /v1/explain", s.handleExplain)
@@ -192,6 +193,12 @@ func errorStatus(err error) int {
 		// line is, and 499 (nginx's convention) distinguishes abandonment
 		// from server faults.
 		return 499
+	case errors.Is(err, facile.ErrBadRequest):
+		// The engine's uniform Analyze-boundary vocabulary: anything it
+		// rejects about the request (undecodable bytes, unsupported
+		// instructions, unknown arch) is the client's 400, not a server
+		// fault.
+		return http.StatusBadRequest
 	}
 	var tooLarge *http.MaxBytesError
 	if errors.As(err, &tooLarge) {
@@ -210,12 +217,23 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 // readBlockRequest decodes and validates the single-block request body
 // shared by /v1/predict, /v1/explain, and /v1/speedups.
-func (s *Server) readBlockRequest(r *http.Request) (facile.BatchRequest, error) {
+func (s *Server) readBlockRequest(r *http.Request) (facile.Request, error) {
 	var wire BlockRequest
 	if err := readJSON(json.NewDecoder(r.Body), &wire); err != nil {
-		return facile.BatchRequest{}, wrapBodyErr(err)
+		return facile.Request{}, wrapBodyErr(err)
 	}
 	return s.decodeBlock(&wire)
+}
+
+// analyze answers one validated single-block request with exactly one
+// engine analysis — through the micro-batcher when enabled (which drops
+// context-cancelled requests before computing), directly otherwise. Every
+// single-block endpoint is a view over this call.
+func (s *Server) analyze(ctx context.Context, req facile.Request) (*facile.Analysis, error) {
+	if s.batcher != nil {
+		return s.batcher.analyze(ctx, req)
+	}
+	return s.engine.Analyze(ctx, req)
 }
 
 // wrapBodyErr surfaces MaxBytesReader truncation as 413 instead of the
@@ -234,31 +252,35 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) (any, err
 	if err != nil {
 		return nil, err
 	}
-	var pred facile.Prediction
-	if s.batcher != nil {
-		pred, err = s.batcher.predict(r.Context(), req)
-	} else if err = r.Context().Err(); err == nil {
-		pred, err = s.engine.Predict(req.Code, req.Arch, req.Mode)
-	}
+	req.Detail = facile.DetailPrediction
+	ana, err := s.analyze(r.Context(), req)
 	if err != nil {
-		return nil, predictionError(err)
+		return nil, err
 	}
-	return wirePrediction(&pred), nil
+	return wirePrediction(&ana.Prediction), nil
 }
 
-// predictionError classifies engine-level failures: anything the engine
-// rejects about the block itself (undecodable bytes, unsupported
-// instructions) is the client's 400, not a server fault.
-func predictionError(err error) error {
-	switch {
-	case err == nil:
-		return nil
-	case errors.Is(err, errShuttingDown),
-		errors.Is(err, context.DeadlineExceeded),
-		errors.Is(err, context.Canceled):
-		return err
+// handleAnalyze serves the full structured analysis: prediction, ordered
+// bound breakdown, sorted counterfactual speedups, and the structured
+// report, at the requested detail level — one engine call, one cache entry
+// resolution.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) (any, error) {
+	var wire AnalyzeRequest
+	if err := readJSON(json.NewDecoder(r.Body), &wire); err != nil {
+		return nil, wrapBodyErr(err)
 	}
-	return badRequest("%v", err)
+	req, err := s.decodeBlock(&wire.BlockRequest)
+	if err != nil {
+		return nil, err
+	}
+	if req.Detail, err = parseDetail(wire.Detail); err != nil {
+		return nil, err
+	}
+	ana, err := s.analyze(r.Context(), req)
+	if err != nil {
+		return nil, err
+	}
+	return wireAnalysis(ana), nil
 }
 
 func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) (any, error) {
@@ -277,10 +299,10 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) (any
 	}
 	// Validation failures are per-item, like prediction failures: one bad
 	// block must not fail its 1023 siblings. Valid items are compacted,
-	// predicted with the request's concurrency bound, and scattered back.
+	// analyzed with the request's concurrency bound, and scattered back.
 	results := make([]BatchResult, len(wire.Requests))
 	idx := make([]int, 0, len(wire.Requests))
-	compact := make([]facile.BatchRequest, 0, len(wire.Requests))
+	compact := make([]facile.Request, 0, len(wire.Requests))
 	for i := range wire.Requests {
 		req, err := s.decodeBlock(&wire.Requests[i])
 		if err != nil {
@@ -290,8 +312,13 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) (any
 		idx = append(idx, i)
 		compact = append(compact, req)
 	}
-	out, err := s.predictBatchCtx(r.Context(), compact, wire.Concurrency)
-	if err != nil {
+	// The request context rides into the engine: a batch abandoned by its
+	// client (or past its deadline) aborts its unstarted items between
+	// cache probe and compute instead of burning the shared worker pool on
+	// a response nobody reads. The whole call then fails with the context's
+	// status, matching the historical wire behavior.
+	out := s.engine.AnalyzeBatchN(r.Context(), compact, wire.Concurrency)
+	if err := r.Context().Err(); err != nil {
 		return nil, err
 	}
 	for j, res := range out {
@@ -299,72 +326,45 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) (any
 			results[idx[j]].Error = res.Err.Error()
 			continue
 		}
-		p := wirePrediction(&res.Prediction)
+		p := wirePrediction(&res.Analysis.Prediction)
 		results[idx[j]].Prediction = &p
 	}
 	return BatchResponse{Results: results}, nil
 }
 
-// predictBatchCtx runs reqs through the engine in chunks, observing ctx
-// between chunks: a batch abandoned by its client or past its deadline
-// stops computing instead of burning the shared worker pool on a response
-// nobody reads. The chunk size bounds the abandoned work to one pool
-// dispatch.
-func (s *Server) predictBatchCtx(ctx context.Context, reqs []facile.BatchRequest, workers int) ([]facile.BatchResult, error) {
-	const chunk = 128
-	if len(reqs) <= chunk {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		return s.engine.PredictBatchN(reqs, workers), nil
-	}
-	out := make([]facile.BatchResult, 0, len(reqs))
-	for start := 0; start < len(reqs); start += chunk {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		end := min(start+chunk, len(reqs))
-		out = append(out, s.engine.PredictBatchN(reqs[start:end], workers)...)
-	}
-	return out, nil
-}
-
+// handleExplain is a text view over the same single Analyze call that
+// serves /v1/analyze: the rendered report plus the prediction, computed
+// (or recalled) exactly once.
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) (any, error) {
 	req, err := s.readBlockRequest(r)
 	if err != nil {
 		return nil, err
 	}
-	if err := r.Context().Err(); err != nil {
+	req.Detail = facile.DetailFull
+	ana, err := s.analyze(r.Context(), req)
+	if err != nil {
 		return nil, err
 	}
-	report, err := s.engine.Explain(req.Code, req.Arch, req.Mode)
-	if err != nil {
-		return nil, predictionError(err)
-	}
-	pred, err := s.engine.Predict(req.Code, req.Arch, req.Mode)
-	if err != nil {
-		return nil, predictionError(err)
-	}
-	return ExplainResponse{Report: report, Prediction: wirePrediction(&pred)}, nil
+	return ExplainResponse{Report: ana.Report.Text(), Prediction: wirePrediction(&ana.Prediction)}, nil
 }
 
+// handleSpeedups is a map view over one Analyze call at DetailSpeedups; the
+// wire map is sourced from the sorted Analysis.Speedups list.
 func (s *Server) handleSpeedups(w http.ResponseWriter, r *http.Request) (any, error) {
 	req, err := s.readBlockRequest(r)
 	if err != nil {
 		return nil, err
 	}
-	if err := r.Context().Err(); err != nil {
+	req.Detail = facile.DetailSpeedups
+	ana, err := s.analyze(r.Context(), req)
+	if err != nil {
 		return nil, err
 	}
-	sp, err := s.engine.Speedups(req.Code, req.Arch, req.Mode)
-	if err != nil {
-		return nil, predictionError(err)
+	sp := make(map[string]float64, len(ana.Speedups))
+	for _, s := range ana.Speedups {
+		sp[s.Component] = s.Factor
 	}
-	pred, err := s.engine.Predict(req.Code, req.Arch, req.Mode)
-	if err != nil {
-		return nil, predictionError(err)
-	}
-	return SpeedupsResponse{CyclesPerIteration: pred.CyclesPerIteration, Speedups: sp}, nil
+	return SpeedupsResponse{CyclesPerIteration: ana.Prediction.CyclesPerIteration, Speedups: sp}, nil
 }
 
 func (s *Server) handleArchs(w http.ResponseWriter, r *http.Request) (any, error) {

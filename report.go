@@ -3,100 +3,156 @@ package facile
 import (
 	"fmt"
 	"strings"
-
-	"facile/internal/core"
+	"sync"
 )
 
-// Explain produces a human-readable bottleneck report for the block: the
-// disassembly, the per-component bounds, the bottleneck analysis with the
-// supporting instructions (critical dependence chain or contended port
-// group), and the counterfactual speedups.
-//
-// Like Predict, Explain is the one-shot path; Engine.Explain reuses the
-// engine's cached decoded block and prediction and memoizes the rendered
-// report.
-func Explain(code []byte, arch string, mode Mode) (string, error) {
-	block, err := prepare(code, arch, mode)
-	if err != nil {
-		return "", err
-	}
-	// One bound-vector pass serves both the prediction and the
-	// counterfactual table (the speedups are recombinations of p.Bounds).
-	m := coreMode(mode)
-	p := core.Predict(block, m, core.Options{})
-	pred := publicPrediction(&p, block, arch, mode)
-	return renderReport(pred, speedupMap(p.Bounds.Speedups(m), m)), nil
+// Report is the structured bottleneck report of an Analysis: the decoded
+// block with bottleneck markers, the per-component bound breakdown, the
+// primary-bottleneck evidence (critical dependence chain or contended port
+// group), and the counterfactual speedups. It renders as both JSON (the
+// exported fields) and text (Text, byte-identical to the historical Explain
+// output). Reports returned by an Engine are memoized and shared — treat
+// them as read-only.
+type Report struct {
+	Arch               string  `json:"arch"`
+	Mode               Mode    `json:"mode"`
+	CyclesPerIteration float64 `json:"cycles_per_iteration"`
+	// Block is the disassembled block, one line per instruction, with each
+	// instruction's role in the bottleneck marked.
+	Block []ReportLine `json:"block"`
+	// Bounds is the per-component breakdown in pipeline order.
+	Bounds []ComponentBound `json:"bounds"`
+	// FrontEndSource names the front-end component selected for TPL
+	// predictions; empty for TPU.
+	FrontEndSource string `json:"front_end_source,omitempty"`
+	// PrimaryBottleneck is the first (front-end-first) bottleneck.
+	PrimaryBottleneck string `json:"primary_bottleneck,omitempty"`
+	// CriticalChain and ContendedPorts/ContendedInstrs carry the evidence
+	// for a Precedence or Ports bottleneck respectively.
+	CriticalChain   []int  `json:"critical_chain,omitempty"`
+	ContendedPorts  string `json:"contended_ports,omitempty"`
+	ContendedInstrs []int  `json:"contended_instrs,omitempty"`
+	// Speedups is the counterfactual table, sorted descending.
+	Speedups []Speedup `json:"speedups"`
+
+	// textOnce memoizes the rendered text, so repeated Text calls (and the
+	// Engine.Explain view) never re-render.
+	textOnce sync.Once
+	text     string
 }
 
-// renderReport renders the bottleneck report from an existing prediction and
-// speedup table. Components print in pipeline order (ComponentNames), which
-// keeps the output deterministic without sorting.
-func renderReport(pred Prediction, speedups map[string]float64) string {
+// ReportLine is one instruction of a Report's block listing.
+type ReportLine struct {
+	Index int    `json:"index"`
+	Text  string `json:"text"`
+	// Marker flags the instruction's role in the primary bottleneck:
+	// "D" — on the critical loop-carried dependence cycle,
+	// "P" — restricted to the contended execution ports, "" — neither.
+	Marker string `json:"marker,omitempty"`
+}
+
+// buildReport assembles the structured report from a prediction, its ordered
+// bound breakdown, and its sorted speedup list (all shared, read-only).
+func buildReport(pred *Prediction, bounds []ComponentBound, speedups []Speedup) *Report {
+	r := &Report{
+		Arch:               pred.Arch,
+		Mode:               pred.Mode,
+		CyclesPerIteration: pred.CyclesPerIteration,
+		Bounds:             bounds,
+		FrontEndSource:     pred.FrontEndSource,
+		CriticalChain:      pred.CriticalChain,
+		ContendedPorts:     pred.ContendedPorts,
+		ContendedInstrs:    pred.ContendedInstrs,
+		Speedups:           speedups,
+	}
+	if len(pred.Bottlenecks) > 0 {
+		r.PrimaryBottleneck = pred.Bottlenecks[0]
+	}
+	marked := map[int]string{}
+	switch r.PrimaryBottleneck {
+	case "Precedence":
+		for _, k := range pred.CriticalChain {
+			marked[k] = "D"
+		}
+	case "Ports":
+		for _, k := range pred.ContendedInstrs {
+			marked[k] = "P"
+		}
+	}
+	r.Block = make([]ReportLine, len(pred.Instructions))
+	for k, line := range pred.Instructions {
+		r.Block[k] = ReportLine{Index: k, Text: line, Marker: marked[k]}
+	}
+	return r
+}
+
+// Text renders the human-readable report. The rendering is memoized; the
+// output is byte-identical to the historical Explain format (and pinned by
+// golden files), with component bounds and the counterfactual table printed
+// in pipeline order.
+func (r *Report) Text() string {
+	r.textOnce.Do(func() { r.text = r.render() })
+	return r.text
+}
+
+func (r *Report) render() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "Facile throughput report — %s, %s\n", pred.Arch, pred.Mode)
-	fmt.Fprintf(&sb, "Predicted: %.2f cycles/iteration\n\n", pred.CyclesPerIteration)
+	fmt.Fprintf(&sb, "Facile throughput report — %s, %s\n", r.Arch, r.Mode)
+	fmt.Fprintf(&sb, "Predicted: %.2f cycles/iteration\n\n", r.CyclesPerIteration)
 
 	sb.WriteString("Block:\n")
-	critical := map[int]bool{}
-	contended := map[int]bool{}
-	primary := ""
-	if len(pred.Bottlenecks) > 0 {
-		primary = pred.Bottlenecks[0]
-	}
-	if primary == "Precedence" {
-		for _, k := range pred.CriticalChain {
-			critical[k] = true
-		}
-	}
-	if primary == "Ports" {
-		for _, k := range pred.ContendedInstrs {
-			contended[k] = true
-		}
-	}
-	for k, line := range pred.Instructions {
+	for _, line := range r.Block {
 		marker := "   "
-		switch {
-		case critical[k]:
+		switch line.Marker {
+		case "D":
 			marker = " D " // on the critical dependence cycle
-		case contended[k]:
+		case "P":
 			marker = " P " // restricted to the contended ports
 		}
-		fmt.Fprintf(&sb, "  %2d%s%s\n", k, marker, line)
+		fmt.Fprintf(&sb, "  %2d%s%s\n", line.Index, marker, line.Text)
 	}
 
 	sb.WriteString("\nComponent bounds (cycles/iteration):\n")
-	for _, name := range ComponentNames() {
-		v, ok := pred.Components[name]
-		if !ok {
-			continue
-		}
+	for _, b := range r.Bounds {
 		mark := " "
-		for _, b := range pred.Bottlenecks {
-			if b == name {
-				mark = "*"
-			}
+		if b.Bottleneck {
+			mark = "*"
 		}
-		fmt.Fprintf(&sb, "  %s %-11s %8.2f\n", mark, name, v)
+		fmt.Fprintf(&sb, "  %s %-11s %8.2f\n", mark, b.Component, b.Cycles)
 	}
-	if pred.FrontEndSource != "" {
-		fmt.Fprintf(&sb, "  front end served by: %s\n", pred.FrontEndSource)
+	if r.FrontEndSource != "" {
+		fmt.Fprintf(&sb, "  front end served by: %s\n", r.FrontEndSource)
 	}
 
-	if primary != "" {
-		fmt.Fprintf(&sb, "\nPrimary bottleneck: %s\n", primary)
-		switch primary {
+	if r.PrimaryBottleneck != "" {
+		fmt.Fprintf(&sb, "\nPrimary bottleneck: %s\n", r.PrimaryBottleneck)
+		switch r.PrimaryBottleneck {
 		case "Precedence":
-			fmt.Fprintf(&sb, "  loop-carried dependence chain through instructions %v (marked D)\n", pred.CriticalChain)
+			fmt.Fprintf(&sb, "  loop-carried dependence chain through instructions %v (marked D)\n", r.CriticalChain)
 		case "Ports":
-			fmt.Fprintf(&sb, "  contention on ports %s by instructions %v (marked P)\n", pred.ContendedPorts, pred.ContendedInstrs)
+			fmt.Fprintf(&sb, "  contention on ports %s by instructions %v (marked P)\n", r.ContendedPorts, r.ContendedInstrs)
 		}
 	}
 
 	sb.WriteString("\nCounterfactual speedups (component made infinitely fast):\n")
+	// The table prints in pipeline order (matching the bounds section and
+	// the golden files); r.Speedups itself is sorted by factor.
 	for _, name := range ComponentNames() {
-		if v, ok := speedups[name]; ok {
-			fmt.Fprintf(&sb, "  %-11s %.2fx\n", name, v)
+		for i := range r.Speedups {
+			if r.Speedups[i].Component == name {
+				fmt.Fprintf(&sb, "  %-11s %.2fx\n", name, r.Speedups[i].Factor)
+				break
+			}
 		}
 	}
 	return sb.String()
+}
+
+// Explain produces the human-readable bottleneck report for the block — a
+// view over the default engine's Analyze: equivalent to
+// DefaultEngine().Analyze(ctx, Request{..., Detail: DetailFull}) followed by
+// Report.Text. Retained as a thin shim for one release; new code should
+// call Engine.Analyze and render (or marshal) the structured Report.
+func Explain(code []byte, arch string, mode Mode) (string, error) {
+	return DefaultEngine().Explain(code, arch, mode)
 }
