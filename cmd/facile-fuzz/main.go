@@ -1,0 +1,277 @@
+// Command facile-fuzz is the differential consistency fuzzer: it generates
+// seeded random basic blocks, predicts each one with both in-repo models —
+// the analytical Facile engine and the reference pipeline simulator — across
+// every microarchitecture and throughput mode, minimizes divergent blocks to
+// shortest reproducers, and emits a clustered triage report (text on stdout,
+// JSON via -json). See internal/difffuzz for the harness itself.
+//
+// The report header always carries the exact command line that reproduces
+// the run, and every finding replays from its own hex/arch/mode alone.
+// Findings are discoveries, not failures: the exit status is non-zero only
+// for harness errors (a model rejecting a generated block, a simulator
+// deadlock, I/O problems).
+//
+// Examples:
+//
+//	facile-fuzz -n 5000 -seed 42                 # one deterministic batch
+//	facile-fuzz -n 1000 -duration 10m -seed 20260808 -corpus out/corpus
+//	facile-fuzz -n 500 -arches SKL,ICL -modes loop -threshold 0.5
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"facile"
+	"facile/internal/difffuzz"
+)
+
+// defaultVariants are the overlay arches fuzzed in addition to the nine
+// built-ins: known-interesting one-line hypotheticals ("SKL but with the LSD
+// enabled", "ICL narrowed to 4-wide issue") that exercise spec-overlay code
+// paths the fixed arches cannot reach.
+const defaultVariants = `SKL+LSD=SKL:{"lsd_enabled":true};ICL-4W=ICL:{"issue_width":4,"retire_width":4}`
+
+func main() {
+	var (
+		n           = flag.Int("n", 1000, "blocks per batch")
+		seed        = flag.Int64("seed", 1, "generator seed (batch i of a -duration run uses seed+i)")
+		arches      = flag.String("arches", "", "comma-separated arch subset (default: all registered arches incl. -variants)")
+		modes       = flag.String("modes", "unroll,loop", "comma-separated throughput modes to compare")
+		variants    = flag.String("variants", defaultVariants, "variant overlays to register, 'NAME=BASE:{overlay json}' separated by ';' (empty disables)")
+		threshold   = flag.Float64("threshold", difffuzz.DefaultRelThreshold, "relative divergence threshold")
+		absT        = flag.Float64("abs", difffuzz.DefaultAbsThreshold, "absolute divergence threshold (cycles)")
+		workers     = flag.Int("workers", 0, "comparison parallelism (0 = GOMAXPROCS)")
+		perBlock    = flag.Int("targets-per-block", difffuzz.DefaultTargetsPerBlock, "targets each block is swept on, rotating through all targets (-1 = every block on every target)")
+		noMinimize  = flag.Bool("no-minimize", false, "report raw divergent blocks without greedy minimization")
+		maxFindings = flag.Int("max-findings", difffuzz.DefaultMaxFindings, "max divergent blocks minimized per batch (-1 = unlimited)")
+		mcaPath     = flag.String("mca", "", "path to llvm-mca for third-referee scoring of findings (empty skips)")
+		jsonOut     = flag.String("json", "", "write the JSON triage report here")
+		corpusDir   = flag.String("corpus", "", "write minimized reproducers (one JSON file each) into this directory")
+		agreeing    = flag.Int("corpus-agreeing", 0, "also record this many agreeing sentinel entries per batch")
+		duration    = flag.Duration("duration", 0, "keep running batches (seed+0, seed+1, ...) until this much time elapsed (0 = one batch)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, settings{
+		n: *n, seed: *seed, arches: *arches, modes: *modes, variants: *variants,
+		threshold: *threshold, abs: *absT, workers: *workers, perBlock: *perBlock,
+		noMinimize: *noMinimize, maxFindings: *maxFindings, mca: *mcaPath,
+		jsonOut: *jsonOut, corpusDir: *corpusDir, agreeing: *agreeing, duration: *duration,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "facile-fuzz:", err)
+		os.Exit(1)
+	}
+}
+
+type settings struct {
+	n           int
+	seed        int64
+	arches      string
+	modes       string
+	variants    string
+	threshold   float64
+	abs         float64
+	workers     int
+	perBlock    int
+	noMinimize  bool
+	maxFindings int
+	mca         string
+	jsonOut     string
+	corpusDir   string
+	agreeing    int
+	duration    time.Duration
+}
+
+func run(ctx context.Context, s settings) error {
+	if err := registerVariants(s.variants); err != nil {
+		return err
+	}
+	targets, err := resolveTargets(s.arches, s.modes)
+	if err != nil {
+		return err
+	}
+
+	deadline := time.Now().Add(s.duration)
+	var reports []*difffuzz.Report
+	harnessErrs := 0
+	for batch := 0; ; batch++ {
+		batchSeed := s.seed + int64(batch)
+		fz, err := difffuzz.New(difffuzz.Options{
+			Seed:            batchSeed,
+			N:               s.n,
+			Targets:         targets,
+			RelThreshold:    s.threshold,
+			AbsThreshold:    s.abs,
+			Workers:         s.workers,
+			TargetsPerBlock: s.perBlock,
+			SkipMinimize:    s.noMinimize,
+			MaxFindings:     s.maxFindings,
+			MCAPath:         s.mca,
+			AgreeingSamples: s.agreeing,
+			Command:         s.reproCommand(batchSeed),
+		})
+		if err != nil {
+			return err
+		}
+		rep, err := fz.Run(ctx)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+		harnessErrs += len(rep.Errors)
+		fmt.Print(rep.Text())
+
+		if s.corpusDir != "" {
+			for _, fin := range rep.Findings {
+				entry := rep.CorpusEntry(fin)
+				path, err := difffuzz.WriteReproducer(s.corpusDir, &entry)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			}
+			for i := range rep.Agreeing {
+				path, err := difffuzz.WriteReproducer(s.corpusDir, &rep.Agreeing[i])
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			}
+		}
+
+		if s.duration == 0 || !time.Now().Before(deadline) || ctx.Err() != nil {
+			break
+		}
+		fmt.Println()
+	}
+
+	if s.jsonOut != "" {
+		var data []byte
+		var err error
+		if len(reports) == 1 {
+			data, err = json.MarshalIndent(reports[0], "", "  ")
+		} else {
+			data, err = json.MarshalIndent(reports, "", "  ")
+		}
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(s.jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if len(reports) > 1 {
+		findings, divergent := 0, 0
+		for _, r := range reports {
+			findings += len(r.Findings)
+			divergent += r.Divergent
+		}
+		fmt.Printf("\ntotal: %d batches · %d divergent comparisons · %d reproducers\n",
+			len(reports), divergent, findings)
+	}
+	if harnessErrs > 0 {
+		return fmt.Errorf("%d harness errors (see HARNESS ERROR lines above)", harnessErrs)
+	}
+	return ctx.Err()
+}
+
+// reproCommand renders the exact flag set that replays one batch.
+func (s settings) reproCommand(batchSeed int64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "facile-fuzz -seed %d -n %d -threshold %g -abs %g", batchSeed, s.n, s.threshold, s.abs)
+	if s.arches != "" {
+		fmt.Fprintf(&sb, " -arches %s", s.arches)
+	}
+	if s.modes != "unroll,loop" {
+		fmt.Fprintf(&sb, " -modes %s", s.modes)
+	}
+	if s.variants != defaultVariants {
+		fmt.Fprintf(&sb, " -variants %q", s.variants)
+	}
+	if s.noMinimize {
+		sb.WriteString(" -no-minimize")
+	}
+	if s.maxFindings != difffuzz.DefaultMaxFindings {
+		fmt.Fprintf(&sb, " -max-findings %d", s.maxFindings)
+	}
+	if s.perBlock != difffuzz.DefaultTargetsPerBlock {
+		fmt.Fprintf(&sb, " -targets-per-block %d", s.perBlock)
+	}
+	return sb.String()
+}
+
+// registerVariants parses and registers 'NAME=BASE:{json}' overlay specs
+// (';'-separated) into the default registry. Re-registering an identical
+// name (repeat batches, tests sharing the process) is not an error.
+func registerVariants(spec string) error {
+	if spec == "" {
+		return nil
+	}
+	for _, item := range strings.Split(spec, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(item, "=")
+		if !ok {
+			return fmt.Errorf("bad -variants entry %q (want NAME=BASE:{overlay json})", item)
+		}
+		base, overlay, ok := strings.Cut(rest, ":")
+		if !ok {
+			return fmt.Errorf("bad -variants entry %q (want NAME=BASE:{overlay json})", item)
+		}
+		_, err := facile.RegisterArch(strings.TrimSpace(name), strings.TrimSpace(base), []byte(overlay))
+		if err != nil && !errors.Is(err, facile.ErrDuplicateArch) {
+			return fmt.Errorf("variant %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// resolveTargets expands the -arches and -modes flags into the comparison
+// target list: every named arch (default: all registered) × every mode.
+func resolveTargets(archCSV, modeCSV string) ([]difffuzz.Target, error) {
+	var modes []facile.Mode
+	for _, m := range strings.Split(modeCSV, ",") {
+		mode, err := facile.ParseMode(strings.TrimSpace(m))
+		if err != nil {
+			return nil, err
+		}
+		modes = append(modes, mode)
+	}
+	if len(modes) == 0 {
+		return nil, fmt.Errorf("no modes selected")
+	}
+	var archs []string
+	if archCSV == "" {
+		archs = facile.Archs()
+	} else {
+		reg := facile.DefaultRegistry()
+		for _, a := range strings.Split(archCSV, ",") {
+			a = strings.TrimSpace(a)
+			if !reg.Has(a) {
+				return nil, fmt.Errorf("unknown arch %q (known: %s)", a, strings.Join(facile.Archs(), ", "))
+			}
+			archs = append(archs, a)
+		}
+	}
+	var out []difffuzz.Target
+	for _, a := range archs {
+		for _, m := range modes {
+			out = append(out, difffuzz.Target{Arch: a, Mode: m})
+		}
+	}
+	return out, nil
+}

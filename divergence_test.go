@@ -1,0 +1,111 @@
+package facile_test
+
+import (
+	"strings"
+	"testing"
+
+	"facile"
+	"facile/internal/difffuzz"
+	"facile/internal/uarch"
+)
+
+// corpusDir is the committed divergence corpus replayed by the gate. Each
+// entry is a minimized reproducer (or an agreeing sentinel) written by
+// cmd/facile-fuzz; see internal/difffuzz for the format.
+const corpusDir = "testdata/divergence"
+
+// gateVariants mirrors cmd/facile-fuzz's default overlay arches: corpus
+// entries may target them, so the gate registers them before replaying.
+var gateVariants = []struct {
+	name, base, overlay string
+}{
+	{"SKL+LSD", "SKL", `{"lsd_enabled":true}`},
+	{"ICL-4W", "ICL", `{"issue_width":4,"retire_width":4}`},
+}
+
+// gateReplayer builds the gate's Replayer on private registries (default
+// arches + the gate variants), leaving the process-wide registry untouched.
+func gateReplayer(t *testing.T) difffuzz.Replayer {
+	t.Helper()
+	areg := facile.NewArchRegistry()
+	ureg := uarch.NewRegistry()
+	for _, v := range gateVariants {
+		if _, err := areg.Derive(v.name, v.base, []byte(v.overlay)); err != nil {
+			t.Fatalf("derive variant %s: %v", v.name, err)
+		}
+		if _, err := ureg.Derive(v.name, v.base, []byte(v.overlay)); err != nil {
+			t.Fatalf("derive variant %s: %v", v.name, err)
+		}
+	}
+	eng, err := facile.NewEngine(facile.EngineConfig{Registry: areg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return difffuzz.NewReplayer(eng, ureg)
+}
+
+// TestKnownDivergences is the corpus regression gate: every committed
+// reproducer under testdata/divergence is replayed through both models, and
+// the test fails when agreement shifts in either direction — a previously
+// agreeing sentinel starts diverging, a known divergence silently vanishes,
+// or either prediction drifts in magnitude. A model change that legitimately
+// fixes a divergence must retire the corpus entry in the same commit.
+func TestKnownDivergences(t *testing.T) {
+	entries, err := difffuzz.LoadCorpus(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Skip("no corpus entries committed yet")
+	}
+	divergent, agreeing := 0, 0
+	for _, e := range entries {
+		if e.Divergent {
+			divergent++
+		} else {
+			agreeing++
+		}
+	}
+	t.Logf("replaying %d corpus entries (%d divergent, %d agreeing sentinels)",
+		len(entries), divergent, agreeing)
+	replay := gateReplayer(t)
+	for _, err := range difffuzz.VerifyCorpus(entries, replay) {
+		t.Error(err)
+	}
+}
+
+// TestKnownDivergencesDetectsPerturbation demonstrates that the gate actually
+// fires: a replayer whose facile side is skewed by a constant factor — the
+// shape of a real modeling regression — must trip VerifyCorpus on the
+// committed corpus.
+func TestKnownDivergencesDetectsPerturbation(t *testing.T) {
+	entries, err := difffuzz.LoadCorpus(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Skip("no corpus entries committed yet")
+	}
+	real := gateReplayer(t)
+	perturbed := func(r *difffuzz.Reproducer) (difffuzz.ReplayResult, error) {
+		res, err := real(r)
+		if err != nil {
+			return res, err
+		}
+		res.Facile *= 3 // injected model perturbation
+		_, res.Divergent = difffuzz.Diverges(res.Facile, res.Pipesim, r.RelThreshold, r.AbsThreshold)
+		return res, nil
+	}
+	errs := difffuzz.VerifyCorpus(entries, perturbed)
+	if len(errs) == 0 {
+		t.Fatal("perturbed replayer passed the corpus gate; the gate is not sensitive to model changes")
+	}
+	// The perturbation must be caught as a magnitude change or verdict flip,
+	// not as a replay/harness failure.
+	for _, err := range errs {
+		if strings.Contains(err.Error(), "facile:") {
+			t.Errorf("perturbation surfaced as a replay failure, not a verdict: %v", err)
+		}
+	}
+	t.Logf("gate caught the perturbation with %d errors (e.g. %v)", len(errs), errs[0])
+}

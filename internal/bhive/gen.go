@@ -33,11 +33,27 @@ var vecPool = []x86.Reg{
 	x86.X8, x86.X9, x86.X10, x86.X11, x86.X12, x86.X13, x86.X14, x86.X15,
 }
 
-// Generate produces n benchmarks deterministically from seed, cycling
-// through the categories.
-func Generate(seed int64, n int) []Benchmark {
+// GenBlock is one generated block with its symbolic instruction lists
+// retained alongside the encodings, so downstream tools — in particular the
+// differential fuzzer's greedy minimizer (internal/difffuzz) — can delete
+// instructions and re-encode the remainder with asm.EncodeBlock.
+type GenBlock struct {
+	ID         string
+	Category   string
+	Instrs     []asm.Instr // BHiveU variant (no trailing branch)
+	Code       []byte
+	LoopInstrs []asm.Instr // BHiveL variant (trailing conditional branch)
+	LoopCode   []byte
+}
+
+// GenerateBlocks produces n blocks deterministically from seed, cycling
+// through the categories. Generation is byte-deterministic: the same (seed,
+// n) always yields the same instruction sequences and encodings, and block i
+// of GenerateBlocks(seed, n) is identical for every n > i, so any generated
+// block can be regenerated from (seed, index) alone.
+func GenerateBlocks(seed int64, n int) []GenBlock {
 	rng := rand.New(rand.NewSource(seed))
-	out := make([]Benchmark, 0, n)
+	out := make([]GenBlock, 0, n)
 	for i := 0; i < n; i++ {
 		cat := Categories[i%len(Categories)]
 		g := &blockGen{rng: rng}
@@ -53,12 +69,25 @@ func Generate(seed int64, n int) []Benchmark {
 		if err != nil {
 			panic(fmt.Sprintf("bhive: loop variant unencodable (%s): %v", cat, err))
 		}
-		out = append(out, Benchmark{
-			ID:       fmt.Sprintf("%s-%04d", cat, i),
-			Category: cat,
-			Code:     code,
-			LoopCode: loopCode,
+		out = append(out, GenBlock{
+			ID:         fmt.Sprintf("%s-%04d", cat, i),
+			Category:   cat,
+			Instrs:     instrs,
+			Code:       code,
+			LoopInstrs: loop,
+			LoopCode:   loopCode,
 		})
+	}
+	return out
+}
+
+// Generate produces n benchmarks deterministically from seed, cycling
+// through the categories. It is the encoding-only view of GenerateBlocks.
+func Generate(seed int64, n int) []Benchmark {
+	blocks := GenerateBlocks(seed, n)
+	out := make([]Benchmark, len(blocks))
+	for i, b := range blocks {
+		out[i] = Benchmark{ID: b.ID, Category: b.Category, Code: b.Code, LoopCode: b.LoopCode}
 	}
 	return out
 }

@@ -1,0 +1,284 @@
+package difffuzz
+
+import (
+	"context"
+	"encoding/hex"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"facile"
+	"facile/internal/asm"
+	"facile/internal/bhive"
+)
+
+func TestDiverges(t *testing.T) {
+	cases := []struct {
+		name          string
+		facile, sim   float64
+		rel, abs      float64
+		wantRel       float64
+		wantDivergent bool
+	}{
+		{"agree", 2.0, 2.0, 0.3, 1.0, 0, false},
+		{"rel big abs small", 0.5, 0.9, 0.3, 1.0, 0.8, false},
+		{"abs big rel small", 10.0, 11.0, 0.3, 1.0, 0.1, false},
+		{"both big", 2.0, 4.0, 0.3, 1.0, 1.0, true},
+		{"near-zero floor", 0.01, 2.0, 0.3, 1.0, 39.8, true},
+	}
+	for _, tc := range cases {
+		rel, div := Diverges(tc.facile, tc.sim, tc.rel, tc.abs)
+		if div != tc.wantDivergent {
+			t.Errorf("%s: divergent = %v, want %v", tc.name, div, tc.wantDivergent)
+		}
+		if tc.wantRel != 0 && (rel < tc.wantRel-0.01 || rel > tc.wantRel+0.01) {
+			t.Errorf("%s: relDiff = %.3f, want ~%.3f", tc.name, rel, tc.wantRel)
+		}
+	}
+}
+
+func TestBlockTargetsRotatesAndCovers(t *testing.T) {
+	f, err := New(Options{Seed: 1, N: 1, TargetsPerBlock: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := f.Targets()
+	seen := map[string]bool{}
+	for i := 0; i < len(all); i++ {
+		ts := f.blockTargets(i)
+		if len(ts) != 3 {
+			t.Fatalf("block %d: got %d targets, want 3", i, len(ts))
+		}
+		if !reflect.DeepEqual(ts, f.blockTargets(i)) {
+			t.Fatalf("block %d: target assignment not deterministic", i)
+		}
+		for _, x := range ts {
+			seen[x.String()] = true
+		}
+	}
+	if len(seen) != len(all) {
+		t.Errorf("rotation covered %d of %d targets", len(seen), len(all))
+	}
+
+	for _, k := range []int{-1, len(all), len(all) + 5} {
+		f2, err := New(Options{Seed: 1, N: 1, TargetsPerBlock: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := f2.blockTargets(0); len(got) != len(all) {
+			t.Errorf("TargetsPerBlock=%d: got %d targets, want all %d", k, len(got), len(all))
+		}
+	}
+}
+
+func TestMinimizeShrinksToOneMinimal(t *testing.T) {
+	f, err := New(Options{Seed: 1, N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a real divergence to minimize by sweeping a few generated blocks
+	// exhaustively on the full-window comparison.
+	blocks := bhive.GenerateBlocks(42, 120)
+	ctx := context.Background()
+	for bi := range blocks {
+		blk := &blocks[bi]
+		for _, tgt := range f.Targets() {
+			instrs, code := blk.Instrs, blk.Code
+			if tgt.Mode == facile.Loop {
+				instrs, code = blk.LoopInstrs, blk.LoopCode
+			}
+			cmp, err := f.compare(ctx, code, tgt)
+			if err != nil || !cmp.divergent {
+				continue
+			}
+			min, mcmp, err := f.minimize(ctx, instrs, tgt, cmp)
+			if err != nil {
+				t.Fatalf("minimize: %v", err)
+			}
+			if len(min) > len(instrs) {
+				t.Fatalf("minimize grew the block: %d -> %d", len(instrs), len(min))
+			}
+			if !mcmp.divergent {
+				t.Fatal("minimized block no longer diverges")
+			}
+			// 1-minimality: deleting any single remaining instruction must
+			// lose the divergence (or break encoding/analysis).
+			if len(min) > 1 {
+				for i := range min {
+					cand := append(append([]asm.Instr{}, min[:i]...), min[i+1:]...)
+					code, err := asm.EncodeBlock(cand)
+					if err != nil {
+						continue
+					}
+					c, err := f.compare(ctx, code, tgt)
+					if err == nil && c.divergent {
+						t.Fatalf("not 1-minimal: deleting instruction %d keeps the divergence", i)
+					}
+				}
+			}
+			return // one minimization exercised end to end is enough
+		}
+	}
+	t.Skip("no divergence found in the probe window; nothing to minimize")
+}
+
+func TestCorpusRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := Reproducer{
+		Hex:          "4801d8480fafc3",
+		Arch:         "SKL",
+		Mode:         "unroll",
+		Divergent:    true,
+		Facile:       3,
+		Pipesim:      5,
+		RelThreshold: 0.3,
+		AbsThreshold: 1,
+		Seed:         42,
+		Category:     "alu",
+		Instructions: []string{"add rax, rbx", "imul rax, rbx"},
+	}
+	path, err := WriteReproducer(dir, &r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, r.ID+".json"); path != want {
+		t.Errorf("path = %s, want %s", path, want)
+	}
+	if r.ID != FindingID(r.Hex, r.Arch, r.Mode) {
+		t.Errorf("WriteReproducer did not derive the content-hash ID")
+	}
+	got, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !reflect.DeepEqual(got[0], r) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, r)
+	}
+}
+
+func TestLoadCorpusMissingDir(t *testing.T) {
+	got, err := LoadCorpus(filepath.Join(t.TempDir(), "nope"))
+	if err != nil {
+		t.Fatalf("missing corpus dir must be empty, not an error: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d entries from a missing dir", len(got))
+	}
+}
+
+func TestVerifyReproducerVerdicts(t *testing.T) {
+	div := &Reproducer{ID: "x", Arch: "SKL", Mode: "loop", Divergent: true, Facile: 2, Pipesim: 4}
+	agr := &Reproducer{ID: "y", Arch: "SKL", Mode: "loop", Divergent: false, Facile: 2, Pipesim: 2}
+	cases := []struct {
+		name    string
+		r       *Reproducer
+		res     ReplayResult
+		wantErr bool
+	}{
+		{"divergence holds", div, ReplayResult{Facile: 2, Pipesim: 4, Divergent: true}, false},
+		{"divergence vanished", div, ReplayResult{Facile: 4, Pipesim: 4, Divergent: false}, true},
+		{"sentinel holds", agr, ReplayResult{Facile: 2, Pipesim: 2, Divergent: false}, false},
+		{"sentinel now diverges", agr, ReplayResult{Facile: 2, Pipesim: 5, Divergent: true}, true},
+		{"magnitude drift", div, ReplayResult{Facile: 2.5, Pipesim: 4, Divergent: true}, true},
+		{"within tolerance", div, ReplayResult{Facile: 2.04, Pipesim: 4, Divergent: true}, false},
+	}
+	for _, tc := range cases {
+		err := VerifyReproducer(tc.r, tc.res)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: err = %v, wantErr = %v", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func(workers int) *Report {
+		f, err := New(Options{Seed: 5, N: 40, Workers: workers, AgreeingSamples: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := f.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(1), run(4)
+	if a.Text() != b.Text() {
+		t.Errorf("report text differs across worker counts:\n--- workers=1\n%s\n--- workers=4\n%s", a.Text(), b.Text())
+	}
+	if !reflect.DeepEqual(a.Agreeing, b.Agreeing) {
+		t.Error("agreeing sentinels differ across worker counts")
+	}
+}
+
+func TestNewRejectsUnknownArch(t *testing.T) {
+	_, err := New(Options{Seed: 1, N: 1, Targets: []Target{{Arch: "ZEN9", Mode: facile.Unroll}}})
+	if err == nil {
+		t.Fatal("New accepted an unknown target arch")
+	}
+}
+
+func TestParseRThroughput(t *testing.T) {
+	out := `Iterations:        100
+Instructions:      300
+Total Cycles:      153
+Total uOps:        300
+
+Dispatch Width:    6
+uOps Per Cycle:    1.96
+IPC:               1.96
+Block RThroughput: 1.5
+`
+	v, err := ParseRThroughput(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1.5 {
+		t.Errorf("RThroughput = %v, want 1.5", v)
+	}
+	if _, err := ParseRThroughput("no such line"); err == nil {
+		t.Error("missing RThroughput line must error")
+	}
+}
+
+func TestWrapAsm(t *testing.T) {
+	got := WrapAsm([]string{"add rax, rbx", "imul rax, rbx"})
+	want := ".intel_syntax noprefix\n  add rax, rbx\n  imul rax, rbx\n"
+	if got != want {
+		t.Errorf("WrapAsm:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestCPUFor(t *testing.T) {
+	cases := map[string]string{
+		"SKL":     "skylake",
+		"skl":     "skylake",
+		"ICL":     "icelake-client",
+		"SKL+LSD": "skylake",
+		"ICL-4W":  "icelake-client",
+		"UNKNOWN": "skylake",
+	}
+	for arch, want := range cases {
+		if got := cpuFor(arch); got != want {
+			t.Errorf("cpuFor(%q) = %q, want %q", arch, got, want)
+		}
+	}
+}
+
+func TestFindingIDStable(t *testing.T) {
+	a := FindingID("4801d8", "SKL", "loop")
+	b := FindingID("4801d8", "SKL", "loop")
+	c := FindingID("4801d8", "SKL", "unroll")
+	if a != b {
+		t.Error("FindingID not stable for identical inputs")
+	}
+	if a == c {
+		t.Error("FindingID collides across modes")
+	}
+	if len(a) != 10 {
+		t.Errorf("FindingID length = %d, want 10 hex chars", len(a))
+	}
+	if _, err := hex.DecodeString(a); err != nil {
+		t.Errorf("FindingID is not hex: %v", err)
+	}
+}

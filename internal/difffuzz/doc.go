@@ -1,0 +1,27 @@
+// Package difffuzz is the differential consistency fuzzing harness behind
+// cmd/facile-fuzz: it compares the analytical Facile model (Engine.Analyze)
+// against the reference cycle-accurate pipeline simulator
+// (internal/pipesim) on seeded random basic blocks, in the spirit of AnICA's
+// "Discovering Inconsistencies in Throughput Predictors" — two predictors
+// that are supposed to model the same hardware, interrogated until they
+// disagree, with every disagreement minimized to its shortest reproducer.
+//
+// The pipeline is: generate (internal/bhive seeded category generator) →
+// dual predict (every configured arch × TPU/TPL target, plus variant
+// overlays) → flag relative divergences beyond a threshold → greedy
+// instruction-deletion minimization (re-checking divergence after each
+// removal) → cluster reproducers by the µop-role signature of the minimized
+// block → triage Report (text and JSON). Optionally llvm-mca referees
+// minimized findings as an independent third model.
+//
+// Minimized reproducers are persisted as one JSON file each (Reproducer)
+// under testdata/divergence/; the root-package TestKnownDivergences gate
+// replays the whole corpus on every CI run and fails if a previously
+// agreeing block starts diverging or a known divergence silently changes
+// magnitude — the permanent correctness net under hot-path refactors.
+//
+// Everything is deterministic for a fixed (seed, options): generation is
+// byte-deterministic, both models are deterministic, and reports are sorted
+// canonically, so a triage report reproduces exactly from its recorded
+// command line and any reproducer replays from its JSON alone.
+package difffuzz

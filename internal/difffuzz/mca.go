@@ -1,0 +1,108 @@
+package difffuzz
+
+import (
+	"bytes"
+	"fmt"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// MCAReferee shells out to llvm-mca as an optional third model: when the two
+// in-repo predictors disagree, an independent external predictor hints at
+// which side is wrong. The adapter follows the deep-mca harness pattern:
+// wrap the block's disassembly into an assembler fragment, run llvm-mca for
+// the target CPU, and scrape the "Block RThroughput:" line — llvm-mca's
+// cycles-per-iteration estimate, directly comparable to both predictions.
+type MCAReferee struct {
+	path    string
+	timeout time.Duration
+}
+
+// NewMCAReferee returns a referee invoking the llvm-mca binary at path.
+func NewMCAReferee(path string) *MCAReferee {
+	return &MCAReferee{path: path, timeout: 10 * time.Second}
+}
+
+// mcaCPUs maps registry arch names onto llvm -mcpu names.
+var mcaCPUs = map[string]string{
+	"SNB": "sandybridge",
+	"IVB": "ivybridge",
+	"HSW": "haswell",
+	"BDW": "broadwell",
+	"SKL": "skylake",
+	"CLX": "cascadelake",
+	"ICL": "icelake-client",
+	"TGL": "tigerlake",
+	"RKL": "rocketlake",
+}
+
+// cpuFor resolves an arch name (including variant names like "SKL+LSD",
+// which fall back to their base's CPU) onto an llvm-mca -mcpu value.
+func cpuFor(arch string) string {
+	if cpu, ok := mcaCPUs[strings.ToUpper(arch)]; ok {
+		return cpu
+	}
+	base := strings.ToUpper(arch)
+	if i := strings.IndexAny(base, "+-"); i > 0 {
+		if cpu, ok := mcaCPUs[base[:i]]; ok {
+			return cpu
+		}
+	}
+	return "skylake"
+}
+
+// WrapAsm turns the Intel-syntax disassembly lines of a block into an
+// assembler fragment llvm-mca's parser accepts.
+func WrapAsm(lines []string) string {
+	var sb strings.Builder
+	sb.WriteString(".intel_syntax noprefix\n")
+	for _, line := range lines {
+		sb.WriteString("  ")
+		sb.WriteString(line)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Score runs llvm-mca on the block and returns its Block RThroughput in
+// cycles per iteration.
+func (m *MCAReferee) Score(instructions []string, arch string) (float64, error) {
+	cmd := exec.Command(m.path, "-mtriple=x86_64", "-mcpu="+cpuFor(arch), "-iterations=100")
+	cmd.Stdin = strings.NewReader(WrapAsm(instructions))
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	timer := time.AfterFunc(m.timeout, func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	})
+	err := cmd.Run()
+	timer.Stop()
+	if err != nil {
+		return 0, fmt.Errorf("llvm-mca: %v: %s", err, strings.TrimSpace(errb.String()))
+	}
+	return ParseRThroughput(out.String())
+}
+
+// ParseRThroughput scrapes the "Block RThroughput:" line from llvm-mca
+// output.
+func ParseRThroughput(output string) (float64, error) {
+	for _, line := range strings.Split(output, "\n") {
+		if !strings.Contains(line, "Block RThroughput:") {
+			continue
+		}
+		_, val, ok := strings.Cut(line, ":")
+		if !ok {
+			break
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return 0, fmt.Errorf("llvm-mca: bad RThroughput %q: %w", strings.TrimSpace(val), err)
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("llvm-mca: no \"Block RThroughput:\" line in output")
+}

@@ -1,0 +1,48 @@
+package difffuzz
+
+import (
+	"context"
+
+	"facile/internal/asm"
+)
+
+// minimize greedily deletes instructions from a divergent block while the
+// divergence persists: each pass tries removing every instruction in turn,
+// re-encodes the remainder (asm.EncodeBlock), and re-runs both models; a
+// deletion is kept only if the shrunk block still diverges on the same
+// target. Passes repeat until no single deletion preserves the divergence,
+// yielding a 1-minimal reproducer (deleting any one instruction makes the
+// models agree). Deletions that produce an unencodable or unanalyzable block
+// are simply rejected, so minimization can never fail a finding — at worst
+// it returns the input unchanged.
+func (f *Fuzzer) minimize(ctx context.Context, instrs []asm.Instr, t Target, cmp comparison) ([]asm.Instr, comparison, error) {
+	cur := append([]asm.Instr(nil), instrs...)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur) && len(cur) > 1; i++ {
+			if err := ctx.Err(); err != nil {
+				return cur, cmp, err
+			}
+			cand := make([]asm.Instr, 0, len(cur)-1)
+			cand = append(cand, cur[:i]...)
+			cand = append(cand, cur[i+1:]...)
+			code, err := asm.EncodeBlock(cand)
+			if err != nil {
+				continue
+			}
+			c, err := f.compare(ctx, code, t)
+			if err != nil {
+				// The shrunk block broke a model (e.g. a simulator
+				// deadlock); keep the instruction and move on.
+				continue
+			}
+			if c.divergent {
+				cur = cand
+				cmp = c
+				changed = true
+				i--
+			}
+		}
+	}
+	return cur, cmp, nil
+}
