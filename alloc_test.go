@@ -53,6 +53,64 @@ func TestEngineWarmHitZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestAnalyzeBatchWarmZeroPerBlockAllocs: the chunked batch kernel must do
+// zero per-block work on warm batches — the only allocations a warm
+// AnalyzeBatchN makes are the per-call fixed ones (the results slice and
+// the scheduler's group/chunk bookkeeping), so the count must not move when
+// the batch grows 16x. The per-call constant is pinned too, so a stray
+// fixed-cost allocation cannot hide behind the scaling check.
+func TestAnalyzeBatchWarmZeroPerBlockAllocs(t *testing.T) {
+	e := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL", "ICL"}})
+	ctx := context.Background()
+	codes := [][]byte{
+		decode(t, "4801d8"),
+		decode(t, "4801d8480fafc3"),
+		decode(t, "480307 4883c708 48ffc9 75f2"),
+		decode(t, "48ffc04883c103"),
+	}
+	mkReqs := func(n int) []facile.Request {
+		reqs := make([]facile.Request, n)
+		for i := range reqs {
+			reqs[i] = facile.Request{Code: codes[i%len(codes)], Arch: "SKL", Mode: facile.Loop}
+			if i%3 == 1 {
+				reqs[i].Arch = "ICL" // heterogeneous: exercise the grouped path
+			}
+		}
+		return reqs
+	}
+	warm := func(reqs []facile.Request) {
+		for i := range reqs {
+			if _, err := e.Analyze(ctx, reqs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	small, large := mkReqs(16), mkReqs(256)
+	warm(small)
+	warm(large)
+
+	measure := func(reqs []facile.Request) float64 {
+		return testing.AllocsPerRun(100, func() {
+			out := e.AnalyzeBatchN(ctx, reqs, 1)
+			for i := range out {
+				if out[i].Err != nil {
+					t.Fatal(out[i].Err)
+				}
+			}
+		})
+	}
+	aSmall, aLarge := measure(small), measure(large)
+	if aLarge != aSmall {
+		t.Errorf("warm batch allocations scale with size: %d blocks -> %.1f, %d blocks -> %.1f (want equal)",
+			len(small), aSmall, len(large), aLarge)
+	}
+	// Fixed per-call budget: results slice + scheduler order/group/chunk
+	// bookkeeping. Anything above that is a regression.
+	if aLarge > 6 {
+		t.Errorf("warm AnalyzeBatchN fixed overhead is %.1f allocs/call, want <= 6", aLarge)
+	}
+}
+
 // TestAnalyzeWarmHitZeroAllocs: a warm Analyze at any Detail returns the
 // memoized shared Analysis — one cache resolution, zero allocations — so
 // the unified entrypoint costs no more than the narrowest legacy view.

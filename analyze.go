@@ -3,6 +3,7 @@ package facile
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
 
@@ -183,6 +184,19 @@ func componentBounds(p *core.Prediction) []ComponentBound {
 	out := make([]ComponentBound, 0, core.NumComponents)
 	p.EachBound(func(c core.Component, cycles float64, bottleneck bool) {
 		out = append(out, ComponentBound{Component: c.String(), Cycles: cycles, Bottleneck: bottleneck})
+	})
+	return out
+}
+
+// componentBoundsSlab is componentBounds with the breakdown carved from a
+// batch worker's slab instead of a per-block allocation. Across a chunk the
+// breakdowns land contiguously — one flat block×component slab.
+func componentBoundsSlab(p *core.Prediction, sc *batchScratch) []ComponentBound {
+	out := sc.boundSlab(bits.OnesCount8(uint8(p.Bounds.Present)))
+	i := 0
+	p.EachBound(func(c core.Component, cycles float64, bottleneck bool) {
+		out[i] = ComponentBound{Component: c.String(), Cycles: cycles, Bottleneck: bottleneck}
+		i++
 	})
 	return out
 }

@@ -6,14 +6,21 @@
 // Usage:
 //
 //	go test -run '^$' -bench '...' -benchmem . | benchjson -out BENCH_2.json
-//	benchjson -in bench.txt -out BENCH_2.json -label pr-2
+//	benchjson -in bench.txt -out BENCH_7.json -pr 7 -slug soa-batch-kernel
 //
-// Only standard benchmark result lines are parsed; custom b.ReportMetric
-// columns (e.g. the server benchmarks' req/s) are preserved verbatim under
-// "extra". A stream may span several packages (`go test -bench ./...` or
-// concatenated runs): each benchmark is attributed to the `pkg:` header
-// preceding it, and the top-level "pkg" field is set only when the whole
-// record comes from a single package.
+// Records are labeled with the canonical "PR<n> <slug>" form via -pr/-slug
+// (-label remains as a raw override for ad-hoc runs). Only standard
+// benchmark result lines are parsed; the throughput metrics the server
+// benchmarks report (req/s and blocks/s) are promoted to first-class
+// "req_per_s"/"blocks_per_s" fields, and any other custom b.ReportMetric
+// columns are preserved verbatim under "extra". A stream may span several
+// packages (`go test -bench ./...` or concatenated runs): each benchmark is
+// attributed to the `pkg:` header preceding it, and the top-level "pkg"
+// field is set only when the whole record comes from a single package.
+//
+// With -floor-bench/-min-blocks-per-s the command doubles as a CI
+// throughput gate: it exits non-zero when the named benchmark is missing or
+// reports blocks/s below the floor.
 package main
 
 import (
@@ -30,13 +37,18 @@ import (
 // Benchmark is one parsed benchmark result line. Pkg is set only in
 // multi-package streams (otherwise the Record-level field carries it).
 type Benchmark struct {
-	Name        string             `json:"name"`
-	Pkg         string             `json:"pkg,omitempty"`
-	Iterations  int64              `json:"iterations"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
-	Extra       map[string]float64 `json:"extra,omitempty"`
+	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// ReqPerS and BlocksPerS are the server throughput metrics, promoted
+	// out of Extra so trajectory tooling (and the CI floor gate) can read
+	// them without knowing ReportMetric unit strings.
+	ReqPerS    float64            `json:"req_per_s,omitempty"`
+	BlocksPerS float64            `json:"blocks_per_s,omitempty"`
+	Extra      map[string]float64 `json:"extra,omitempty"`
 }
 
 // Record is the top-level BENCH_*.json document.
@@ -51,11 +63,20 @@ type Record struct {
 
 func main() {
 	var (
-		in    = flag.String("in", "", "benchmark output file (default: stdin)")
-		out   = flag.String("out", "", "JSON output file (default: stdout)")
-		label = flag.String("label", "", "free-form label recorded in the document")
+		in         = flag.String("in", "", "benchmark output file (default: stdin)")
+		out        = flag.String("out", "", "JSON output file (default: stdout)")
+		label      = flag.String("label", "", "raw label override (default: canonical \"PR<n> <slug>\" from -pr/-slug)")
+		pr         = flag.Int("pr", 0, "PR number for the canonical \"PR<n> <slug>\" label")
+		slug       = flag.String("slug", "", "short kebab-case slug for the canonical label")
+		floorBench = flag.String("floor-bench", "", "benchmark name the -min-blocks-per-s floor applies to")
+		floor      = flag.Float64("min-blocks-per-s", 0, "fail unless -floor-bench reports at least this blocks/s")
 	)
 	flag.Parse()
+
+	lbl, err := buildLabel(*label, *pr, *slug)
+	if err != nil {
+		fatal(err)
+	}
 
 	r := io.Reader(os.Stdin)
 	if *in != "" {
@@ -71,7 +92,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rec.Label = *label
+	rec.Label = lbl
 
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -80,11 +101,58 @@ func main() {
 	data = append(data, '\n')
 	if *out == "" {
 		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
+
+	if *floor > 0 || *floorBench != "" {
+		if err := checkFloor(rec, *floorBench, *floor); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: floor ok: %s >= %g blocks/s\n", *floorBench, *floor)
+	}
+}
+
+// buildLabel resolves the record label. -pr/-slug stamp the canonical
+// "PR<n> <slug>" form every BENCH_*.json now carries; -label remains as a
+// raw override for ad-hoc runs, but mixing the two is an error rather than
+// a silent precedence rule.
+func buildLabel(label string, pr int, slug string) (string, error) {
+	if pr == 0 && slug == "" {
+		return label, nil
+	}
+	if label != "" {
+		return "", fmt.Errorf("-label conflicts with -pr/-slug; use one labeling scheme")
+	}
+	if pr <= 0 || slug == "" {
+		return "", fmt.Errorf("canonical labels need both -pr <n> and -slug <s>")
+	}
+	if strings.ContainsAny(slug, " \t") {
+		return "", fmt.Errorf("slug %q must not contain whitespace (want kebab-case)", slug)
+	}
+	return fmt.Sprintf("PR%d %s", pr, slug), nil
+}
+
+// checkFloor enforces a throughput floor: the named benchmark must exist in
+// the record and report at least min blocks/s. A missing benchmark fails —
+// a gate that silently passes when the benchmark is renamed gates nothing.
+func checkFloor(rec *Record, name string, min float64) error {
+	if name == "" || min <= 0 {
+		return fmt.Errorf("the floor gate needs both -floor-bench and a positive -min-blocks-per-s")
+	}
+	for _, b := range rec.Benchmarks {
+		if b.Name != name {
+			continue
+		}
+		if b.BlocksPerS <= 0 {
+			return fmt.Errorf("floor: %s reports no blocks/s metric", name)
+		}
+		if b.BlocksPerS < min {
+			return fmt.Errorf("floor: %s at %.0f blocks/s is below the %.0f floor", name, b.BlocksPerS, min)
+		}
+		return nil
+	}
+	return fmt.Errorf("floor: benchmark %q not found in the input stream", name)
 }
 
 // parse reads `go test -bench` output. Result lines look like
@@ -143,6 +211,10 @@ func parse(r io.Reader) (*Record, error) {
 				b.BytesPerOp = v
 			case "allocs/op":
 				b.AllocsPerOp = v
+			case "req/s":
+				b.ReqPerS = v
+			case "blocks/s":
+				b.BlocksPerS = v
 			default:
 				if b.Extra == nil {
 					b.Extra = map[string]float64{}

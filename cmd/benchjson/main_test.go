@@ -61,8 +61,12 @@ func TestParseMultiPackage(t *testing.T) {
 			t.Errorf("benchmark %d pkg %q, want %q", i, rec.Benchmarks[i].Pkg, want)
 		}
 	}
-	if got := rec.Benchmarks[1].Extra["req/s"]; got != 33000 {
+	// req/s is a first-class field now, not an Extra entry.
+	if got := rec.Benchmarks[1].ReqPerS; got != 33000 {
 		t.Errorf("req/s: %v", got)
+	}
+	if _, ok := rec.Benchmarks[1].Extra["req/s"]; ok {
+		t.Error("req/s must be promoted out of extra")
 	}
 	// The -<GOMAXPROCS> suffix is trimmed; a name without one is kept.
 	if rec.Benchmarks[1].Name != "BenchmarkServerPredictDirect" ||
@@ -74,5 +78,76 @@ func TestParseMultiPackage(t *testing.T) {
 func TestParseEmpty(t *testing.T) {
 	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
 		t.Fatal("expected error for stream without results")
+	}
+}
+
+const batchStream = `pkg: facile/internal/server
+BenchmarkServerPredictBatchEndpoint-8   	     200	    466443 ns/op	    137209 blocks/s
+`
+
+func TestParseBlocksPerS(t *testing.T) {
+	rec, err := parse(strings.NewReader(batchStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rec.Benchmarks[0]
+	if b.BlocksPerS != 137209 {
+		t.Errorf("blocks/s: %v", b.BlocksPerS)
+	}
+	if len(b.Extra) != 0 {
+		t.Errorf("blocks/s must be promoted out of extra: %v", b.Extra)
+	}
+}
+
+func TestBuildLabel(t *testing.T) {
+	cases := []struct {
+		label string
+		pr    int
+		slug  string
+		want  string
+		ok    bool
+	}{
+		{"", 0, "", "", true},                   // no label at all
+		{"adhoc run", 0, "", "adhoc run", true}, // raw override
+		{"", 7, "soa-batch-kernel", "PR7 soa-batch-kernel", true},
+		{"x", 7, "soa-batch-kernel", "", false}, // mixing schemes
+		{"", 7, "", "", false},                  // -pr without -slug
+		{"", 0, "soa-batch-kernel", "", false},  // -slug without -pr
+		{"", 7, "has space", "", false},         // non-kebab slug
+	}
+	for _, tc := range cases {
+		got, err := buildLabel(tc.label, tc.pr, tc.slug)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("buildLabel(%q, %d, %q) = %q, %v; want %q, ok=%v",
+				tc.label, tc.pr, tc.slug, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestCheckFloor(t *testing.T) {
+	rec, err := parse(strings.NewReader(batchStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const name = "BenchmarkServerPredictBatchEndpoint"
+	if err := checkFloor(rec, name, 137000); err != nil {
+		t.Errorf("floor below measured throughput must pass: %v", err)
+	}
+	if err := checkFloor(rec, name, 200000); err == nil {
+		t.Error("floor above measured throughput must fail")
+	}
+	if err := checkFloor(rec, "BenchmarkRenamed", 1); err == nil {
+		t.Error("missing benchmark must fail the gate, not pass it")
+	}
+	if err := checkFloor(rec, "", 0); err == nil {
+		t.Error("incomplete gate flags must fail")
+	}
+	// A benchmark present but without a blocks/s metric must fail too.
+	noMetric, err := parse(strings.NewReader("pkg: p\n" + name + " 1 100 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkFloor(noMetric, name, 1); err == nil {
+		t.Error("benchmark without blocks/s must fail the gate")
 	}
 }

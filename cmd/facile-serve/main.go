@@ -5,6 +5,7 @@
 //
 //	facile-serve [-addr :8629] [-archs SKL,RKL] [-arch-dir ./myarchs]
 //	             [-cache 4096] [-workers 0] [-max-batch 64] [-timeout 10s]
+//	             [-pprof]
 //
 // Endpoints (see docs/API.md for the full reference):
 //
@@ -29,6 +30,12 @@
 // registered over HTTP via POST /v1/archs (disabled when -archs pins a
 // fixed set). Registered arches are served without restart.
 //
+// With -pprof the standard net/http/pprof profiling endpoints are mounted
+// under /debug/pprof/ on the same listener, so production batch throughput
+// can be profiled in place (go tool pprof http://host:8629/debug/pprof/profile).
+// The flag is off by default: the profiling surface is diagnostic, not part
+// of the public API, and exposes goroutine/heap internals.
+//
 // The process shuts down gracefully on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight requests (and in-flight micro-batches) complete,
 // then the engine-facing machinery is torn down.
@@ -41,6 +48,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -61,6 +69,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "engine worker-pool size (<=0: GOMAXPROCS)")
 		maxBatch = flag.Int("max-batch", 0, "micro-batch size cap for /v1/predict (0: default, <0: disable)")
 		timeout  = flag.Duration("timeout", 0, "per-request handling deadline (0: default, <0: none)")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -101,9 +110,25 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The pprof handlers are mounted on an explicit mux (not the default
+	// one) so nothing is exposed unless the flag asks for it; the service
+	// handles everything else, including unknown /debug paths (404).
+	handler := http.Handler(svc)
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", svc)
+		handler = mux
+		log.Print("facile-serve: pprof enabled at /debug/pprof/")
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           svc,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

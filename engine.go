@@ -3,6 +3,7 @@ package facile
 import (
 	"context"
 	"runtime"
+	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -118,7 +119,12 @@ type engineKey struct {
 // pure recombination or rendering of the cached bound vector, never a re-run
 // of the component predictors.
 type engineEntry struct {
-	once   sync.Once
+	once sync.Once
+	// code is the entry's durable copy of the block bytes (the cache key's
+	// code string); empty on private (uncached) entries. Cached blocks are
+	// built from it rather than from caller memory, so callers may reuse
+	// their Code buffers as soon as a call returns.
+	code   string
 	block  *bb.Block
 	pred   Prediction
 	core   core.Prediction
@@ -315,38 +321,12 @@ func (e *Engine) entry(ctx context.Context, code []byte, arch string, mode Mode)
 	if err := e.checkCode(code); err != nil {
 		return nil, err
 	}
-	var ent *engineEntry
-	if e.cache == nil {
-		// Memoization disabled: every call recomputes on a private entry.
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		e.misses.Add(1)
-		ent = &engineEntry{}
-	} else {
-		// Probe with a zero-copy string view of code first: the cache does
-		// not retain lookup keys, so the unsafe aliasing never outlives this
-		// call, and a warm hit performs no allocation. Only a miss pays for
-		// the durable key copy.
-		probe := engineKey{arch: canon, ver: ver, mode: mode, code: unsafeString(code)}
-		ent2, hit := e.cache.Get(probe)
-		ent = ent2
-		if !hit {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			ent, hit = e.cache.GetOrAdd(
-				engineKey{arch: canon, ver: ver, mode: mode, code: string(code)},
-				func() *engineEntry { return &engineEntry{} })
-		}
-		if hit {
-			e.hits.Add(1)
-		} else {
-			e.misses.Add(1)
-		}
+	ent, err := e.resolveEntry(ctx, code, canon, ver, mode)
+	if err != nil {
+		return nil, err
 	}
 	ent.once.Do(func() {
-		block, err := bd.Build(code)
+		block, err := bd.Build(ent.blockBytes(code))
 		if err != nil {
 			// Decode failures are about the request's bytes: classify them
 			// into the uniform bad-request vocabulary (text unchanged).
@@ -363,10 +343,66 @@ func (e *Engine) entry(ctx context.Context, code []byte, arch string, mode Mode)
 	return ent, nil
 }
 
+// resolveEntry performs the one cache resolution of a request: a zero-copy
+// probe first, then — on a miss — a GetOrAdd under a durable key copy. The
+// context is observed between the probe and the miss: a cancelled caller
+// never creates (or pollutes stats with) a miss, while a warm hit is served
+// regardless — it costs nothing.
+func (e *Engine) resolveEntry(ctx context.Context, code []byte, canon string, ver uint64, mode Mode) (*engineEntry, error) {
+	if e.cache == nil {
+		// Memoization disabled: every call recomputes on a private entry.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		e.misses.Add(1)
+		return &engineEntry{}, nil
+	}
+	// Probe with a zero-copy string view of code first: the cache does
+	// not retain lookup keys, so the unsafe aliasing never outlives this
+	// call, and a warm hit performs no allocation. Only a miss pays for
+	// the durable key copy.
+	probe := engineKey{arch: canon, ver: ver, mode: mode, code: unsafeString(code)}
+	ent, hit := e.cache.Get(probe)
+	if !hit {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		key := engineKey{arch: canon, ver: ver, mode: mode, code: string(code)}
+		ent, hit = e.cache.GetOrAdd(key,
+			func() *engineEntry { return &engineEntry{code: key.code} })
+	}
+	if hit {
+		e.hits.Add(1)
+	} else {
+		e.misses.Add(1)
+	}
+	return ent, nil
+}
+
 // unsafeString views b as a string without copying. The result aliases b
 // and must not be retained or used after b may be mutated.
 func unsafeString(b []byte) string {
 	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// unsafeBytes views s as a byte slice without copying. The result aliases the
+// string's storage and must never be written to; it is used to build blocks
+// from an entry's durable code copy (the decoder only reads its input).
+func unsafeBytes(s string) []byte {
+	return unsafe.Slice(unsafe.StringData(s), len(s))
+}
+
+// blockBytes returns the bytes the entry's block must be built from: the
+// entry's own durable copy when it has one — a cached block (whose decoded
+// instructions subslice the decode input) then never aliases caller memory,
+// so callers may reuse their Code buffers after a call returns. Private
+// (uncached) entries build from the caller's bytes directly; they live only
+// for the duration of the call.
+func (ent *engineEntry) blockBytes(code []byte) []byte {
+	if ent.code != "" {
+		return unsafeBytes(ent.code)
+	}
+	return code
 }
 
 // Analyze is the entrypoint of the public API: one typed Request in, one
@@ -423,37 +459,38 @@ func (e *Engine) AnalyzeBatch(ctx context.Context, reqs []Request) []AnalysisRes
 // configured pool size select the pool size — callers (e.g. a server
 // answering many independent batch requests) can bound an individual
 // batch's parallelism but never exceed the engine's.
+//
+// Internally the batch runs on a chunked kernel rather than per-index
+// dispatch: requests are grouped by (arch, mode), each worker claims a
+// contiguous chunk of one group, resolves the microarchitecture once for
+// the whole chunk, and computes every miss in the chunk against a single
+// analysis scratch context with result payloads carved from per-worker
+// slabs — allocation happens only on cache misses, amortized per chunk.
 func (e *Engine) AnalyzeBatchN(ctx context.Context, reqs []Request, workers int) []AnalysisResult {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	out := make([]AnalysisResult, len(reqs))
-	e.runWorkers(len(reqs), workers, func(i int) {
-		if err := ctx.Err(); err != nil {
-			out[i].Err = err
-			return
-		}
-		out[i].Analysis, out[i].Err = e.Analyze(ctx, reqs[i])
-	})
-	return out
-}
-
-// runWorkers executes do(0..n-1) across at most workers goroutines (clamped
-// to the engine pool size), returning when every index has run. Index order
-// of completion is unspecified; assignment order is monotonic.
-func (e *Engine) runWorkers(n, workers int, do func(int)) {
+	n := len(reqs)
+	out := make([]AnalysisResult, n)
+	if n == 0 {
+		return out
+	}
 	if workers <= 0 || workers > e.workers {
 		workers = e.workers
 	}
 	if workers > n {
 		workers = n
 	}
+	order, groups := groupBatch(reqs)
 	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			do(i)
+		sc := batchScratch{ana: e.analyses.Get().(*core.Analysis)}
+		for _, g := range groups {
+			e.processChunk(ctx, reqs, out, order, g, &sc)
 		}
-		return
+		e.analyses.Put(sc.ana)
+		return out
 	}
+	chunks := splitChunks(groups, workers, n)
 	var next atomic.Int64
 	next.Store(-1)
 	var wg sync.WaitGroup
@@ -461,16 +498,220 @@ func (e *Engine) runWorkers(n, workers int, do func(int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := batchScratch{ana: e.analyses.Get().(*core.Analysis)}
+			defer e.analyses.Put(sc.ana)
 			for {
-				i := int(next.Add(1))
-				if i >= n {
+				ci := int(next.Add(1))
+				if ci >= len(chunks) {
 					return
 				}
-				do(i)
+				e.processChunk(ctx, reqs, out, order, chunks[ci], &sc)
 			}
 		}()
 	}
 	wg.Wait()
+	return out
+}
+
+// batchChunk is a half-open run [lo, hi) of batch positions sharing one
+// (arch, mode) group — the scheduling unit of the chunked batch kernel.
+// Positions index the batch directly for homogeneous batches, or the group-
+// sorted order slice for heterogeneous ones.
+type batchChunk struct{ lo, hi int }
+
+// batchScratch is one batch worker's reusable state: a single analysis
+// scratch context drawn from the engine pool once per batch (not once per
+// block), an arena for prediction payload copies, and slabs that bound
+// breakdowns and name lists are carved from. A chunk of cache hits touches
+// none of it; a chunk of misses allocates only when a slab drains.
+type batchScratch struct {
+	ana   *core.Analysis
+	arena core.Arena
+	cb    []ComponentBound
+	strs  []string
+}
+
+// boundSlab carves n ComponentBound entries from the worker slab.
+func (sc *batchScratch) boundSlab(n int) []ComponentBound {
+	if n == 0 {
+		return nil
+	}
+	if cap(sc.cb)-len(sc.cb) < n {
+		size := n
+		if size < 64*int(core.NumComponents) {
+			size = 64 * int(core.NumComponents)
+		}
+		sc.cb = make([]ComponentBound, 0, size)
+	}
+	lo := len(sc.cb)
+	sc.cb = sc.cb[:lo+n]
+	return sc.cb[lo : lo+n : lo+n]
+}
+
+// strSlab carves n string slots from the worker slab.
+func (sc *batchScratch) strSlab(n int) []string {
+	if n == 0 {
+		return nil
+	}
+	if cap(sc.strs)-len(sc.strs) < n {
+		size := n
+		if size < 512 {
+			size = 512
+		}
+		sc.strs = make([]string, 0, size)
+	}
+	lo := len(sc.strs)
+	sc.strs = sc.strs[:lo+n]
+	return sc.strs[lo : lo+n : lo+n]
+}
+
+// groupBatch partitions a batch into (arch, mode) groups. The common
+// homogeneous batch short-circuits to the identity order (order == nil) and
+// one group; heterogeneous batches get a stable group-sorted order slice so
+// every group is one contiguous run.
+func groupBatch(reqs []Request) (order []int, groups []batchChunk) {
+	n := len(reqs)
+	homogeneous := true
+	for i := 1; i < n; i++ {
+		if reqs[i].Arch != reqs[0].Arch || reqs[i].Mode != reqs[0].Mode {
+			homogeneous = false
+			break
+		}
+	}
+	if homogeneous {
+		return nil, []batchChunk{{0, n}}
+	}
+	order = make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// slices.SortStableFunc sorts without allocating (unlike the reflect-based
+	// sort.SliceStable), keeping the warm batch path's per-call overhead flat.
+	slices.SortStableFunc(order, func(a, b int) int {
+		ra, rb := &reqs[a], &reqs[b]
+		if c := strings.Compare(ra.Arch, rb.Arch); c != 0 {
+			return c
+		}
+		return int(ra.Mode) - int(rb.Mode)
+	})
+	ngroups := 1
+	for i := 1; i < n; i++ {
+		if reqs[order[i]].Arch != reqs[order[i-1]].Arch || reqs[order[i]].Mode != reqs[order[i-1]].Mode {
+			ngroups++
+		}
+	}
+	groups = make([]batchChunk, 0, ngroups)
+	lo := 0
+	for i := 1; i <= n; i++ {
+		if i == n || reqs[order[i]].Arch != reqs[order[lo]].Arch || reqs[order[i]].Mode != reqs[order[lo]].Mode {
+			groups = append(groups, batchChunk{lo, i})
+			lo = i
+		}
+	}
+	return order, groups
+}
+
+// maxChunkLen caps one chunk's share of a batch so workers rebalance on
+// skewed per-block cost (a run of misses next to a run of hits).
+const maxChunkLen = 256
+
+// splitChunks divides each group into contiguous chunks sized for the
+// worker count: about four chunks per worker across the batch, capped at
+// maxChunkLen, never crossing a group boundary.
+func splitChunks(groups []batchChunk, workers, n int) []batchChunk {
+	target := (n + 4*workers - 1) / (4 * workers)
+	if target < 1 {
+		target = 1
+	}
+	if target > maxChunkLen {
+		target = maxChunkLen
+	}
+	chunks := make([]batchChunk, 0, len(groups)+n/target)
+	for _, g := range groups {
+		for lo := g.lo; lo < g.hi; lo += target {
+			hi := lo + target
+			if hi > g.hi {
+				hi = g.hi
+			}
+			chunks = append(chunks, batchChunk{lo, hi})
+		}
+	}
+	return chunks
+}
+
+// processChunk runs one chunk of a batch: the chunk's microarchitecture and
+// mode are validated and resolved once, then every position performs its
+// single cache resolution, computing misses against the worker's shared
+// scratch. Error precedence per request is identical to Analyze's (detail,
+// mode, arch, code bytes), and the context is observed per position so a
+// cancelled batch stops computing while keeping one deterministic result
+// per request.
+func (e *Engine) processChunk(ctx context.Context, reqs []Request, out []AnalysisResult, order []int, c batchChunk, sc *batchScratch) {
+	idx0 := c.lo
+	if order != nil {
+		idx0 = order[c.lo]
+	}
+	modeErr := checkMode(reqs[idx0].Mode)
+	var (
+		bd    *bb.Builder
+		ver   uint64
+		canon string
+		bdErr error
+	)
+	if modeErr == nil {
+		bd, ver, bdErr = e.builder(reqs[idx0].Arch)
+		if bdErr == nil {
+			canon = bd.Cfg().Name
+		}
+	}
+	for i := c.lo; i < c.hi; i++ {
+		idx := i
+		if order != nil {
+			idx = order[i]
+		}
+		req := &reqs[idx]
+		if err := ctx.Err(); err != nil {
+			out[idx].Err = err
+			continue
+		}
+		if err := checkDetail(req.Detail); err != nil {
+			out[idx].Err = err
+			continue
+		}
+		if modeErr != nil {
+			out[idx].Err = modeErr
+			continue
+		}
+		if bdErr != nil {
+			out[idx].Err = bdErr
+			continue
+		}
+		if err := e.checkCode(req.Code); err != nil {
+			out[idx].Err = err
+			continue
+		}
+		ent, err := e.resolveEntry(ctx, req.Code, canon, ver, req.Mode)
+		if err != nil {
+			out[idx].Err = err
+			continue
+		}
+		ent.once.Do(func() {
+			block, err := bd.Build(ent.blockBytes(req.Code))
+			if err != nil {
+				ent.err = asBadRequest(err)
+				return
+			}
+			ent.block = block
+			ent.core = sc.ana.PredictArena(block, coreMode(req.Mode), core.Options{}, &sc.arena)
+			ent.pred = publicPredictionSlab(&ent.core, block, canon, req.Mode, sc)
+			ent.bounds = componentBoundsSlab(&ent.core, sc)
+		})
+		if ent.err != nil {
+			out[idx].Err = ent.err
+			continue
+		}
+		out[idx].Analysis = ent.analysis(req.Detail)
+	}
 }
 
 // Predict computes (or recalls) the throughput prediction for the block — a

@@ -41,6 +41,7 @@ package facile
 
 import (
 	"math"
+	"math/bits"
 	"strings"
 
 	"facile/internal/bb"
@@ -221,6 +222,42 @@ func publicPrediction(p *core.Prediction, block *bb.Block, arch string, mode Mod
 	for k := range block.Insts {
 		out.Instructions = append(out.Instructions, block.Insts[k].Inst.String())
 	}
+	return out
+}
+
+// publicPredictionSlab is publicPrediction with the name and instruction
+// lists carved from a batch worker's slab: the only remaining per-miss
+// allocations in the chunked batch path are the Components map (public API
+// shape) and the rendered instruction strings themselves.
+func publicPredictionSlab(p *core.Prediction, block *bb.Block, arch string, mode Mode, sc *batchScratch) Prediction {
+	out := Prediction{
+		CyclesPerIteration: round2(p.TP),
+		Arch:               arch,
+		Mode:               mode,
+		Components:         make(map[string]float64, core.NumComponents),
+		CriticalChain:      p.CriticalChain,
+		ContendedPorts:     p.ContendedPorts,
+		ContendedInstrs:    p.ContendedInstrs,
+	}
+	// Bottlenecks is a subset of the computed components, so its size is
+	// known up front and the carved slab fills by append without growing.
+	if nb := bits.OnesCount8(uint8(p.Bottlenecks)); nb > 0 {
+		out.Bottlenecks = sc.strSlab(nb)[:0]
+	}
+	p.EachBound(func(c core.Component, v float64, bottleneck bool) {
+		out.Components[c.String()] = v
+		if bottleneck {
+			out.Bottlenecks = append(out.Bottlenecks, c.String())
+		}
+	})
+	if mode == Loop {
+		out.FrontEndSource = p.FrontEndSource.String()
+	}
+	ins := sc.strSlab(len(block.Insts))
+	for k := range block.Insts {
+		ins[k] = block.Insts[k].Inst.String()
+	}
+	out.Instructions = ins
 	return out
 }
 

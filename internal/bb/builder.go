@@ -2,6 +2,7 @@ package bb
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"facile/internal/isa"
 	"facile/internal/uarch"
@@ -20,16 +21,24 @@ const maxDescCacheEntries = 1 << 16
 // memoized by instruction encoding, so bulk workloads — batch evaluation,
 // superoptimizer search loops — pay it once per distinct instruction rather
 // than once per occurrence. A Builder is safe for concurrent use.
+//
+// The memo is a copy-on-write map: warm lookups — the per-instruction hot
+// path of every parallel batch worker — read the published map with no lock
+// and no allocation, while the rare insert of a new encoding copies the map
+// under a mutex and republishes it.
 type Builder struct {
 	cfg *uarch.Config
 
-	mu    sync.RWMutex
-	descs map[string]*isa.Desc
+	descs atomic.Pointer[map[string]*isa.Desc]
+	mu    sync.Mutex // serializes copy-on-write inserts
 }
 
 // NewBuilder returns a Builder preparing blocks for cfg.
 func NewBuilder(cfg *uarch.Config) *Builder {
-	return &Builder{cfg: cfg, descs: make(map[string]*isa.Desc)}
+	bd := &Builder{cfg: cfg}
+	m := make(map[string]*isa.Desc)
+	bd.descs.Store(&m)
+	return bd
 }
 
 // Cfg returns the microarchitecture the Builder prepares blocks for.
@@ -43,16 +52,11 @@ func (bd *Builder) Build(code []byte) (*Block, error) {
 
 // DescCacheLen returns the number of memoized instruction descriptors.
 func (bd *Builder) DescCacheLen() int {
-	bd.mu.RLock()
-	defer bd.mu.RUnlock()
-	return len(bd.descs)
+	return len(*bd.descs.Load())
 }
 
 func (bd *Builder) lookup(inst *x86.Inst, enc []byte) (*isa.Desc, error) {
-	bd.mu.RLock()
-	d, ok := bd.descs[string(enc)]
-	bd.mu.RUnlock()
-	if ok {
+	if d, ok := (*bd.descs.Load())[string(enc)]; ok {
 		return d, nil
 	}
 	d, err := isa.Lookup(bd.cfg, inst)
@@ -60,10 +64,18 @@ func (bd *Builder) lookup(inst *x86.Inst, enc []byte) (*isa.Desc, error) {
 		return nil, err
 	}
 	bd.mu.Lock()
-	if len(bd.descs) < maxDescCacheEntries {
-		// A concurrent builder may have stored the same encoding already;
-		// both descriptors are identical, so last-write-wins is fine.
-		bd.descs[string(enc)] = d
+	cur := *bd.descs.Load()
+	// A concurrent builder may have stored the same encoding already; both
+	// descriptors are identical, so the existing one wins and no republish
+	// happens. Beyond the safety-valve bound, new encodings are derived
+	// without being retained.
+	if _, ok := cur[string(enc)]; !ok && len(cur) < maxDescCacheEntries {
+		next := make(map[string]*isa.Desc, len(cur)+1)
+		for k, v := range cur {
+			next[k] = v
+		}
+		next[string(enc)] = d
+		bd.descs.Store(&next)
 	}
 	bd.mu.Unlock()
 	return d, nil

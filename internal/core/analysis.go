@@ -25,9 +25,10 @@ type Analysis struct {
 	decComplex []int
 	decFirst   []int
 
-	// Ports (ports.go): distinct port combinations, their pairwise unions,
-	// and the contended-instruction list.
+	// Ports (ports.go): distinct port combinations with per-combination µop
+	// counts, their pairwise unions, and the contended-instruction list.
 	portsPCs    []uarch.PortMask
+	portsCounts []int
 	portsUnions []uarch.PortMask
 	portsInstrs []int
 
@@ -146,6 +147,18 @@ func (a *Analysis) computeBounds(block *bb.Block, mode Mode, opts Options) (Boun
 // using this Analysis's scratch state: one bound-vector pass, one
 // recombination.
 func (a *Analysis) Predict(block *bb.Block, mode Mode, opts Options) Prediction {
+	return a.predict(block, mode, opts, nil)
+}
+
+// PredictArena is Predict with the prediction's owned payload slices
+// (critical chain, contended instructions) carved from ar instead of
+// individually heap-allocated — the batch-kernel variant, where ar amortizes
+// those copies across a whole chunk of blocks.
+func (a *Analysis) PredictArena(block *bb.Block, mode Mode, opts Options, ar *Arena) Prediction {
+	return a.predict(block, mode, opts, ar)
+}
+
+func (a *Analysis) predict(block *bb.Block, mode Mode, opts Options, ar *Arena) Prediction {
 	b, det := a.computeBounds(block, mode, opts)
 	comb := b.Combine(mode, opts.include())
 	p := Prediction{
@@ -164,7 +177,18 @@ func (a *Analysis) Predict(block *bb.Block, mode Mode, opts Options) Prediction 
 		}
 	}
 	// The interpretability payloads point into scratch; copy them so the
-	// Prediction outlives the Analysis's next use.
+	// Prediction outlives the Analysis's next use (from the arena when the
+	// caller supplied one).
+	if ar != nil {
+		if b.Has(Precedence) {
+			p.CriticalChain = ar.CopyInts(det.chain)
+		}
+		if b.Has(Ports) {
+			p.ContendedInstrs = ar.CopyInts(det.instrs)
+			p.ContendedPorts = det.ports
+		}
+		return p
+	}
 	if b.Has(Precedence) {
 		p.CriticalChain = copyInts(det.chain)
 	}

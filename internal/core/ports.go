@@ -60,11 +60,26 @@ func (a *Analysis) portsBoundDetail(block *bb.Block) (float64, []int, string) {
 		return 0, nil, ""
 	}
 
-	// Distinct port combinations in use.
+	// Distinct port combinations in use, with the number of µops using each:
+	// the subset counting below runs over the (few) distinct combinations
+	// instead of re-scanning every µop per candidate union.
 	pcs := a.portsPCs[:0]
+	counts := a.portsCounts[:0]
 	for _, u := range uops {
-		if u.Ports != 0 && !containsMask(pcs, u.Ports) {
+		if u.Ports == 0 {
+			continue
+		}
+		found := false
+		for i, x := range pcs {
+			if x == u.Ports {
+				counts[i]++
+				found = true
+				break
+			}
+		}
+		if !found {
 			pcs = append(pcs, u.Ports)
+			counts = append(counts, 1)
 		}
 	}
 
@@ -78,15 +93,15 @@ func (a *Analysis) portsBoundDetail(block *bb.Block) (float64, []int, string) {
 			}
 		}
 	}
-	a.portsPCs, a.portsUnions = pcs, unions
+	a.portsPCs, a.portsUnions, a.portsCounts = pcs, unions, counts
 
 	best := 0.0
 	var bestPC uarch.PortMask
 	for _, pc := range unions {
 		cnt := 0
-		for _, u := range uops {
-			if u.Ports != 0 && u.Ports.SubsetOf(pc) {
-				cnt++
+		for i, x := range pcs {
+			if x.SubsetOf(pc) {
+				cnt += counts[i]
 			}
 		}
 		bound := float64(cnt) / float64(pc.Count())

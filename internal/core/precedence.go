@@ -36,12 +36,21 @@ func PrecedenceBound(block *bb.Block) (float64, []int) {
 //
 // It builds a weighted dependence graph whose nodes are the values consumed
 // and produced by the block's instructions. Within an instruction, each
-// consumed value is connected to each produced value with an edge weighted
+// consumed value is connected to the produced values with an edge weighted
 // by the consumption-to-production latency (the load latency is added on
 // paths starting at address registers). Producer-to-consumer edges carry
 // weight 0 and an iteration count: 0 for intra-iteration flows, 1 for flows
 // that wrap to the next iteration. The bound is the maximum cycle ratio
 // (latency / iterations) over all cycles, computed with Howard's algorithm.
+//
+// Because the intra-instruction edge weight depends only on the consumed
+// side, all values produced by one instruction are path-equivalent: they
+// share the same incoming edges and differ only in which consumers they
+// feed, and the full bipartite consumed×produced expansion reaches every
+// consumer through every consumed value anyway. The builder therefore
+// materializes a single produced node per instruction, which preserves
+// every cycle and its ratio while shrinking both the node count and the
+// intra-instruction edge count (C·P edges become C).
 //
 // The second return value lists the instruction indices on a critical
 // dependence chain (interpretability); it points into Analysis scratch.
@@ -116,6 +125,7 @@ func (a *Analysis) buildDependenceGraph(block *bb.Block) {
 	// Pass 1: create nodes, record writers.
 	for k := range block.Insts {
 		eff := &block.Insts[k].Eff
+		prodNode := -1
 
 		addConsumed := func(r x86.Reg) {
 			if _, ok := lookup(consumed[k], r); !ok {
@@ -124,7 +134,12 @@ func (a *Analysis) buildDependenceGraph(block *bb.Block) {
 		}
 		addProduced := func(r x86.Reg) {
 			if _, ok := lookup(produced[k], r); !ok {
-				produced[k] = append(produced[k], valNode{r, newNode(k)})
+				// One shared node per instruction (see the function comment);
+				// the per-register entries only key the writer bookkeeping.
+				if len(produced[k]) == 0 {
+					prodNode = newNode(k)
+				}
+				produced[k] = append(produced[k], valNode{r, prodNode})
 				if len(a.writers[r]) == 0 {
 					a.touched = append(a.touched, r)
 				}
@@ -157,6 +172,10 @@ func (a *Analysis) buildDependenceGraph(block *bb.Block) {
 			// Address registers feed the load µop first.
 			addrExtra = block.Cfg.LoadLat
 		}
+		if len(produced[k]) == 0 {
+			continue
+		}
+		pk := produced[k][0].id
 		eff := &ins.Eff
 		for _, c := range consumed[k] {
 			w := float64(lat)
@@ -166,9 +185,7 @@ func (a *Analysis) buildDependenceGraph(block *bb.Block) {
 				// address path is the longer (binding) one.
 				w = float64(lat + addrExtra)
 			}
-			for _, p := range produced[k] {
-				g.AddEdge(c.id, p.id, w, 0)
-			}
+			g.AddEdge(c.id, pk, w, 0)
 		}
 	}
 
@@ -193,8 +210,7 @@ func (a *Analysis) buildDependenceGraph(block *bb.Block) {
 				j = ws[len(ws)-1]
 				iterCount = 1
 			}
-			from, _ := lookup(produced[j], c.reg)
-			g.AddEdge(from, c.id, 0, iterCount)
+			g.AddEdge(produced[j][0].id, c.id, 0, iterCount)
 		}
 	}
 

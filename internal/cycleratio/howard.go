@@ -5,7 +5,8 @@ import "math"
 // howard runs Howard's policy-iteration algorithm for the maximum cycle
 // ratio [Dasdan 2004; Howard 1960] on this Solver's scratch state. Every
 // node of the input graph must have at least one outgoing edge (guaranteed
-// by prune). The second result is the number of policy iterations performed
+// for SCC subgraphs materialized by decompose, and by prune for callers that
+// still pre-prune). The second result is the number of policy iterations performed
 // (diagnostics). Returns ok == false if the iteration fails to converge
 // within the safety bound, in which case the caller falls back to the
 // reference solver. The returned Result.Cycle aliases solver storage.
@@ -17,7 +18,7 @@ func (s *Solver) howard(g *Graph) (Result, int, bool) {
 	}
 
 	// Outgoing adjacency as edge indices (compact CSR form).
-	off, list := s.csr(g, keepAll)
+	off, list := s.csrAll(g)
 
 	// Initial policy: the edge with the largest weight.
 	policy := growN(&s.policy, n)

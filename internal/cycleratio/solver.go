@@ -31,16 +31,17 @@ type Solver struct {
 	ztStack []dfsFrame
 
 	// Tarjan SCC
-	index   []int
-	low     []int
-	onStack []bool
-	comp    []int
-	sccStk  []int
-	frames  []dfsFrame
-	nodeID  []int
-	compOf  []int
-	sccs    []sccBuf
-	nSCCs   int
+	index    []int
+	low      []int
+	onStack  []bool
+	comp     []int
+	sccStk   []int
+	frames   []dfsFrame
+	nodeID   []int
+	compOf   []int
+	compSize []int
+	sccs     []sccBuf
+	nSCCs    int
 
 	// Howard policy iteration
 	policy    []int
@@ -92,19 +93,25 @@ func growN[T any](s *[]T, n int) []T {
 // Every cycle lies within one strongly connected component, and policy
 // iteration with a single global λ only converges reliably within one SCC
 // (sub-critical SCCs have no consistent value function under the global λ).
-// The solver therefore decomposes the pruned graph into SCCs and solves
-// each independently, taking the maximum.
+// The solver therefore decomposes the graph into SCCs and solves each
+// independently, taking the maximum. Nodes that cannot lie on a cycle need
+// no separate pruning pass: decompose materializes only components with at
+// least one internal edge, which excludes them in the same single O(N+E)
+// Tarjan traversal (the historical iterative degree-pruning fixed point cost
+// O(rounds·(N+E)) for the same effect and dominated the solver's profile).
 func (s *Solver) MaxRatio(g *Graph) (Result, error) {
-	s.prune(g)
-	core := &s.pruned
-	if core.N == 0 {
+	if g.N == 0 || len(g.Edges) == 0 {
 		return Result{}, nil
 	}
-	if s.hasZeroTransitCycle(core) {
-		return Result{}, ErrZeroTransitCycle
+	s.decompose(g)
+	// A zero-transit cycle is a cycle, so it lies entirely within one
+	// materialized SCC; checking the (small) components instead of the full
+	// graph keeps the malformed-graph guard off the hot path.
+	for i := 0; i < s.nSCCs; i++ {
+		if s.hasZeroTransitCycle(&s.sccs[i].g) {
+			return Result{}, ErrZeroTransitCycle
+		}
 	}
-
-	s.decompose(core)
 	var best Result
 	s.cycOut = s.cycOut[:0]
 	for i := 0; i < s.nSCCs; i++ {
@@ -118,18 +125,13 @@ func (s *Solver) MaxRatio(g *Graph) (Result, error) {
 			res = Result{Ratio: ratio, HasCycle: true}
 		}
 		if res.HasCycle && (!best.HasCycle || res.Ratio > best.Ratio) {
-			// Translate to core-graph edge indices.
+			// Translate to original-graph edge indices.
 			s.cycOut = s.cycOut[:0]
 			for _, e := range res.Cycle {
 				s.cycOut = append(s.cycOut, comp.edgeMap[e])
 			}
 			best = Result{Ratio: res.Ratio, Cycle: s.cycOut, HasCycle: true}
 		}
-	}
-	// Translate edge indices back to the original graph (in place: cycOut
-	// holds core-graph indices).
-	for i, e := range best.Cycle {
-		best.Cycle[i] = s.remap[e]
 	}
 	return best, nil
 }
@@ -224,7 +226,32 @@ func (s *Solver) csr(g *Graph, keep func(*Edge) bool) (off, list []int) {
 }
 
 func keepZeroTransit(e *Edge) bool { return e.T == 0 }
-func keepAll(*Edge) bool           { return true }
+
+// csrAll is csr specialized to keep every edge: the filter predicate (an
+// indirect call per edge per pass) and the counting branch disappear from
+// the hot path shared by decompose and howard.
+func (s *Solver) csrAll(g *Graph) (off, list []int) {
+	off = growN(&s.csrOff, g.N+1)
+	for i := range off {
+		off[i] = 0
+	}
+	for i := range g.Edges {
+		off[g.Edges[i].From+1]++
+	}
+	for v := 0; v < g.N; v++ {
+		off[v+1] += off[v]
+	}
+	list = growN(&s.csrList, len(g.Edges))
+	for i := range g.Edges {
+		list[off[g.Edges[i].From]] = i
+		off[g.Edges[i].From]++
+	}
+	for v := g.N; v > 0; v-- {
+		off[v] = off[v-1]
+	}
+	off[0] = 0
+	return off, list
+}
 
 // hasZeroTransitCycle detects a cycle consisting solely of T == 0 edges
 // (iterative three-color DFS).
@@ -268,7 +295,7 @@ func (s *Solver) hasZeroTransitCycle(g *Graph) bool {
 // s.sccs[0:s.nSCCs], reusing component storage across calls.
 func (s *Solver) decompose(g *Graph) {
 	n := g.N
-	off, list := s.csr(g, keepAll)
+	off, list := s.csrAll(g)
 
 	const unvisited = -1
 	index := growN(&s.index, n)
@@ -338,10 +365,24 @@ func (s *Solver) decompose(g *Graph) {
 	}
 	s.sccStk = stack
 
-	// Materialize one subgraph per component containing internal edges.
+	// Number every node within its component (increasing node order) in one
+	// O(N) pass; compOf doubles as the per-component cursor here before it
+	// becomes the component-to-subgraph map below. The historical per-
+	// component numbering scan was O(components·N).
 	nodeID := growN(&s.nodeID, n)
-	s.nSCCs = 0
 	compOf := growN(&s.compOf, nComps)
+	for i := 0; i < nComps; i++ {
+		compOf[i] = 0
+	}
+	for v := 0; v < n; v++ {
+		nodeID[v] = compOf[comp[v]]
+		compOf[comp[v]]++
+	}
+	compSize := growN(&s.compSize, nComps)
+	copy(compSize, compOf[:nComps])
+
+	// Materialize one subgraph per component containing internal edges.
+	s.nSCCs = 0
 	for i := 0; i < nComps; i++ {
 		compOf[i] = -1
 	}
@@ -360,16 +401,9 @@ func (s *Solver) decompose(g *Graph) {
 				s.sccs = append(s.sccs, sccBuf{})
 			}
 			sg := &s.sccs[oi]
-			sg.g.N = 0
+			sg.g.N = compSize[c]
 			sg.g.Edges = sg.g.Edges[:0]
 			sg.edgeMap = sg.edgeMap[:0]
-			// Number the component's nodes.
-			for v := 0; v < n; v++ {
-				if comp[v] == c {
-					nodeID[v] = sg.g.N
-					sg.g.N++
-				}
-			}
 		}
 		sg := &s.sccs[oi]
 		sg.g.Edges = append(sg.g.Edges, Edge{

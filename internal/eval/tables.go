@@ -160,20 +160,18 @@ func Table3(corpusN int, arches []*uarch.Config) ([]VariantRow, string) {
 }
 
 // suiteBounds computes the full per-component bound vector of every block
-// once; the ablation variants recombine these vectors.
-func suiteBounds(blocks []*bb.Block, mode core.Mode) []core.Bounds {
-	a := core.NewAnalysis()
-	out := make([]core.Bounds, len(blocks))
-	for i, block := range blocks {
-		out[i] = a.ComputeBounds(block, mode, core.Options{})
-	}
-	return out
+// once into a flat structure-of-arrays matrix; the ablation variants
+// recombine its rows.
+func suiteBounds(blocks []*bb.Block, mode core.Mode) *core.BoundsMatrix {
+	m := new(core.BoundsMatrix)
+	core.ComputeBoundsBatch(blocks, mode, core.Options{}, m)
+	return m
 }
 
 // combineVariant evaluates one Table 3 variant. Inclusion-set variants fold
-// the precomputed bound vectors; the Simple* model variants replace a
+// the precomputed bound-matrix rows; the Simple* model variants replace a
 // predictor and therefore need their own bound computation.
-func combineVariant(blocks []*bb.Block, bounds []core.Bounds, mode core.Mode, opts core.Options) []float64 {
+func combineVariant(blocks []*bb.Block, bounds *core.BoundsMatrix, mode core.Mode, opts core.Options) []float64 {
 	out := make([]float64, len(blocks))
 	if opts.SimplePredec || opts.SimpleDec {
 		a := core.NewAnalysis()
@@ -182,8 +180,8 @@ func combineVariant(blocks []*bb.Block, bounds []core.Bounds, mode core.Mode, op
 		}
 		return out
 	}
-	for i := range bounds {
-		out[i] = round2(bounds[i].Combine(mode, opts.Include).TP)
+	for i := 0; i < bounds.Len(); i++ {
+		out[i] = round2(bounds.Combine(i, mode, opts.Include).TP)
 	}
 	return out
 }

@@ -2,7 +2,6 @@ package server
 
 import (
 	"encoding/base64"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -224,45 +223,56 @@ func parseMode(s string) (facile.Mode, error) {
 // All failures are 400s with a field-specific message; nothing reaches the
 // engine undecoded.
 func (s *Server) decodeBlock(req *BlockRequest) (facile.Request, error) {
+	out, _, err := s.decodeBlockSlab(req, nil)
+	return out, err
+}
+
+// decodeBlockSlab is decodeBlock with the hex-decoded block bytes appended to
+// slab (the batch path's pooled carving buffer; the returned slab must
+// replace the caller's). A nil slab decodes into a fresh allocation, which is
+// what the single-block endpoints use.
+func (s *Server) decodeBlockSlab(req *BlockRequest, slab []byte) (facile.Request, []byte, error) {
 	var out facile.Request
 	var code []byte
 	switch {
 	case req.Code != "" && req.CodeB64 != "":
-		return out, badRequest("set exactly one of \"code\" (hex) and \"code_b64\" (base64), not both")
+		return out, slab, badRequest("set exactly one of \"code\" (hex) and \"code_b64\" (base64), not both")
 	case req.Code != "":
-		b, err := hex.DecodeString(req.Code)
+		lo := len(slab)
+		b, err := appendHexDecode(slab, req.Code)
+		slab = b
 		if err != nil {
-			return out, badRequest("invalid hex in \"code\": %v", err)
+			return out, slab, badRequest("invalid hex in \"code\": %v", err)
 		}
-		code = b
+		code = slab[lo:len(slab):len(slab)]
 	case req.CodeB64 != "":
 		b, err := base64.StdEncoding.DecodeString(req.CodeB64)
 		if err != nil {
-			return out, badRequest("invalid base64 in \"code_b64\": %v", err)
+			return out, slab, badRequest("invalid base64 in \"code_b64\": %v", err)
 		}
 		code = b
 	default:
-		return out, badRequest("missing block bytes: set \"code\" (hex) or \"code_b64\" (base64)")
+		return out, slab, badRequest("missing block bytes: set \"code\" (hex) or \"code_b64\" (base64)")
 	}
 	if len(code) == 0 {
-		return out, badRequest("empty basic block")
+		return out, slab, badRequest("empty basic block")
 	}
 	if len(code) > s.maxBlockBytes {
-		return out, badRequest("block is %d bytes; the limit is %d", len(code), s.maxBlockBytes)
+		return out, slab, badRequest("block is %d bytes; the limit is %d", len(code), s.maxBlockBytes)
 	}
 	if req.Arch == "" {
-		return out, badRequest("missing \"arch\" (one of %s)", strings.Join(s.engine.Archs(), ", "))
+		return out, slab, badRequest("missing \"arch\" (one of %s)", strings.Join(s.engine.Archs(), ", "))
 	}
 	// The arch set is the engine's at request time, not a construction-time
 	// snapshot: arches registered via POST /v1/archs validate immediately.
 	if !s.engine.HasArch(req.Arch) {
-		return out, badRequest("unknown microarchitecture %q (one of %s)", req.Arch, strings.Join(s.engine.Archs(), ", "))
+		return out, slab, badRequest("unknown microarchitecture %q (one of %s)", req.Arch, strings.Join(s.engine.Archs(), ", "))
 	}
 	mode, err := parseMode(req.Mode)
 	if err != nil {
-		return out, err
+		return out, slab, err
 	}
-	return facile.Request{Code: code, Arch: req.Arch, Mode: mode}, nil
+	return facile.Request{Code: code, Arch: req.Arch, Mode: mode}, slab, nil
 }
 
 // wirePrediction converts an engine prediction to its wire form. The

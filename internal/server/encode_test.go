@@ -1,0 +1,248 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"facile"
+)
+
+// wantJSON renders v the way the generic writeJSON path does: indented
+// document plus the trailing newline json.Encoder emits.
+func wantJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatalf("MarshalIndent: %v", err)
+	}
+	return append(b, '\n')
+}
+
+// fastJSON renders v through the pooled encoder.
+func fastJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if !writeJSONFast(&buf, v) {
+		t.Fatalf("writeJSONFast refused %T", v)
+	}
+	return buf.Bytes()
+}
+
+func checkIdentical(t *testing.T, name string, v any) {
+	t.Helper()
+	got, want := fastJSON(t, v), wantJSON(t, v)
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: encoder output diverges\n got: %q\nwant: %q", name, got, want)
+	}
+}
+
+func samplePrediction() Prediction {
+	return Prediction{
+		CyclesPerIteration: 1.25,
+		Arch:               "SKL",
+		Mode:               "loop",
+		Components: map[string]float64{
+			"Predec": 0.75, "Dec": 1, "DSB": 1.33, "LSD": 0,
+			"Issue": 0.5, "Ports": 1.25, "Precedence": 3,
+		},
+		Bottlenecks:     []string{"Ports"},
+		FrontEndSource:  "LSD",
+		CriticalChain:   []int{0, 2, 3},
+		ContendedPorts:  "{0, 1, 5}",
+		ContendedInstrs: []int{1, 2},
+		Instructions:    []string{"add rax, rbx", "imul rax, rbx"},
+	}
+}
+
+func TestEncodePredictionIdentical(t *testing.T) {
+	p := samplePrediction()
+	checkIdentical(t, "full", p)
+
+	minimal := Prediction{Arch: "ICL", Mode: "unroll"}
+	checkIdentical(t, "zero-valued", minimal)
+
+	nilMap := samplePrediction()
+	nilMap.Components = nil
+	nilMap.Bottlenecks = nil
+	nilMap.Instructions = nil
+	checkIdentical(t, "nil map and slices", nilMap)
+
+	empty := samplePrediction()
+	empty.Components = map[string]float64{}
+	empty.Bottlenecks = []string{}
+	empty.Instructions = []string{}
+	empty.CriticalChain = []int{}
+	empty.ContendedInstrs = []int{}
+	checkIdentical(t, "empty map and slices", empty)
+}
+
+func TestEncodeFloatFormatsIdentical(t *testing.T) {
+	floats := []float64{
+		0, 1, -1, 1.25, 0.33, 2.0 / 3.0, 100, 1e6,
+		1e-6, 9.999999e-7, 1e-7, 2.5e-9, -4.75e-8, 1e-300,
+		1e20, 1e21, 1.5e21, 1e22, -1e21, math.MaxFloat64,
+		math.SmallestNonzeroFloat64, math.Copysign(0, -1), 0.1 + 0.2,
+	}
+	for _, f := range floats {
+		p := Prediction{CyclesPerIteration: f, Components: map[string]float64{"Ports": f}}
+		checkIdentical(t, strconv.FormatFloat(f, 'g', -1, 64), p)
+	}
+}
+
+func TestEncodeStringEscapingIdentical(t *testing.T) {
+	strs := []string{
+		"plain",
+		`quote " backslash \`,
+		"html <b>&amp;</b>",
+		"control \x00 \x01 \x1f \b \f \n \r \t",
+		"unicode é 世界 \U0001F600",
+		"line separators \u2028 and \u2029",
+		"invalid utf-8 \xff\xfe trailing",
+		"mixed <   \xff > done",
+	}
+	for _, s := range strs {
+		p := Prediction{Arch: s, Instructions: []string{s}}
+		checkIdentical(t, strconv.Quote(s), p)
+	}
+}
+
+func TestEncodeBatchResponseIdentical(t *testing.T) {
+	p := samplePrediction()
+	cases := map[string]BatchResponse{
+		"nil results":   {},
+		"empty results": {Results: []BatchResult{}},
+		"mixed": {Results: []BatchResult{
+			{Prediction: &p},
+			{Error: `unknown microarchitecture "XXX" (one of SKL)`},
+			{},
+			{Prediction: &p, Error: "both set"},
+		}},
+	}
+	for name, v := range cases {
+		checkIdentical(t, name, v)
+	}
+}
+
+func TestEncodeAnalyzeResponseIdentical(t *testing.T) {
+	p := samplePrediction()
+	bounds := []facile.ComponentBound{
+		{Component: "Predec", Cycles: 0.75},
+		{Component: "Ports", Cycles: 1.25, Bottleneck: true},
+	}
+	speedups := []facile.Speedup{
+		{Component: "Ports", Factor: 1.67},
+		{Component: "Issue", Factor: 1},
+	}
+	checkIdentical(t, "prediction only", AnalyzeResponse{Prediction: p, Bounds: bounds})
+	checkIdentical(t, "with speedups", AnalyzeResponse{Prediction: p, Bounds: bounds, Speedups: speedups})
+	checkIdentical(t, "nil bounds", AnalyzeResponse{Prediction: p})
+	checkIdentical(t, "empty bounds and speedups",
+		AnalyzeResponse{Prediction: p, Bounds: []facile.ComponentBound{}, Speedups: []facile.Speedup{}})
+}
+
+// TestEncodeAnalyzeResponseWithReportIdentical drives a real engine analysis
+// through wireAnalysis so the report branch (the default /v1/analyze detail)
+// is compared on genuine data, markers and omitempty fields included.
+func TestEncodeAnalyzeResponseWithReportIdentical(t *testing.T) {
+	eng, err := facile.NewEngine(facile.EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name, code, mode string
+	}{
+		{"ports bottleneck", "4801d8480fafc3", "loop"},
+		{"dependence chain", "480fafc0480fafc0", "loop"},
+		{"unroll", "4801d8", "unroll"},
+	} {
+		mode, err := parseMode(tc.mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ana, err := eng.Analyze(t.Context(), facile.Request{
+			Code: mustHex(t, tc.code), Arch: "SKL", Mode: mode, Detail: facile.DetailFull,
+		})
+		if err != nil {
+			t.Fatalf("%s: Analyze: %v", tc.name, err)
+		}
+		checkIdentical(t, tc.name, wireAnalysis(ana))
+	}
+}
+
+func TestEncodeExplainResponseIdentical(t *testing.T) {
+	checkIdentical(t, "explain", ExplainResponse{
+		Report:     "Facile throughput report — SKL, TPL (loop)\nline <two>\n",
+		Prediction: samplePrediction(),
+	})
+}
+
+// TestEncodeNonFiniteFallsBack pins the divergence-avoidance contract: a
+// non-finite float makes the fast encoder refuse (writing nothing), because
+// the generic encoder fails such documents and writes nothing.
+func TestEncodeNonFiniteFallsBack(t *testing.T) {
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		var buf bytes.Buffer
+		if writeJSONFast(&buf, Prediction{CyclesPerIteration: f}) {
+			t.Errorf("writeJSONFast accepted non-finite %v", f)
+		}
+		if buf.Len() != 0 {
+			t.Errorf("writeJSONFast wrote %d bytes for non-finite %v", buf.Len(), f)
+		}
+	}
+}
+
+// TestEncodeRandomizedIdentical cross-checks the encoder against the generic
+// path on generated documents: random floats, adversarial strings, optional
+// fields toggling on and off, pooled encoder reuse across iterations.
+func TestEncodeRandomizedIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randFloat := func() float64 {
+		switch rng.Intn(4) {
+		case 0:
+			return math.Round(rng.Float64()*10000) / 100
+		case 1:
+			return rng.Float64() * math.Pow(10, float64(rng.Intn(50)-25))
+		case 2:
+			return -rng.Float64() * 1e-7
+		default:
+			return float64(rng.Intn(100))
+		}
+	}
+	alphabet := []string{"a", "Z", "9", " ", `"`, `\\`, "<", "&", "\n", "\x02", "\u00e9", "\u2028", "\xff"}
+	randString := func() string {
+		var b []byte
+		for i, n := 0, rng.Intn(12); i < n; i++ {
+			b = append(b, alphabet[rng.Intn(len(alphabet))]...)
+		}
+		return string(b)
+	}
+	for iter := 0; iter < 200; iter++ {
+		var results []BatchResult
+		for i, n := 0, rng.Intn(5); i < n; i++ {
+			if rng.Intn(4) == 0 {
+				results = append(results, BatchResult{Error: randString()})
+				continue
+			}
+			p := Prediction{
+				CyclesPerIteration: randFloat(),
+				Arch:               randString(),
+				Mode:               "loop",
+				Bottlenecks:        []string{randString()},
+				Instructions:       []string{randString(), randString()},
+			}
+			if rng.Intn(2) == 0 {
+				p.Components = map[string]float64{randString(): randFloat(), randString(): randFloat()}
+			}
+			if rng.Intn(2) == 0 {
+				p.FrontEndSource = randString()
+				p.CriticalChain = []int{rng.Intn(10), -rng.Intn(10)}
+			}
+			results = append(results, BatchResult{Prediction: &p})
+		}
+		checkIdentical(t, "randomized", BatchResponse{Results: results})
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -207,9 +208,16 @@ func errorStatus(err error) int {
 	return http.StatusInternalServerError
 }
 
+// writeJSON writes v as the indented response body. The hot response types
+// go through the pooled append encoder (byte-identical output, no
+// per-element allocations); everything else takes the generic reflective
+// path.
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
+	if writeJSONFast(w, v) {
+		return
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v) // nothing useful to do with a client write error
@@ -284,9 +292,22 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) (any, err
 }
 
 func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) (any, error) {
-	var wire BatchRequest
-	if err := readJSON(json.NewDecoder(r.Body), &wire); err != nil {
+	sc := batchScratchPool.Get().(*batchScratch)
+	defer sc.release()
+	wire := &sc.wire
+	// The body is read once into pooled scratch and parsed zero-copy: the
+	// wire strings alias the body buffer (released with the scratch, after
+	// the response is written). Anything the fast parser does not accept is
+	// re-parsed by the generic decoder, which owns all error behavior.
+	body, err := sc.readBody(r.Body)
+	if err != nil {
 		return nil, wrapBodyErr(err)
+	}
+	if !parseBatchRequest(body, wire) {
+		sc.resetWire()
+		if err := readJSON(json.NewDecoder(bytes.NewReader(body)), wire); err != nil {
+			return nil, wrapBodyErr(err)
+		}
 	}
 	if len(wire.Requests) == 0 {
 		return nil, badRequest("empty \"requests\"")
@@ -300,11 +321,19 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) (any
 	// Validation failures are per-item, like prediction failures: one bad
 	// block must not fail its 1023 siblings. Valid items are compacted,
 	// analyzed with the request's concurrency bound, and scattered back.
-	results := make([]BatchResult, len(wire.Requests))
-	idx := make([]int, 0, len(wire.Requests))
-	compact := make([]facile.Request, 0, len(wire.Requests))
+	// Every hex-decoded block is carved from one slab pre-sized for the
+	// whole batch, so carving never reallocates while earlier blocks alias
+	// the buffer.
+	results := sc.resultSlab(len(wire.Requests))
+	need := 0
 	for i := range wire.Requests {
-		req, err := s.decodeBlock(&wire.Requests[i])
+		need += len(wire.Requests[i].Code) / 2
+	}
+	slab := sc.codeSlab(need)
+	idx, compact := sc.idx[:0], sc.compact[:0]
+	for i := range wire.Requests {
+		req, rest, err := s.decodeBlockSlab(&wire.Requests[i], slab)
+		slab = rest
 		if err != nil {
 			results[i].Error = err.Error()
 			continue
@@ -312,6 +341,7 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) (any
 		idx = append(idx, i)
 		compact = append(compact, req)
 	}
+	sc.idx, sc.compact, sc.code = idx, compact, slab
 	// The request context rides into the engine: a batch abandoned by its
 	// client (or past its deadline) aborts its unstarted items between
 	// cache probe and compute instead of burning the shared worker pool on
@@ -321,15 +351,30 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) (any
 	if err := r.Context().Err(); err != nil {
 		return nil, err
 	}
-	for j, res := range out {
-		if res.Err != nil {
-			results[idx[j]].Error = res.Err.Error()
+	// Repeated blocks resolve to the same cached Analysis; dedupe them onto
+	// one wire prediction so the encoder renders each distinct block once
+	// and copies the bytes for its repeats.
+	preds := sc.predSlab(len(out))
+	seen := sc.seenMap()
+	for j := range out {
+		if err := out[j].Err; err != nil {
+			results[idx[j]].Error = err.Error()
 			continue
 		}
-		p := wirePrediction(&res.Analysis.Prediction)
-		results[idx[j]].Prediction = &p
+		ana := out[j].Analysis
+		if p := seen[ana]; p != nil {
+			results[idx[j]].Prediction = p
+			continue
+		}
+		preds[j] = wirePrediction(&ana.Prediction)
+		results[idx[j]].Prediction = &preds[j]
+		seen[ana] = &preds[j]
 	}
-	return BatchResponse{Results: results}, nil
+	// The response aliases the pooled scratch (results, predictions, decoded
+	// code), so it is written here — before the deferred release recycles
+	// the scratch — instead of being returned to the middleware.
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+	return nil, nil
 }
 
 // handleExplain is a text view over the same single Analyze call that
