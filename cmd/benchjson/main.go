@@ -21,6 +21,14 @@
 // With -floor-bench/-min-blocks-per-s the command doubles as a CI
 // throughput gate: it exits non-zero when the named benchmark is missing or
 // reports blocks/s below the floor.
+//
+// With -accuracy the record additionally embeds the per-(arch, mode,
+// predictor) accuracy columns (blocks_evaluated, mape, kendall_tau) from a
+// cmd/facile-bench JSON report, and -accuracy-baseline turns that into the
+// CI accuracy gate: the run fails when any row's MAPE worsens by more than
+// -max-mape-rise-pp percentage points or Kendall-tau drops by more than
+// -max-tau-drop against the baseline record (BENCH_8.json). When -accuracy
+// is the only input (-in unset), no benchmark stream is read at all.
 package main
 
 import (
@@ -32,6 +40,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"facile/internal/accuracy"
 )
 
 // Benchmark is one parsed benchmark result line. Pkg is set only in
@@ -58,7 +68,11 @@ type Record struct {
 	Goarch     string      `json:"goarch,omitempty"`
 	Pkg        string      `json:"pkg,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
+	Benchmarks []Benchmark `json:"benchmarks,omitempty"`
+	// Accuracy carries the per-(arch, mode, predictor) accuracy columns
+	// flattened from a facile-bench report (-accuracy); the drift gate
+	// compares these against the committed baseline record.
+	Accuracy []accuracy.Summary `json:"accuracy,omitempty"`
 }
 
 func main() {
@@ -70,6 +84,10 @@ func main() {
 		slug       = flag.String("slug", "", "short kebab-case slug for the canonical label")
 		floorBench = flag.String("floor-bench", "", "benchmark name the -min-blocks-per-s floor applies to")
 		floor      = flag.Float64("min-blocks-per-s", 0, "fail unless -floor-bench reports at least this blocks/s")
+		accReport  = flag.String("accuracy", "", "facile-bench JSON report; embeds its accuracy columns into the record")
+		accBase    = flag.String("accuracy-baseline", "", "baseline BENCH_*.json with accuracy columns; fail on drift")
+		maxMAPE    = flag.Float64("max-mape-rise-pp", accuracy.DefaultMaxMAPERisePP, "accuracy gate: max tolerated MAPE rise, percentage points")
+		maxTau     = flag.Float64("max-tau-drop", accuracy.DefaultMaxTauDrop, "accuracy gate: max tolerated Kendall-tau drop")
 	)
 	flag.Parse()
 
@@ -78,21 +96,31 @@ func main() {
 		fatal(err)
 	}
 
-	r := io.Reader(os.Stdin)
-	if *in != "" {
-		f, err := os.Open(*in)
+	rec := &Record{}
+	if *in != "" || *accReport == "" {
+		// An accuracy-only invocation reads no benchmark stream; otherwise
+		// parse -in (or stdin), and require at least one result line.
+		r := io.Reader(os.Stdin)
+		if *in != "" {
+			f, err := os.Open(*in)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			r = f
+		}
+		rec, err = parse(r)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		r = f
-	}
-
-	rec, err := parse(r)
-	if err != nil {
-		fatal(err)
 	}
 	rec.Label = lbl
+
+	if *accReport != "" {
+		if err := loadAccuracy(rec, *accReport); err != nil {
+			fatal(err)
+		}
+	}
 
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -111,6 +139,56 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: floor ok: %s >= %g blocks/s\n", *floorBench, *floor)
 	}
+
+	if *accBase != "" {
+		if err := checkAccuracy(rec, *accBase, *maxMAPE, *maxTau); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: accuracy ok: %d rows within tolerance of %s\n",
+			len(rec.Accuracy), *accBase)
+	}
+}
+
+// loadAccuracy flattens a facile-bench JSON report into the record's
+// accuracy columns.
+func loadAccuracy(rec *Record, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var report accuracy.Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		return fmt.Errorf("accuracy report %s: %v", path, err)
+	}
+	rec.Accuracy = report.Summaries()
+	if len(rec.Accuracy) == 0 {
+		return fmt.Errorf("accuracy report %s holds no corpora", path)
+	}
+	return nil
+}
+
+// checkAccuracy is the CI accuracy gate: every accuracy row of the baseline
+// record must still be present and within drift tolerance in the new record.
+func checkAccuracy(rec *Record, basePath string, maxMAPERisePP, maxTauDrop float64) error {
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		return err
+	}
+	var base Record
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("accuracy baseline %s: %v", basePath, err)
+	}
+	if len(base.Accuracy) == 0 {
+		return fmt.Errorf("accuracy baseline %s holds no accuracy rows; the gate would gate nothing", basePath)
+	}
+	errs := accuracy.CheckDrift(rec.Accuracy, base.Accuracy, maxMAPERisePP, maxTauDrop)
+	for _, e := range errs {
+		fmt.Fprintln(os.Stderr, "benchjson:", e)
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("accuracy drifted beyond tolerance in %d row(s) against %s", len(errs), basePath)
+	}
+	return nil
 }
 
 // buildLabel resolves the record label. -pr/-slug stamp the canonical

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"facile/internal/accuracy"
 )
 
 const singlePkg = `goos: linux
@@ -149,5 +154,103 @@ func TestCheckFloor(t *testing.T) {
 	}
 	if err := checkFloor(noMetric, name, 1); err == nil {
 		t.Error("benchmark without blocks/s must fail the gate")
+	}
+}
+
+const sampleReport = `{
+  "train_seed": 1001,
+  "train_n": 64,
+  "corpora": [
+    {
+      "arch": "SKL",
+      "mode": "unroll",
+      "file": "skl_u.csv",
+      "rows": 256,
+      "predictors": [
+        {"predictor": "Facile", "blocks_evaluated": 256, "mape": 1.31,
+         "kendall_tau": 0.9752, "p50_ape": 0.5, "p90_ape": 1.0, "p99_ape": ">200%"}
+      ]
+    }
+  ]
+}`
+
+// TestLoadAccuracy: a facile-bench JSON report flattens into the record's
+// accuracy columns (including the ">200%" percentile sentinel, which must
+// not break decoding).
+func TestLoadAccuracy(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := os.WriteFile(path, []byte(sampleReport), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec := &Record{}
+	if err := loadAccuracy(rec, path); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Accuracy) != 1 {
+		t.Fatalf("got %d accuracy rows, want 1", len(rec.Accuracy))
+	}
+	row := rec.Accuracy[0]
+	if row.Arch != "SKL" || row.Mode != "unroll" || row.Predictor != "Facile" ||
+		row.Blocks != 256 || row.MAPE != 1.31 || row.KendallTau != 0.9752 {
+		t.Errorf("row = %+v", row)
+	}
+}
+
+func TestLoadAccuracyRejectsEmptyReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := os.WriteFile(path, []byte(`{"corpora": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := loadAccuracy(&Record{}, path); err == nil {
+		t.Error("empty report accepted; the gate would gate nothing")
+	}
+}
+
+// TestCheckAccuracyGate: the drift gate passes against an identical
+// baseline record and trips when MAPE has risen beyond tolerance.
+func TestCheckAccuracyGate(t *testing.T) {
+	dir := t.TempDir()
+	mkRecord := func(name string, mape float64) string {
+		rec := Record{Accuracy: []accuracy.Summary{{
+			Arch: "SKL", Mode: "unroll", Predictor: "Facile",
+			Blocks: 256, MAPE: mape, KendallTau: 0.97,
+		}}}
+		data, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := mkRecord("base.json", 1.31)
+
+	same := &Record{Accuracy: []accuracy.Summary{{
+		Arch: "SKL", Mode: "unroll", Predictor: "Facile",
+		Blocks: 256, MAPE: 1.31, KendallTau: 0.97,
+	}}}
+	if err := checkAccuracy(same, base, accuracy.DefaultMaxMAPERisePP, accuracy.DefaultMaxTauDrop); err != nil {
+		t.Fatalf("identical record tripped the gate: %v", err)
+	}
+
+	worse := &Record{Accuracy: []accuracy.Summary{{
+		Arch: "SKL", Mode: "unroll", Predictor: "Facile",
+		Blocks: 256, MAPE: 2.5, KendallTau: 0.97,
+	}}}
+	if err := checkAccuracy(worse, base, accuracy.DefaultMaxMAPERisePP, accuracy.DefaultMaxTauDrop); err == nil {
+		t.Error("1.2pp MAPE rise passed the gate")
+	}
+
+	// A baseline without accuracy rows is a misconfiguration, not a pass.
+	empty := mkRecord("empty.json", 0)
+	rec := Record{}
+	data, _ := json.Marshal(rec)
+	if err := os.WriteFile(empty, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkAccuracy(same, empty, accuracy.DefaultMaxMAPERisePP, accuracy.DefaultMaxTauDrop); err == nil {
+		t.Error("empty baseline accepted")
 	}
 }

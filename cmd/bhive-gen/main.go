@@ -6,27 +6,48 @@
 // Usage:
 //
 //	bhive-gen -n 2000 -seed 1 -out corpus/
+//	bhive-gen -csv -arch SKL -mode unroll -n 256 -seed 8 -out skl_u.csv
 //
-// The output directory receives <id>.u.bin (BHiveU variant), <id>.l.bin
-// (BHiveL variant), and manifest.tsv (id, category, lengths).
+// The default mode writes <id>.u.bin (BHiveU variant), <id>.l.bin (BHiveL
+// variant), and manifest.tsv (id, category, lengths) into the -out
+// directory. With -csv the command instead emits one accuracy corpus for
+// cmd/facile-bench: hex_block,measured_cycles rows (cycles from the pipesim
+// measurement substrate for -arch under -mode), preceded by a comment header
+// recording the generation parameters. Duplicate blocks and blocks the
+// microarchitecture cannot execute are skipped, so the corpus loads cleanly
+// with facile-bench's default duplicate rejection.
 package main
 
 import (
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
+	"facile"
 	"facile/internal/bhive"
+	"facile/internal/uarch"
 )
 
 func main() {
 	var (
-		n    = flag.Int("n", 2000, "number of benchmarks")
-		seed = flag.Int64("seed", 1, "generator seed")
-		out  = flag.String("out", "corpus", "output directory")
+		n       = flag.Int("n", 2000, "number of benchmarks")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("out", "corpus", "output directory (or file path with -csv)")
+		csv     = flag.Bool("csv", false, "write one hex_block,measured_cycles corpus for facile-bench instead of raw block files")
+		archStr = flag.String("arch", "SKL", "microarchitecture measured for the -csv corpus")
+		modeStr = flag.String("mode", "unroll", "throughput notion for the -csv corpus: unroll/tpu or loop/tpl")
 	)
 	flag.Parse()
+
+	if *csv {
+		if err := writeCSV(*out, *archStr, *modeStr, *seed, *n); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
@@ -48,6 +69,56 @@ func main() {
 		fmt.Fprintf(manifest, "%s\t%s\t%d\t%d\n", bm.ID, bm.Category, len(bm.Code), len(bm.LoopCode))
 	}
 	fmt.Printf("wrote %d benchmarks (x2 variants) to %s\n", len(corpus), *out)
+}
+
+// writeCSV renders one deterministic accuracy corpus: generated blocks with
+// their pipesim-derived measurement for (arch, mode), duplicates and
+// non-executable blocks skipped.
+func writeCSV(out, archStr, modeStr string, seed int64, n int) error {
+	cfg, err := uarch.ByName(archStr)
+	if err != nil {
+		return err
+	}
+	mode, err := facile.ParseMode(modeStr)
+	if err != nil {
+		return err
+	}
+	loop := mode == facile.Loop
+	modeText, err := mode.MarshalText()
+	if err != nil {
+		return err
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# facile accuracy corpus: arch=%s mode=%s seed=%d n=%d\n",
+		cfg.Name, modeText, seed, n)
+	sb.WriteString("# hex_block,measured_cycles\n")
+	rows, skipped := 0, 0
+	dup := map[string]bool{}
+	for _, bm := range bhive.Generate(seed, n) {
+		code := bm.Code
+		if loop {
+			code = bm.LoopCode
+		}
+		h := hex.EncodeToString(code)
+		if dup[h] {
+			skipped++
+			continue
+		}
+		cycles, err := bhive.Measure(cfg, code, loop)
+		if err != nil {
+			skipped++
+			continue
+		}
+		dup[h] = true
+		fmt.Fprintf(&sb, "%s,%v\n", h, cycles)
+		rows++
+	}
+	if err := os.WriteFile(out, []byte(sb.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d rows (%d skipped) to %s\n", rows, skipped, out)
+	return nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,57 @@
+package accuracy
+
+import "fmt"
+
+// Default drift tolerances for the CI accuracy gate: a model change may not
+// worsen any tracked MAPE by more than half a percentage point, or drop any
+// tracked Kendall-tau by more than 0.01, without the committed baseline
+// being regenerated in the same commit.
+const (
+	DefaultMaxMAPERisePP = 0.5
+	DefaultMaxTauDrop    = 0.01
+)
+
+// CheckDrift compares current accuracy summaries against a committed
+// baseline and returns one error per violated tolerance:
+//
+//   - a baseline (arch, mode, predictor) row missing from current — a gate
+//     that silently passes when a predictor is dropped gates nothing;
+//   - an evaluated-blocks mismatch — the corpus changed without the
+//     baseline being regenerated, so the numbers are not comparable;
+//   - MAPE worse than baseline by more than maxMAPERisePP points;
+//   - Kendall-tau below baseline by more than maxTauDrop.
+//
+// Improvements pass silently in any magnitude: the gate is a ratchet, and
+// the accuracy CI job refreshes the committed baseline artifact on every
+// run so deliberate improvements are committed alongside the change.
+func CheckDrift(current, baseline []Summary, maxMAPERisePP, maxTauDrop float64) []error {
+	type key struct{ arch, mode, pred string }
+	cur := make(map[key]Summary, len(current))
+	for _, s := range current {
+		cur[key{s.Arch, s.Mode, s.Predictor}] = s
+	}
+	var errs []error
+	for _, b := range baseline {
+		k := key{b.Arch, b.Mode, b.Predictor}
+		c, ok := cur[k]
+		if !ok {
+			errs = append(errs, fmt.Errorf("accuracy drift: %s/%s %s: missing from the current run (baseline has it)",
+				b.Arch, b.Mode, b.Predictor))
+			continue
+		}
+		if c.Blocks != b.Blocks {
+			errs = append(errs, fmt.Errorf("accuracy drift: %s/%s %s: evaluated %d blocks, baseline evaluated %d — regenerate the baseline for the new corpus",
+				b.Arch, b.Mode, b.Predictor, c.Blocks, b.Blocks))
+			continue
+		}
+		if rise := c.MAPE - b.MAPE; rise > maxMAPERisePP {
+			errs = append(errs, fmt.Errorf("accuracy drift: %s/%s %s: MAPE %.2f%% vs baseline %.2f%% (+%.2fpp > %.2fpp tolerance)",
+				b.Arch, b.Mode, b.Predictor, c.MAPE, b.MAPE, rise, maxMAPERisePP))
+		}
+		if drop := b.KendallTau - c.KendallTau; drop > maxTauDrop {
+			errs = append(errs, fmt.Errorf("accuracy drift: %s/%s %s: Kendall-tau %.4f vs baseline %.4f (-%.4f > %.4f tolerance)",
+				b.Arch, b.Mode, b.Predictor, c.KendallTau, b.KendallTau, drop, maxTauDrop))
+		}
+	}
+	return errs
+}

@@ -1,0 +1,94 @@
+package accuracy
+
+import (
+	"strings"
+	"testing"
+)
+
+func baseSummaries() []Summary {
+	return []Summary{
+		{Arch: "SKL", Mode: "unroll", Predictor: "Facile", Blocks: 256, MAPE: 5.00, KendallTau: 0.90},
+		{Arch: "SKL", Mode: "loop", Predictor: "Facile", Blocks: 256, MAPE: 7.50, KendallTau: 0.85},
+	}
+}
+
+func TestCheckDriftPassesWithinTolerance(t *testing.T) {
+	cur := baseSummaries()
+	cur[0].MAPE += 0.4         // below the 0.5pp tolerance
+	cur[1].KendallTau -= 0.009 // below the 0.01 tolerance
+	if errs := CheckDrift(cur, baseSummaries(), DefaultMaxMAPERisePP, DefaultMaxTauDrop); len(errs) != 0 {
+		t.Fatalf("in-tolerance drift rejected: %v", errs)
+	}
+}
+
+func TestCheckDriftImprovementAlwaysPasses(t *testing.T) {
+	cur := baseSummaries()
+	cur[0].MAPE = 1.0
+	cur[1].KendallTau = 0.99
+	if errs := CheckDrift(cur, baseSummaries(), DefaultMaxMAPERisePP, DefaultMaxTauDrop); len(errs) != 0 {
+		t.Fatalf("improvement rejected: %v", errs)
+	}
+}
+
+func TestCheckDriftCatchesMAPERise(t *testing.T) {
+	cur := baseSummaries()
+	cur[0].MAPE += 0.6
+	errs := CheckDrift(cur, baseSummaries(), DefaultMaxMAPERisePP, DefaultMaxTauDrop)
+	if len(errs) != 1 {
+		t.Fatalf("got %d errors, want 1: %v", len(errs), errs)
+	}
+	if !strings.Contains(errs[0].Error(), "MAPE") {
+		t.Errorf("error does not name MAPE: %v", errs[0])
+	}
+}
+
+func TestCheckDriftCatchesTauDrop(t *testing.T) {
+	cur := baseSummaries()
+	cur[1].KendallTau -= 0.02
+	errs := CheckDrift(cur, baseSummaries(), DefaultMaxMAPERisePP, DefaultMaxTauDrop)
+	if len(errs) != 1 {
+		t.Fatalf("got %d errors, want 1: %v", len(errs), errs)
+	}
+	if !strings.Contains(errs[0].Error(), "Kendall-tau") {
+		t.Errorf("error does not name Kendall-tau: %v", errs[0])
+	}
+}
+
+func TestCheckDriftCatchesMissingRow(t *testing.T) {
+	errs := CheckDrift(baseSummaries()[:1], baseSummaries(), DefaultMaxMAPERisePP, DefaultMaxTauDrop)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "missing") {
+		t.Fatalf("dropped row not caught: %v", errs)
+	}
+}
+
+func TestCheckDriftCatchesCorpusChange(t *testing.T) {
+	cur := baseSummaries()
+	cur[0].Blocks = 128
+	errs := CheckDrift(cur, baseSummaries(), DefaultMaxMAPERisePP, DefaultMaxTauDrop)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "regenerate the baseline") {
+		t.Fatalf("blocks mismatch not caught: %v", errs)
+	}
+}
+
+// TestCheckDriftDetectsInjectedSkew mirrors the divergence gate's
+// perturbation test at the statistics level: a multiplicative model skew on
+// one corpus must push MAPE past tolerance and trip the gate.
+func TestCheckDriftDetectsInjectedSkew(t *testing.T) {
+	meas := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	healthy, skewed := &Accumulator{}, &Accumulator{}
+	for _, m := range meas {
+		healthy.Add(m, m*1.02)
+		skewed.Add(m, m*1.02*3) // the injected 3x skew
+	}
+	mk := func(a *Accumulator) []Summary {
+		return []Summary{{Arch: "SKL", Mode: "unroll", Predictor: "Facile",
+			Blocks: a.Blocks(), MAPE: a.MAPE() * 100, KendallTau: a.KendallTau()}}
+	}
+	if errs := CheckDrift(mk(healthy), mk(healthy), DefaultMaxMAPERisePP, DefaultMaxTauDrop); len(errs) != 0 {
+		t.Fatalf("healthy run rejected: %v", errs)
+	}
+	errs := CheckDrift(mk(skewed), mk(healthy), DefaultMaxMAPERisePP, DefaultMaxTauDrop)
+	if len(errs) == 0 {
+		t.Fatal("3x model skew passed the drift gate; the gate is not sensitive to model changes")
+	}
+}

@@ -1,0 +1,65 @@
+package accuracy
+
+import (
+	"facile/internal/baselines"
+	"facile/internal/bb"
+	"facile/internal/mca"
+	"facile/internal/x86"
+)
+
+// Predictor is one shoot-out opponent: a basic-block throughput predictor
+// evaluated against the corpus measurements next to facile itself (which the
+// harness runs through Engine.AnalyzeBatchN rather than this interface).
+type Predictor interface {
+	Name() string
+	// Predict returns predicted cycles per iteration for the prepared block
+	// under the TPU (loop == false) or TPL (loop == true) notion.
+	Predict(block *bb.Block, loop bool) (float64, error)
+}
+
+// Opponent is one configured shoot-out entrant. Limit caps how many corpus
+// blocks the predictor scores — by corpus position, so the scored prefix is
+// identical under any evaluation parallelism — with the predictor's accuracy
+// reported over the blocks it did score. 0 means the whole corpus. Use it
+// for subprocess referees whose per-block cost is orders of magnitude above
+// the in-process models'.
+type Opponent struct {
+	Predictor
+	Limit int64
+}
+
+// Baseline adapts an infallible internal/baselines predictor (the learned
+// Ithemal/DiffTune/learning-bl models and the analytical stand-ins).
+type Baseline struct {
+	P baselines.Predictor
+}
+
+func (b Baseline) Name() string { return b.P.Name() }
+
+func (b Baseline) Predict(block *bb.Block, loop bool) (float64, error) {
+	return b.P.Predict(block, loop), nil
+}
+
+// MCA scores blocks through the external llvm-mca binary (the shared
+// internal/mca subprocess adapter): the block is disassembled to
+// Intel-syntax lines, wrapped, and the Block RThroughput scraped. Arch names
+// are mapped to -mcpu targets by the adapter; construct only when
+// mca.LookPath found a binary.
+type MCA struct {
+	Referee *mca.Referee
+	Arch    string
+}
+
+func (m MCA) Name() string { return "llvm-mca(ext)" }
+
+func (m MCA) Predict(block *bb.Block, loop bool) (float64, error) {
+	insts, err := x86.DecodeBlock(block.Code)
+	if err != nil {
+		return 0, err
+	}
+	lines := make([]string, len(insts))
+	for i := range insts {
+		lines[i] = insts[i].String()
+	}
+	return m.Referee.Score(lines, m.Arch)
+}

@@ -1,0 +1,171 @@
+package accuracy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"facile/internal/metrics"
+)
+
+func feed(t *testing.T, measured, predicted []float64) *Accumulator {
+	t.Helper()
+	if len(measured) != len(predicted) {
+		t.Fatal("bad test vectors")
+	}
+	a := &Accumulator{}
+	for i := range measured {
+		a.Add(measured[i], predicted[i])
+	}
+	return a
+}
+
+// TestKendallTauKnownSequences pins tau-b on small sequences with known
+// values: perfect agreement, perfect inversion, ties on either side, and
+// constant inputs.
+func TestKendallTauKnownSequences(t *testing.T) {
+	cases := []struct {
+		name      string
+		meas, prd []float64
+		want      float64
+	}{
+		{"perfect", []float64{1, 2, 3, 4}, []float64{10, 20, 30, 40}, 1},
+		{"inverted", []float64{1, 2, 3, 4}, []float64{40, 30, 20, 10}, -1},
+		{"constant-pred", []float64{1, 2, 3, 4}, []float64{5, 5, 5, 5}, 0},
+		{"constant-meas", []float64{5, 5, 5, 5}, []float64{1, 2, 3, 4}, 0},
+		{"single", []float64{3}, []float64{7}, 1},
+		// One discordant pair among 6: tau = (5-1)/6.
+		{"one-swap", []float64{1, 2, 3, 4}, []float64{10, 20, 40, 30}, 4.0 / 6},
+		// Ties in predictions: tau-b denominator shrinks.
+		// pairs: n0=6, n2=1 (tie 20,20), concordant=5, discordant=0
+		// tau-b = 5 / sqrt(6*5) ≈ 0.9129.
+		{"tied-pred", []float64{1, 2, 3, 4}, []float64{10, 20, 20, 30}, 5 / math.Sqrt(30)},
+		// Joint ties on both sides collapse to fewer effective pairs.
+		{"tied-both", []float64{1, 1, 2, 2}, []float64{10, 10, 20, 20}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := feed(t, tc.meas, tc.prd)
+			got := a.KendallTau()
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("KendallTau = %v, want %v", got, tc.want)
+			}
+			// The batch kernel must agree.
+			batch := metrics.KendallTau(tc.meas, tc.prd)
+			if math.Abs(got-batch) > 1e-12 {
+				t.Errorf("streaming %v != batch %v", got, batch)
+			}
+		})
+	}
+}
+
+// TestMAPEZeroMeasuredGuard: zero-measurement pairs carry no relative
+// information and must be excluded from MAPE, tau, and the block count.
+func TestMAPEZeroMeasuredGuard(t *testing.T) {
+	a := &Accumulator{}
+	a.Add(0, 5)
+	a.Add(2, 1) // APE 50%
+	a.Add(0, 3)
+	a.Add(4, 6) // APE 50%
+	if got := a.Blocks(); got != 2 {
+		t.Errorf("Blocks = %d, want 2", got)
+	}
+	if got := a.ZeroMeasured(); got != 2 {
+		t.Errorf("ZeroMeasured = %d, want 2", got)
+	}
+	if got := a.MAPE(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MAPE = %v, want 0.5", got)
+	}
+	empty := &Accumulator{}
+	if got := empty.MAPE(); got != 0 {
+		t.Errorf("empty MAPE = %v, want 0", got)
+	}
+	onlyZero := &Accumulator{}
+	onlyZero.Add(0, 1)
+	if got := onlyZero.MAPE(); got != 0 {
+		t.Errorf("all-zero MAPE = %v, want 0", got)
+	}
+}
+
+// TestStreamingMatchesBatch is the equivalence property test: on random
+// two-decimal data (the corpus-wide quantization), the streaming
+// accumulator must reproduce the batch metrics kernel exactly — MAPE and
+// Kendall's tau-b, across sizes, tie densities, and a zero-measurement mix.
+func TestStreamingMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(400)
+		// Low-cardinality trials force heavy ties.
+		card := 1 + rng.Intn(20)
+		meas := make([]float64, n)
+		prd := make([]float64, n)
+		a := &Accumulator{}
+		for i := 0; i < n; i++ {
+			meas[i] = metrics.Round2(float64(rng.Intn(card)) * 0.37)
+			prd[i] = metrics.Round2(meas[i] * (0.5 + rng.Float64()))
+			if rng.Intn(20) == 0 {
+				meas[i] = 0
+			}
+			a.Add(meas[i], prd[i])
+		}
+		// The batch kernels skip zero measurements only in MAPE, so feed
+		// them the nonzero sub-population for tau.
+		var m2, p2 []float64
+		for i := range meas {
+			if meas[i] > 0 {
+				m2 = append(m2, meas[i])
+				p2 = append(p2, prd[i])
+			}
+		}
+		if len(m2) < 2 {
+			continue
+		}
+		if got, want := a.MAPE(), metrics.MAPE(meas, prd); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d: MAPE streaming %v != batch %v", trial, got, want)
+		}
+		if got, want := a.KendallTau(), metrics.KendallTau(m2, p2); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d: tau streaming %v != batch %v (n=%d card=%d)", trial, got, want, n, card)
+		}
+	}
+}
+
+// TestPercentileAPE pins the bucketed percentile semantics.
+func TestPercentileAPE(t *testing.T) {
+	a := &Accumulator{}
+	// APEs: 10 blocks at 1%, 10 at 10%, one at 300% (overflow bucket).
+	for i := 0; i < 10; i++ {
+		a.Add(100, 101) // 1%
+	}
+	for i := 0; i < 10; i++ {
+		a.Add(100, 110) // 10%
+	}
+	a.Add(100, 400) // 300%
+	if got := a.PercentileAPE(50); got != 10.25 {
+		t.Errorf("P50 = %v, want 10.25 (upper edge of the 10%% bucket)", got)
+	}
+	if got := a.PercentileAPE(25); got != 1.25 {
+		t.Errorf("P25 = %v, want 1.25 (upper edge of the 1%% bucket)", got)
+	}
+	if got := a.PercentileAPE(100); !math.IsInf(got, 1) {
+		t.Errorf("P100 = %v, want +Inf (overflow bucket)", got)
+	}
+	if got := (&Accumulator{}).PercentileAPE(50); got != 0 {
+		t.Errorf("empty P50 = %v, want 0", got)
+	}
+}
+
+// TestAccumulatorMemoryIsValueBounded: feeding the same value pairs many
+// times must not grow the joint table — the tau state scales with distinct
+// quantized pairs, not corpus size.
+func TestAccumulatorMemoryIsValueBounded(t *testing.T) {
+	a := &Accumulator{}
+	for i := 0; i < 100000; i++ {
+		a.Add(float64(i%7)+1, float64(i%13)+1)
+	}
+	if len(a.cells) > 7*13 {
+		t.Errorf("joint table has %d cells for a 7x13 value domain", len(a.cells))
+	}
+	if a.Blocks() != 100000 {
+		t.Errorf("Blocks = %d, want 100000", a.Blocks())
+	}
+}

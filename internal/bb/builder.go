@@ -22,20 +22,30 @@ const maxDescCacheEntries = 1 << 16
 // superoptimizer search loops — pay it once per distinct instruction rather
 // than once per occurrence. A Builder is safe for concurrent use.
 //
-// The memo is a copy-on-write map: warm lookups — the per-instruction hot
-// path of every parallel batch worker — read the published map with no lock
-// and no allocation, while the rare insert of a new encoding copies the map
-// under a mutex and republishes it.
+// The memo is a copy-on-write map with an amortizing staging level: warm
+// lookups — the per-instruction hot path of every parallel batch worker —
+// read the published map with no lock and no allocation. A new encoding is
+// first staged in a small mutex-guarded pending map; only when the pending
+// level reaches republishBatch entries is the published map copied and
+// republished with the batch merged in. Copying per batch rather than per
+// insert keeps low-reuse workloads (corpus streams whose random immediates
+// defeat memoization) linear instead of quadratic in distinct encodings.
 type Builder struct {
 	cfg *uarch.Config
 
 	descs atomic.Pointer[map[string]*isa.Desc]
-	mu    sync.Mutex // serializes copy-on-write inserts
+	mu    sync.Mutex // guards pending and republishing
+	pend  map[string]*isa.Desc
 }
+
+// republishBatch is the pending-level size that triggers merging into the
+// published map. Each merge copies the published map once, so the amortized
+// copy cost per insert is len(published)/republishBatch entries.
+const republishBatch = 256
 
 // NewBuilder returns a Builder preparing blocks for cfg.
 func NewBuilder(cfg *uarch.Config) *Builder {
-	bd := &Builder{cfg: cfg}
+	bd := &Builder{cfg: cfg, pend: make(map[string]*isa.Desc)}
 	m := make(map[string]*isa.Desc)
 	bd.descs.Store(&m)
 	return bd
@@ -50,32 +60,48 @@ func (bd *Builder) Build(code []byte) (*Block, error) {
 	return assemble(bd.cfg, code, bd.lookup)
 }
 
-// DescCacheLen returns the number of memoized instruction descriptors.
+// DescCacheLen returns the number of memoized instruction descriptors
+// (published and staged).
 func (bd *Builder) DescCacheLen() int {
-	return len(*bd.descs.Load())
+	bd.mu.Lock()
+	defer bd.mu.Unlock()
+	return len(*bd.descs.Load()) + len(bd.pend)
 }
 
 func (bd *Builder) lookup(inst *x86.Inst, enc []byte) (*isa.Desc, error) {
 	if d, ok := (*bd.descs.Load())[string(enc)]; ok {
 		return d, nil
 	}
+	bd.mu.Lock()
+	if d, ok := bd.pend[string(enc)]; ok {
+		bd.mu.Unlock()
+		return d, nil
+	}
+	bd.mu.Unlock()
 	d, err := isa.Lookup(bd.cfg, inst)
 	if err != nil {
 		return nil, err
 	}
 	bd.mu.Lock()
+	// A concurrent builder may have staged the same encoding already; both
+	// descriptors are identical, so the existing one wins. Beyond the
+	// safety-valve bound, new encodings are derived without being retained.
 	cur := *bd.descs.Load()
-	// A concurrent builder may have stored the same encoding already; both
-	// descriptors are identical, so the existing one wins and no republish
-	// happens. Beyond the safety-valve bound, new encodings are derived
-	// without being retained.
-	if _, ok := cur[string(enc)]; !ok && len(cur) < maxDescCacheEntries {
-		next := make(map[string]*isa.Desc, len(cur)+1)
-		for k, v := range cur {
-			next[k] = v
+	_, inCur := cur[string(enc)]
+	_, inPend := bd.pend[string(enc)]
+	if !inCur && !inPend && len(cur)+len(bd.pend) < maxDescCacheEntries {
+		bd.pend[string(enc)] = d
+		if len(bd.pend) >= republishBatch {
+			next := make(map[string]*isa.Desc, len(cur)+len(bd.pend))
+			for k, v := range cur {
+				next[k] = v
+			}
+			for k, v := range bd.pend {
+				next[k] = v
+			}
+			bd.descs.Store(&next)
+			bd.pend = make(map[string]*isa.Desc)
 		}
-		next[string(enc)] = d
-		bd.descs.Store(&next)
 	}
 	bd.mu.Unlock()
 	return d, nil

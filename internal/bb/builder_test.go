@@ -122,3 +122,45 @@ func TestBuilderConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestBuilderStagedMemoAcrossRepublish drives the memo through several
+// republish batches with distinct encodings (mov reg, imm32 over varying
+// immediates) and checks that every encoding still resolves to the same
+// descriptor as the one-shot path — staged entries, merged entries, and
+// republish boundaries included.
+func TestBuilderStagedMemoAcrossRepublish(t *testing.T) {
+	cfg := uarch.MustByName("SKL")
+	bd := NewBuilder(cfg)
+	const distinct = 3*republishBatch + 17
+	codes := make([][]byte, distinct)
+	for i := range codes {
+		// mov eax, imm32 with a unique immediate: one distinct encoding each.
+		codes[i] = []byte{0xb8, byte(i), byte(i >> 8), byte(i >> 16), 0x01}
+	}
+	for _, code := range codes {
+		if _, err := bd.Build(code); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := bd.DescCacheLen(); n != distinct {
+		t.Fatalf("DescCacheLen = %d, want %d", n, distinct)
+	}
+	// Every encoding — whether published or still staged — must hit the memo
+	// and match the one-shot block.
+	for i, code := range codes {
+		want, err := Build(cfg, code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := bd.Build(code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("encoding %d: memoized block differs from one-shot block", i)
+		}
+	}
+	if n := bd.DescCacheLen(); n != distinct {
+		t.Fatalf("DescCacheLen grew to %d on warm hits, want %d", n, distinct)
+	}
+}

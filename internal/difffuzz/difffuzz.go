@@ -14,6 +14,7 @@ import (
 	"facile/internal/asm"
 	"facile/internal/bb"
 	"facile/internal/bhive"
+	"facile/internal/mca"
 	"facile/internal/pipesim"
 	"facile/internal/uarch"
 )
@@ -112,7 +113,7 @@ type Fuzzer struct {
 	reg      *uarch.Registry
 	targets  []Target
 	builders map[string]*bb.Builder // arch name -> shared descriptor-memoizing builder
-	mca      *MCAReferee
+	mca      *mca.Referee
 }
 
 // New validates opts, resolves the target list, and returns a ready Fuzzer.
@@ -171,7 +172,7 @@ func New(opt Options) (*Fuzzer, error) {
 		f.builders[t.Arch] = bb.NewBuilder(cfg)
 	}
 	if opt.MCAPath != "" {
-		f.mca = NewMCAReferee(opt.MCAPath)
+		f.mca = mca.NewReferee(opt.MCAPath)
 	}
 	return f, nil
 }

@@ -218,53 +218,6 @@ func TestNewRejectsUnknownArch(t *testing.T) {
 	}
 }
 
-func TestParseRThroughput(t *testing.T) {
-	out := `Iterations:        100
-Instructions:      300
-Total Cycles:      153
-Total uOps:        300
-
-Dispatch Width:    6
-uOps Per Cycle:    1.96
-IPC:               1.96
-Block RThroughput: 1.5
-`
-	v, err := ParseRThroughput(out)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if v != 1.5 {
-		t.Errorf("RThroughput = %v, want 1.5", v)
-	}
-	if _, err := ParseRThroughput("no such line"); err == nil {
-		t.Error("missing RThroughput line must error")
-	}
-}
-
-func TestWrapAsm(t *testing.T) {
-	got := WrapAsm([]string{"add rax, rbx", "imul rax, rbx"})
-	want := ".intel_syntax noprefix\n  add rax, rbx\n  imul rax, rbx\n"
-	if got != want {
-		t.Errorf("WrapAsm:\n got %q\nwant %q", got, want)
-	}
-}
-
-func TestCPUFor(t *testing.T) {
-	cases := map[string]string{
-		"SKL":     "skylake",
-		"skl":     "skylake",
-		"ICL":     "icelake-client",
-		"SKL+LSD": "skylake",
-		"ICL-4W":  "icelake-client",
-		"UNKNOWN": "skylake",
-	}
-	for arch, want := range cases {
-		if got := cpuFor(arch); got != want {
-			t.Errorf("cpuFor(%q) = %q, want %q", arch, got, want)
-		}
-	}
-}
-
 func TestFindingIDStable(t *testing.T) {
 	a := FindingID("4801d8", "SKL", "loop")
 	b := FindingID("4801d8", "SKL", "loop")

@@ -11,8 +11,9 @@
 // overlays) → flag relative divergences beyond a threshold → greedy
 // instruction-deletion minimization (re-checking divergence after each
 // removal) → cluster reproducers by the µop-role signature of the minimized
-// block → triage Report (text and JSON). Optionally llvm-mca referees
-// minimized findings as an independent third model.
+// block → triage Report (text and JSON). Optionally llvm-mca (via the shared
+// internal/mca subprocess adapter) referees minimized findings as an
+// independent third model.
 //
 // Minimized reproducers are persisted as one JSON file each (Reproducer)
 // under testdata/divergence/; the root-package TestKnownDivergences gate

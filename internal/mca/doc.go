@@ -1,0 +1,15 @@
+// Package mca is the shared llvm-mca subprocess adapter: it wraps a basic
+// block's Intel-syntax disassembly into an assembler fragment, invokes
+// llvm-mca for the microarchitecture's -mcpu target, and scrapes the
+// "Block RThroughput:" line into a cycles-per-iteration estimate comparable
+// to the in-repo predictors.
+//
+// Two harnesses consume it: the differential fuzzer (internal/difffuzz) uses
+// llvm-mca as an optional third referee when the two in-repo models
+// disagree, and the accuracy harness (internal/accuracy, cmd/facile-bench)
+// scores it as an external shoot-out opponent next to the learned baselines
+// of internal/baselines. Presence of the binary is never assumed: LookPath
+// probes common installed names and callers skip mca scoring gracefully when
+// it is absent, so the parse/wrap logic stays testable in CI from recorded
+// output fixtures alone.
+package mca

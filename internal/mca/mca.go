@@ -1,4 +1,4 @@
-package difffuzz
+package mca
 
 import (
 	"bytes"
@@ -9,24 +9,36 @@ import (
 	"time"
 )
 
-// MCAReferee shells out to llvm-mca as an optional third model: when the two
-// in-repo predictors disagree, an independent external predictor hints at
-// which side is wrong. The adapter follows the deep-mca harness pattern:
-// wrap the block's disassembly into an assembler fragment, run llvm-mca for
-// the target CPU, and scrape the "Block RThroughput:" line — llvm-mca's
-// cycles-per-iteration estimate, directly comparable to both predictions.
-type MCAReferee struct {
+// Referee shells out to llvm-mca as an independent external predictor. The
+// adapter follows the deep-mca harness pattern: wrap the block's Intel-syntax
+// disassembly into an assembler fragment, run llvm-mca for the target CPU,
+// and scrape the "Block RThroughput:" line — llvm-mca's cycles-per-iteration
+// estimate, directly comparable to the in-repo models' predictions.
+type Referee struct {
 	path    string
 	timeout time.Duration
 }
 
-// NewMCAReferee returns a referee invoking the llvm-mca binary at path.
-func NewMCAReferee(path string) *MCAReferee {
-	return &MCAReferee{path: path, timeout: 10 * time.Second}
+// NewReferee returns a referee invoking the llvm-mca binary at path.
+func NewReferee(path string) *Referee {
+	return &Referee{path: path, timeout: 10 * time.Second}
 }
 
-// mcaCPUs maps registry arch names onto llvm -mcpu names.
-var mcaCPUs = map[string]string{
+// LookPath locates an llvm-mca binary on PATH, trying the unversioned name
+// first and then common versioned spellings. The boolean is false when none
+// is installed — callers are expected to skip mca scoring gracefully rather
+// than fail.
+func LookPath() (string, bool) {
+	for _, name := range []string{"llvm-mca", "llvm-mca-18", "llvm-mca-17", "llvm-mca-16", "llvm-mca-15", "llvm-mca-14"} {
+		if p, err := exec.LookPath(name); err == nil {
+			return p, true
+		}
+	}
+	return "", false
+}
+
+// cpus maps registry arch names onto llvm -mcpu names.
+var cpus = map[string]string{
 	"SNB": "sandybridge",
 	"IVB": "ivybridge",
 	"HSW": "haswell",
@@ -38,15 +50,15 @@ var mcaCPUs = map[string]string{
 	"RKL": "rocketlake",
 }
 
-// cpuFor resolves an arch name (including variant names like "SKL+LSD",
+// CPUFor resolves an arch name (including variant names like "SKL+LSD",
 // which fall back to their base's CPU) onto an llvm-mca -mcpu value.
-func cpuFor(arch string) string {
-	if cpu, ok := mcaCPUs[strings.ToUpper(arch)]; ok {
+func CPUFor(arch string) string {
+	if cpu, ok := cpus[strings.ToUpper(arch)]; ok {
 		return cpu
 	}
 	base := strings.ToUpper(arch)
 	if i := strings.IndexAny(base, "+-"); i > 0 {
-		if cpu, ok := mcaCPUs[base[:i]]; ok {
+		if cpu, ok := cpus[base[:i]]; ok {
 			return cpu
 		}
 	}
@@ -68,8 +80,8 @@ func WrapAsm(lines []string) string {
 
 // Score runs llvm-mca on the block and returns its Block RThroughput in
 // cycles per iteration.
-func (m *MCAReferee) Score(instructions []string, arch string) (float64, error) {
-	cmd := exec.Command(m.path, "-mtriple=x86_64", "-mcpu="+cpuFor(arch), "-iterations=100")
+func (m *Referee) Score(instructions []string, arch string) (float64, error) {
+	cmd := exec.Command(m.path, "-mtriple=x86_64", "-mcpu="+CPUFor(arch), "-iterations=100")
 	cmd.Stdin = strings.NewReader(WrapAsm(instructions))
 	var out, errb bytes.Buffer
 	cmd.Stdout = &out

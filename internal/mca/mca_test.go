@@ -1,0 +1,120 @@
+package mca
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestParseRThroughputFixtures replays recorded llvm-mca output files, so the
+// scrape logic is exercised in CI without an llvm-mca binary installed.
+func TestParseRThroughputFixtures(t *testing.T) {
+	fixtures := []struct {
+		file string
+		want float64
+	}{
+		{"skl_add_imul.txt", 1.0},
+		{"icl_vec.txt", 3.0},
+	}
+	for _, fx := range fixtures {
+		data, err := os.ReadFile(filepath.Join("testdata", fx.file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParseRThroughput(string(data))
+		if err != nil {
+			t.Errorf("%s: %v", fx.file, err)
+			continue
+		}
+		if got != fx.want {
+			t.Errorf("%s: RThroughput = %v, want %v", fx.file, got, fx.want)
+		}
+	}
+}
+
+func TestParseRThroughputSynthetic(t *testing.T) {
+	out := `Iterations:        100
+Instructions:      300
+Total Cycles:      1234
+Block RThroughput: 12.3
+`
+	v, err := ParseRThroughput(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 12.3 {
+		t.Errorf("RThroughput = %v, want 12.3", v)
+	}
+	if _, err := ParseRThroughput("no such line"); err == nil {
+		t.Error("missing RThroughput line must error")
+	}
+	if _, err := ParseRThroughput("Block RThroughput: oops\n"); err == nil {
+		t.Error("non-numeric RThroughput must error")
+	}
+}
+
+func TestWrapAsm(t *testing.T) {
+	got := WrapAsm([]string{"add rax, rbx", "imul rax, rbx"})
+	want := ".intel_syntax noprefix\n  add rax, rbx\n  imul rax, rbx\n"
+	if got != want {
+		t.Errorf("WrapAsm:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestCPUFor(t *testing.T) {
+	cases := map[string]string{
+		"SKL":     "skylake",
+		"skl":     "skylake",
+		"ICL":     "icelake-client",
+		"SKL+LSD": "skylake",
+		"ICL-4W":  "icelake-client",
+		"unknown": "skylake",
+	}
+	for arch, want := range cases {
+		if got := CPUFor(arch); got != want {
+			t.Errorf("CPUFor(%q) = %q, want %q", arch, got, want)
+		}
+	}
+}
+
+// TestScoreLive runs the real binary when one is installed; otherwise the
+// test demonstrates the graceful-skip path that every consumer follows.
+func TestScoreLive(t *testing.T) {
+	path, ok := LookPath()
+	if !ok {
+		t.Skip("llvm-mca not installed; parse logic is covered by the fixture tests")
+	}
+	v, err := NewReferee(path).Score([]string{"add rax, rbx", "imul rax, rbx"}, "SKL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 {
+		t.Errorf("Score = %v, want > 0", v)
+	}
+}
+
+// TestFixturesAreRealOutput sanity-checks that the committed fixtures look
+// like llvm-mca output (so a future regeneration can't silently commit an
+// error transcript).
+func TestFixturesAreRealOutput(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no fixtures committed")
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join("testdata", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := string(data)
+		for _, marker := range []string{"Iterations:", "Dispatch Width:", "Block RThroughput:"} {
+			if !strings.Contains(s, marker) {
+				t.Errorf("%s: missing %q marker", e.Name(), marker)
+			}
+		}
+	}
+}
