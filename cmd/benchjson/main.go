@@ -20,7 +20,10 @@
 //
 // With -floor-bench/-min-blocks-per-s the command doubles as a CI
 // throughput gate: it exits non-zero when the named benchmark is missing or
-// reports blocks/s below the floor.
+// reports blocks/s below the floor. -ceil-bench/-max-shed-ms is the matching
+// load-shedding gate: the named benchmark (a saturation point of
+// BenchmarkServerSaturation) must report a shed_p99_ms at or below the
+// ceiling, so 429 responses stay cheap rejections rather than slow failures.
 //
 // With -accuracy the record additionally embeds the per-(arch, mode,
 // predictor) accuracy columns (blocks_evaluated, mape, kendall_tau) from a
@@ -84,6 +87,8 @@ func main() {
 		slug       = flag.String("slug", "", "short kebab-case slug for the canonical label")
 		floorBench = flag.String("floor-bench", "", "benchmark name the -min-blocks-per-s floor applies to")
 		floor      = flag.Float64("min-blocks-per-s", 0, "fail unless -floor-bench reports at least this blocks/s")
+		ceilBench  = flag.String("ceil-bench", "", "benchmark name the -max-shed-ms ceiling applies to")
+		ceil       = flag.Float64("max-shed-ms", 0, "fail unless -ceil-bench reports shed_p99_ms at or below this ceiling")
 		accReport  = flag.String("accuracy", "", "facile-bench JSON report; embeds its accuracy columns into the record")
 		accBase    = flag.String("accuracy-baseline", "", "baseline BENCH_*.json with accuracy columns; fail on drift")
 		maxMAPE    = flag.Float64("max-mape-rise-pp", accuracy.DefaultMaxMAPERisePP, "accuracy gate: max tolerated MAPE rise, percentage points")
@@ -138,6 +143,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: floor ok: %s >= %g blocks/s\n", *floorBench, *floor)
+	}
+
+	if *ceil > 0 || *ceilBench != "" {
+		if err := checkCeiling(rec, *ceilBench, *ceil); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: ceiling ok: %s shed_p99_ms <= %g\n", *ceilBench, *ceil)
 	}
 
 	if *accBase != "" {
@@ -231,6 +243,31 @@ func checkFloor(rec *Record, name string, min float64) error {
 		return nil
 	}
 	return fmt.Errorf("floor: benchmark %q not found in the input stream", name)
+}
+
+// checkCeiling enforces the load-shedding latency ceiling: the named
+// benchmark must exist and report a shed_p99_ms metric at or below max —
+// shed responses that take as long as served ones are not load shedding.
+// Like the floor, a missing benchmark or metric fails rather than silently
+// gating nothing.
+func checkCeiling(rec *Record, name string, max float64) error {
+	if name == "" || max <= 0 {
+		return fmt.Errorf("the ceiling gate needs both -ceil-bench and a positive -max-shed-ms")
+	}
+	for _, b := range rec.Benchmarks {
+		if b.Name != name {
+			continue
+		}
+		v, ok := b.Extra["shed_p99_ms"]
+		if !ok {
+			return fmt.Errorf("ceiling: %s reports no shed_p99_ms metric", name)
+		}
+		if v > max {
+			return fmt.Errorf("ceiling: %s shed p99 at %.3f ms is above the %.3f ms ceiling", name, v, max)
+		}
+		return nil
+	}
+	return fmt.Errorf("ceiling: benchmark %q not found in the input stream", name)
 }
 
 // parse reads `go test -bench` output. Result lines look like

@@ -254,3 +254,31 @@ func TestCheckAccuracyGate(t *testing.T) {
 		t.Error("empty baseline accepted")
 	}
 }
+
+func TestCheckCeiling(t *testing.T) {
+	stream := "pkg: facile/internal/server\n" +
+		"BenchmarkServerSaturation/load_4x-8 200 363260 ns/op 1.29 p99_ms 0.0079 shed_p99_ms 2753 req/s\n" +
+		"BenchmarkServerSaturation/load_1x-8 200 1066780 ns/op 1.54 p99_ms 937 req/s\n"
+	rec, err := parse(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const name = "BenchmarkServerSaturation/load_4x"
+	if err := checkCeiling(rec, name, 50); err != nil {
+		t.Errorf("ceiling above measured shed p99 must pass: %v", err)
+	}
+	if err := checkCeiling(rec, name, 0.001); err == nil {
+		t.Error("ceiling below measured shed p99 must fail")
+	}
+	if err := checkCeiling(rec, "BenchmarkRenamed/load_4x", 50); err == nil {
+		t.Error("missing benchmark must fail the gate, not pass it")
+	}
+	// A load point that never shed carries no shed_p99_ms: gating on it is a
+	// configuration error, not a pass.
+	if err := checkCeiling(rec, "BenchmarkServerSaturation/load_1x", 50); err == nil {
+		t.Error("missing shed_p99_ms metric must fail the gate")
+	}
+	if err := checkCeiling(rec, "", 0); err == nil {
+		t.Error("incomplete gate flags must fail")
+	}
+}

@@ -4,7 +4,10 @@
 // Usage:
 //
 //	facile-serve [-addr :8629] [-archs SKL,RKL] [-arch-dir ./myarchs]
-//	             [-cache 4096] [-workers 0] [-max-batch 64] [-timeout 10s]
+//	             [-cache 4096] [-cache-shards 0] [-cache-bytes 0] [-workers 0]
+//	             [-max-batch 64] [-timeout 10s]
+//	             [-max-inflight 0] [-max-queue 0] [-client-concurrency 0] [-retry-after 1]
+//	             [-snapshot warm.facsnp] [-snapshot-interval 5m]
 //	             [-pprof]
 //
 // Endpoints (see docs/API.md for the full reference):
@@ -16,6 +19,8 @@
 //	POST /v1/speedups        same body as /v1/predict
 //	GET  /v1/archs
 //	POST /v1/archs           {"name":"SKL-LSD","base":"SKL","overlay":{"lsd_enabled":true}}
+//	GET  /v1/cache/snapshot  the warm working set, hottest-first (?max_bytes=N)
+//	PUT  /v1/cache/snapshot  import a snapshot (re-analyzed, never replaces newer entries)
 //	GET  /healthz
 //	GET  /metrics
 //
@@ -30,6 +35,19 @@
 // registered over HTTP via POST /v1/archs (disabled when -archs pins a
 // fixed set). Registered arches are served without restart.
 //
+// Warm start: -snapshot names a cache snapshot file. If it exists at boot it
+// is imported (spec-mismatched or corrupt snapshots are logged and ignored —
+// the server starts cold rather than not at all), and on graceful shutdown
+// the warm working set is exported back to it (atomically, via a temp file).
+// -snapshot-interval additionally exports periodically, so a crash loses at
+// most one interval of warmth.
+//
+// Load shedding: -max-inflight bounds concurrently processed analysis
+// requests; -max-queue more wait for a slot and the rest are answered 429
+// with a Retry-After hint (-retry-after seconds) in microseconds instead of
+// queueing unboundedly. -client-concurrency caps one client (X-API-Key or
+// remote host). All admission control is off by default.
+//
 // With -pprof the standard net/http/pprof profiling endpoints are mounted
 // under /debug/pprof/ on the same listener, so production batch throughput
 // can be profiled in place (go tool pprof http://host:8629/debug/pprof/profile).
@@ -38,10 +56,11 @@
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight requests (and in-flight micro-batches) complete,
-// then the engine-facing machinery is torn down.
+// then the engine-facing machinery is torn down and the snapshot written.
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -62,14 +81,22 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8629", "listen address")
-		archs    = flag.String("archs", "", "comma-separated microarchitectures to serve (default: all, including POST /v1/archs registrations)")
-		archDir  = flag.String("arch-dir", "", "directory of additional microarchitecture spec files (*.json) to load at startup")
-		cache    = flag.Int("cache", 0, "engine prediction-cache entries (<=0: default)")
-		workers  = flag.Int("workers", 0, "engine worker-pool size (<=0: GOMAXPROCS)")
-		maxBatch = flag.Int("max-batch", 0, "micro-batch size cap for /v1/predict (0: default, <0: disable)")
-		timeout  = flag.Duration("timeout", 0, "per-request handling deadline (0: default, <0: none)")
-		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/")
+		addr        = flag.String("addr", ":8629", "listen address")
+		archs       = flag.String("archs", "", "comma-separated microarchitectures to serve (default: all, including POST /v1/archs registrations)")
+		archDir     = flag.String("arch-dir", "", "directory of additional microarchitecture spec files (*.json) to load at startup")
+		cache       = flag.Int("cache", 0, "engine prediction-cache entries (<=0: default)")
+		cacheShards = flag.Int("cache-shards", 0, "prediction-cache shard count, rounded up to a power of two (0: 4x GOMAXPROCS)")
+		cacheBytes  = flag.Int64("cache-bytes", 0, "prediction-cache byte budget by accounted entry size (0: none)")
+		workers     = flag.Int("workers", 0, "engine worker-pool size (<=0: GOMAXPROCS)")
+		maxBatch    = flag.Int("max-batch", 0, "micro-batch size cap for /v1/predict (0: default, <0: disable)")
+		timeout     = flag.Duration("timeout", 0, "per-request handling deadline (0: default, <0: none)")
+		maxInflight = flag.Int("max-inflight", 0, "admission control: max concurrently processed analysis requests (0: unlimited)")
+		maxQueue    = flag.Int("max-queue", 0, "admission control: max requests waiting for a slot (0: same as -max-inflight, <0: no queue)")
+		clientConc  = flag.Int("client-concurrency", 0, "admission control: per-client concurrent request cap, keyed by X-API-Key or remote host (0: none)")
+		retryAfter  = flag.Int("retry-after", 1, "Retry-After seconds sent with shed (429) responses")
+		snapshot    = flag.String("snapshot", "", "cache snapshot file: imported at boot if present, exported on shutdown")
+		snapEvery   = flag.Duration("snapshot-interval", 0, "additionally export the snapshot at this interval (0: only on shutdown)")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -97,6 +124,7 @@ func main() {
 	}
 	engine, err := facile.NewEngine(facile.EngineConfig{
 		Archs: archList, CacheSize: *cache, Workers: *workers,
+		CacheShards: *cacheShards, MaxCacheBytes: *cacheBytes,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "facile-serve:", err)
@@ -104,10 +132,16 @@ func main() {
 	}
 	svc, err := server.New(server.Config{
 		Engine: engine, MaxBatch: *maxBatch, RequestTimeout: *timeout,
+		MaxInFlight: *maxInflight, MaxQueue: *maxQueue,
+		ClientConcurrency: *clientConc, RetryAfter: *retryAfter,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "facile-serve:", err)
 		os.Exit(1)
+	}
+
+	if *snapshot != "" {
+		importSnapshot(engine, *snapshot)
 	}
 
 	// The pprof handlers are mounted on an explicit mux (not the default
@@ -134,6 +168,22 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	if *snapshot != "" && *snapEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*snapEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					exportSnapshot(engine, *snapshot)
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("facile-serve: listening on %s (archs: %s)", *addr, strings.Join(engine.Archs(), ", "))
@@ -155,7 +205,55 @@ func main() {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("facile-serve: %v", err)
 	}
+	if *snapshot != "" {
+		exportSnapshot(engine, *snapshot)
+	}
 	stats := engine.Stats()
 	log.Printf("facile-serve: bye (cache: %d hits, %d misses, %d entries)",
 		stats.Hits, stats.Misses, stats.Entries)
+}
+
+// importSnapshot warms the engine from path at boot. A missing file is the
+// normal first boot; a stale or damaged one is logged and skipped — a cold
+// start is always safe, so snapshot trouble never prevents serving.
+func importSnapshot(engine *facile.Engine, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			log.Printf("facile-serve: snapshot: %v", err)
+		}
+		return
+	}
+	defer f.Close()
+	start := time.Now()
+	imported, skipped, err := engine.ImportSnapshot(context.Background(), f)
+	if err != nil {
+		log.Printf("facile-serve: snapshot %s not imported (starting cold): %v", path, err)
+		return
+	}
+	log.Printf("facile-serve: imported %d cache entries from %s in %v (%d skipped)",
+		imported, path, time.Since(start).Round(time.Millisecond), skipped)
+}
+
+// exportSnapshot writes the warm working set to path atomically: a temp file
+// in the same directory, then rename, so a crash mid-write never leaves a
+// truncated snapshot for the next boot.
+func exportSnapshot(engine *facile.Engine, path string) {
+	var buf bytes.Buffer
+	n, err := engine.ExportSnapshot(&buf, 0)
+	if err != nil {
+		log.Printf("facile-serve: snapshot export: %v", err)
+		return
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		log.Printf("facile-serve: snapshot export: %v", err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		log.Printf("facile-serve: snapshot export: %v", err)
+		return
+	}
+	log.Printf("facile-serve: exported %d cache entries to %s", n, path)
 }

@@ -2,6 +2,7 @@ package facile
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"slices"
 	"strings"
@@ -24,6 +25,25 @@ const DefaultCacheSize = 4096
 // default exists to bound cache-key memory against hostile input, not to
 // constrain legitimate blocks.
 const DefaultMaxCodeBytes = 1 << 20
+
+// DefaultCacheShards returns the automatic prediction-cache shard count
+// used when EngineConfig leaves CacheShards unset: the smallest power of two
+// holding four shards per CPU, capped at 256 (and further clamped so every
+// shard holds at least one entry). Four-per-CPU keeps the collision
+// probability of concurrent lookups low without fragmenting small caches.
+func DefaultCacheShards() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n > 256 {
+		n = 256
+	}
+	// Round up to a power of two (lru.NewSharded would too; doing it here
+	// keeps the reported default exact).
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
 
 // EngineConfig configures an Engine. The zero value is a valid
 // configuration: all microarchitectures, DefaultCacheSize cache entries, and
@@ -49,6 +69,18 @@ type EngineConfig struct {
 	// the Analyze boundary with an ErrBadRequest-classified error. Values
 	// <= 0 select DefaultMaxCodeBytes.
 	MaxCodeBytes int
+	// CacheShards splits the prediction LRU into independently locked
+	// shards so high-parallelism warm hits do not contend on one mutex.
+	// Zero selects DefaultCacheShards(); positive values are rounded up to
+	// a power of two (1 is the single-lock layout); negative values are
+	// invalid.
+	CacheShards int
+	// MaxCacheBytes bounds the prediction cache's accounted size (the sum
+	// of per-entry size estimates, split evenly across shards): entries
+	// beyond the budget are evicted least-recently-used first. The same
+	// per-entry sizes weight snapshot-export byte budgets
+	// (Engine.ExportSnapshot). Zero or negative means no byte budget.
+	MaxCacheBytes int64
 }
 
 // Engine is a reusable, concurrency-safe analysis engine and the home of the
@@ -75,19 +107,21 @@ type EngineConfig struct {
 // read-only.
 type Engine struct {
 	reg      *uarch.Registry
-	pub      *ArchRegistry                       // the public view handed out by Registry()
-	restrict map[string]bool                     // non-nil iff EngineConfig.Archs was set; canonical names
-	archs    []string                            // configured order when restricted
-	builders sync.Map                            // canonical name -> *builderSlot
-	cache    *lru.Cache[engineKey, *engineEntry] // nil when memoization is disabled
+	pub      *ArchRegistry                         // the public view handed out by Registry()
+	restrict map[string]bool                       // non-nil iff EngineConfig.Archs was set; canonical names
+	archs    []string                              // configured order when restricted
+	builders sync.Map                              // canonical name -> *builderSlot
+	cache    *lru.Sharded[engineKey, *engineEntry] // nil when memoization is disabled
 	workers  int
 	maxCode  int
 
 	// analyses pools core.Analysis scratch contexts across cache misses.
 	analyses sync.Pool
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	// uncached counts resolutions when memoization is disabled (cache ==
+	// nil); cached resolutions are counted by per-shard cache counters and
+	// summed in Stats.
+	uncached atomic.Uint64
 }
 
 // builderSlot holds a memoized per-arch Builder and the registry version of
@@ -110,6 +144,61 @@ type engineKey struct {
 	code string // raw block bytes
 }
 
+// hashEngineKey routes a cache key to its shard: FNV-1a over the code bytes
+// (the discriminating part of almost every key), with the arch name, mode,
+// and registry version folded in. It allocates nothing, so the zero-copy
+// warm probe stays allocation-free.
+func hashEngineKey(k engineKey) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k.code); i++ {
+		h ^= uint64(k.code[i])
+		h *= prime64
+	}
+	for i := 0; i < len(k.arch); i++ {
+		h ^= uint64(k.arch[i])
+		h *= prime64
+	}
+	h ^= uint64(k.mode) + 1
+	h *= prime64
+	h ^= k.ver
+	h *= prime64
+	return h
+}
+
+// entryBaseBytes is the fixed per-entry footprint estimate: the entry
+// struct, its cache bookkeeping (map slot, list element), and the decoded
+// block skeleton. The accounted sizes are deterministic estimates for
+// budgeting and snapshot weighting, not measured heap bytes.
+const entryBaseBytes = 512
+
+// entrySizeBytes estimates an entry's resident footprint once its analysis
+// is computed: the durable code copy (shared by the cache key), the bound
+// breakdown, and the prediction's per-instruction payloads. Error entries
+// carry only the base and the code.
+func entrySizeBytes(ent *engineEntry) int {
+	n := entryBaseBytes + len(ent.code)
+	if ent.err != nil {
+		return n
+	}
+	n += 32 * len(ent.bounds)
+	n += 48 * len(ent.pred.Components)
+	n += 8 * (len(ent.pred.CriticalChain) + len(ent.pred.ContendedInstrs))
+	for _, s := range ent.pred.Instructions {
+		n += 16 + len(s)
+	}
+	for _, s := range ent.pred.Bottlenecks {
+		n += 16 + len(s)
+	}
+	if ent.block != nil {
+		n += 64 * len(ent.pred.Instructions)
+	}
+	return n
+}
+
 // engineEntry is a single-flight cache slot: the first caller computes the
 // block and prediction under once; concurrent callers for the same key block
 // on once and then share the result. Decode/lookup errors are cached too, so
@@ -130,6 +219,11 @@ type engineEntry struct {
 	core   core.Prediction
 	bounds []ComponentBound
 	err    error
+
+	// size is the entry's accounted footprint estimate in bytes, computed
+	// with the analysis (inside once) and registered with the cache shard
+	// by the computing caller; see entrySizeBytes.
+	size int
 
 	simOnce sync.Once
 	sim     float64
@@ -221,11 +315,22 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 			e.archs = append(e.archs, uc.Name)
 		}
 	}
+	if cfg.CacheShards < 0 {
+		return nil, fmt.Errorf("facile: EngineConfig.CacheShards must be >= 0, got %d", cfg.CacheShards)
+	}
+	shards := cfg.CacheShards
+	if shards == 0 {
+		shards = DefaultCacheShards()
+	}
+	maxBytes := cfg.MaxCacheBytes
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
 	switch size := cfg.CacheSize; {
 	case size == 0:
-		e.cache = lru.New[engineKey, *engineEntry](DefaultCacheSize)
+		e.cache = lru.NewSharded[engineKey, *engineEntry](DefaultCacheSize, maxBytes, shards, hashEngineKey)
 	case size > 0:
-		e.cache = lru.New[engineKey, *engineEntry](size)
+		e.cache = lru.NewSharded[engineKey, *engineEntry](size, maxBytes, shards, hashEngineKey)
 	}
 	e.workers = cfg.Workers
 	if e.workers <= 0 {
@@ -325,7 +430,10 @@ func (e *Engine) entry(ctx context.Context, code []byte, arch string, mode Mode)
 	if err != nil {
 		return nil, err
 	}
+	computed := false
 	ent.once.Do(func() {
+		computed = true
+		defer func() { ent.size = entrySizeBytes(ent) }()
 		block, err := bd.Build(ent.blockBytes(code))
 		if err != nil {
 			// Decode failures are about the request's bytes: classify them
@@ -340,6 +448,9 @@ func (e *Engine) entry(ctx context.Context, code []byte, arch string, mode Mode)
 		ent.pred = publicPrediction(&ent.core, block, canon, mode)
 		ent.bounds = componentBounds(&ent.core)
 	})
+	if computed {
+		e.recordEntrySize(ent, canon, ver, mode)
+	}
 	return ent, nil
 }
 
@@ -354,13 +465,16 @@ func (e *Engine) resolveEntry(ctx context.Context, code []byte, canon string, ve
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		e.misses.Add(1)
+		e.uncached.Add(1)
 		return &engineEntry{}, nil
 	}
 	// Probe with a zero-copy string view of code first: the cache does
 	// not retain lookup keys, so the unsafe aliasing never outlives this
 	// call, and a warm hit performs no allocation. Only a miss pays for
-	// the durable key copy.
+	// the durable key copy. Hit/miss accounting lives in the per-shard
+	// cache counters (a probe miss is provisional and uncounted; the
+	// GetOrAdd below settles it), so Stats stays race-free without a
+	// shared counter line.
 	probe := engineKey{arch: canon, ver: ver, mode: mode, code: unsafeString(code)}
 	ent, hit := e.cache.Get(probe)
 	if !hit {
@@ -368,15 +482,20 @@ func (e *Engine) resolveEntry(ctx context.Context, code []byte, canon string, ve
 			return nil, err
 		}
 		key := engineKey{arch: canon, ver: ver, mode: mode, code: string(code)}
-		ent, hit = e.cache.GetOrAdd(key,
+		ent, _ = e.cache.GetOrAdd(key,
 			func() *engineEntry { return &engineEntry{code: key.code} })
 	}
-	if hit {
-		e.hits.Add(1)
-	} else {
-		e.misses.Add(1)
-	}
 	return ent, nil
+}
+
+// recordEntrySize registers a freshly computed cached entry's size estimate
+// with its cache shard, enforcing the byte budget. Private (uncached)
+// entries have no shard to account to.
+func (e *Engine) recordEntrySize(ent *engineEntry, canon string, ver uint64, mode Mode) {
+	if e.cache == nil || ent.code == "" {
+		return
+	}
+	e.cache.SetSize(engineKey{arch: canon, ver: ver, mode: mode, code: ent.code}, ent.size)
 }
 
 // unsafeString views b as a string without copying. The result aliases b
@@ -695,7 +814,10 @@ func (e *Engine) processChunk(ctx context.Context, reqs []Request, out []Analysi
 			out[idx].Err = err
 			continue
 		}
+		computed := false
 		ent.once.Do(func() {
+			computed = true
+			defer func() { ent.size = entrySizeBytes(ent) }()
 			block, err := bd.Build(ent.blockBytes(req.Code))
 			if err != nil {
 				ent.err = asBadRequest(err)
@@ -706,6 +828,9 @@ func (e *Engine) processChunk(ctx context.Context, reqs []Request, out []Analysi
 			ent.pred = publicPredictionSlab(&ent.core, block, canon, req.Mode, sc)
 			ent.bounds = componentBoundsSlab(&ent.core, sc)
 		})
+		if computed {
+			e.recordEntrySize(ent, canon, ver, req.Mode)
+		}
 		if ent.err != nil {
 			out[idx].Err = ent.err
 			continue
@@ -806,27 +931,43 @@ func (e *Engine) Simulate(code []byte, arch string, mode Mode) (float64, error) 
 	return ent.sim, nil
 }
 
-// EngineStats is a snapshot of the engine's cache accounting.
+// EngineStats is a snapshot of the engine's cache accounting, aggregated
+// across all cache shards.
 type EngineStats struct {
 	// Hits and Misses count cache entry resolutions by outcome; one Analyze
 	// performs exactly one resolution regardless of Detail. A lookup that
 	// joins a computation already in flight counts as a hit.
 	Hits, Misses uint64
-	// Evictions counts entries displaced from the bounded LRU.
+	// Evictions counts entries displaced from the bounded LRU — by the
+	// entry capacity or by EngineConfig.MaxCacheBytes.
 	Evictions uint64
 	// Entries is the current number of cached analyses.
 	Entries int
+	// SizeBytes is the accounted size of the cached analyses (the sum of
+	// per-entry estimates; see EngineConfig.MaxCacheBytes).
+	SizeBytes int64
+	// Shards is the prediction cache's shard count (0 when memoization is
+	// disabled).
+	Shards int
 }
 
-// Stats returns a snapshot of the engine's cache accounting.
+// Stats returns a snapshot of the engine's cache accounting. Counters are
+// maintained per shard (atomically, updated under each shard's lock) and
+// summed here, so concurrent Analyze traffic never contends on a shared
+// stats line and the totals are race-free.
 func (e *Engine) Stats() EngineStats {
-	st := EngineStats{
-		Hits:   e.hits.Load(),
-		Misses: e.misses.Load(),
-	}
+	var st EngineStats
 	if e.cache != nil {
-		st.Evictions = e.cache.Evicted()
-		st.Entries = e.cache.Len()
+		cs := e.cache.Stats()
+		st = EngineStats{
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			Evictions: cs.Evicted,
+			Entries:   cs.Entries,
+			SizeBytes: cs.Bytes,
+			Shards:    e.cache.Shards(),
+		}
 	}
+	st.Misses += e.uncached.Load()
 	return st
 }

@@ -378,6 +378,141 @@ func TestEngineInvalidMode(t *testing.T) {
 	}
 }
 
+// TestEngineStatsRace hammers Analyze and Stats concurrently at high
+// parallelism; run with -race. Per-shard counters must stay exact: after the
+// dust settles, hits+misses equals the total number of resolutions, and no
+// hit or miss is lost to a data race.
+func TestEngineStatsRace(t *testing.T) {
+	e := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}, CacheShards: 8})
+	corpus := bhive.Generate(eval.DefaultSeed, 16)
+	var codes [][]byte
+	for _, bm := range corpus {
+		if _, err := facile.Predict(bm.LoopCode, "SKL", facile.Loop); err != nil {
+			continue
+		}
+		codes = append(codes, bm.LoopCode)
+	}
+	if len(codes) == 0 {
+		t.Fatal("no valid corpus blocks")
+	}
+
+	const workers, rounds = 16, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				code := codes[(w*rounds+r)%len(codes)]
+				if _, err := e.Predict(code, "SKL", facile.Loop); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				// Interleave reads with writes: Stats must be safe to call
+				// while every shard is being updated.
+				st := e.Stats()
+				if st.Hits+st.Misses == 0 {
+					t.Error("Stats lost all counters mid-run")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := e.Stats()
+	if got := st.Hits + st.Misses; got != workers*rounds {
+		t.Fatalf("hits(%d)+misses(%d) = %d, want exactly %d resolutions",
+			st.Hits, st.Misses, got, workers*rounds)
+	}
+	if st.Misses != uint64(len(codes)) {
+		t.Fatalf("misses = %d, want one per distinct block (%d)", st.Misses, len(codes))
+	}
+	if st.Shards != 8 {
+		t.Fatalf("shards = %d, want 8", st.Shards)
+	}
+}
+
+// TestEngineCacheShards: shard-count configuration is validated and rounded,
+// and sharding never changes resolution results or accounting semantics.
+func TestEngineCacheShards(t *testing.T) {
+	if _, err := facile.NewEngine(facile.EngineConfig{CacheShards: -1}); err == nil {
+		t.Fatal("negative CacheShards must be rejected")
+	}
+	// Non-power-of-two counts round up.
+	e := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}, CacheShards: 3})
+	if st := e.Stats(); st.Shards != 4 {
+		t.Fatalf("CacheShards 3 rounded to %d, want 4", st.Shards)
+	}
+	// The default is resolved from GOMAXPROCS and is a power of two.
+	def := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}})
+	st := def.Stats()
+	if st.Shards == 0 || st.Shards&(st.Shards-1) != 0 {
+		t.Fatalf("default shard count %d is not a positive power of two", st.Shards)
+	}
+	// Accounting matches the single-shard engine exactly.
+	single := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}, CacheShards: 1})
+	for _, e := range []*facile.Engine{e, single} {
+		a := decode(t, "4801d8")
+		for i := 0; i < 3; i++ {
+			if _, err := e.Predict(a, "SKL", facile.Loop); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st := e.Stats(); st.Misses != 1 || st.Hits != 2 {
+			t.Fatalf("%d-shard stats = %+v, want 1 miss / 2 hits", st.Shards, st)
+		}
+	}
+}
+
+// TestEngineMaxCacheBytes: entries report sizes, Stats exposes the total,
+// and a byte budget evicts cold entries while keeping predictions correct.
+func TestEngineMaxCacheBytes(t *testing.T) {
+	unbounded := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}})
+	code := decode(t, "4803074883c70848ffc975f2")
+	if _, err := unbounded.Explain(code, "SKL", facile.Loop); err != nil {
+		t.Fatal(err)
+	}
+	if st := unbounded.Stats(); st.SizeBytes <= 0 {
+		t.Fatalf("SizeBytes = %d, want > 0 after a cached analysis", st.SizeBytes)
+	}
+
+	// A tight budget on a single shard forces byte-budget evictions.
+	e := newTestEngine(t, facile.EngineConfig{
+		Archs: []string{"SKL"}, CacheShards: 1, MaxCacheBytes: 2048,
+	})
+	corpus := bhive.Generate(eval.DefaultSeed, 24)
+	want := make(map[int]float64)
+	var codes [][]byte
+	for _, bm := range corpus {
+		p, err := facile.Predict(bm.LoopCode, "SKL", facile.Loop)
+		if err != nil {
+			continue
+		}
+		want[len(codes)] = p.CyclesPerIteration
+		codes = append(codes, bm.LoopCode)
+	}
+	for round := 0; round < 2; round++ {
+		for i, c := range codes {
+			p, err := e.Predict(c, "SKL", facile.Loop)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.CyclesPerIteration != want[i] {
+				t.Fatalf("block %d round %d: %v, want %v", i, round,
+					p.CyclesPerIteration, want[i])
+			}
+		}
+	}
+	st := e.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("stats = %+v, want byte-budget evictions", st)
+	}
+	if st.SizeBytes > 2048 {
+		t.Fatalf("SizeBytes = %d exceeds the 2048-byte budget", st.SizeBytes)
+	}
+}
+
 // TestEngineBatchFasterThanOneShot is a coarse regression guard for the
 // engine's amortization on repeated workloads; BenchmarkEngineVsPredict
 // quantifies the speedup properly. The baseline is an uncached engine

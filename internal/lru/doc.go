@@ -5,4 +5,13 @@
 // same blocks recur. It is deliberately minimal: fixed capacity, strict
 // least-recently-used eviction, and a GetOrAdd primitive that lets callers
 // implement single-flight computation on top of cached entries.
+//
+// Two serving-tier extensions ride on the same core: Sharded splits one
+// logical cache into a power-of-two number of independently locked shards
+// (hash-routed keys), so warm high-parallelism lookups scale instead of
+// serializing on a single mutex; and an optional byte budget (NewWithBytes
+// with SetSize accounting) bounds memory, with per-entry sizes doubling as
+// the weight used by cache-snapshot export budgets. Per-shard atomic
+// hit/miss counters are summed on read (Stats), keeping accounting race-free
+// without a shared counter cache line.
 package lru

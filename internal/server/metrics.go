@@ -59,6 +59,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) (any, err
 		}
 	}
 
+	if a := s.admit; a != nil {
+		sb.WriteString("# HELP facile_admission_inflight Analysis requests currently admitted.\n")
+		sb.WriteString("# TYPE facile_admission_inflight gauge\n")
+		fmt.Fprintf(&sb, "facile_admission_inflight %d\n", a.inFlight())
+		sb.WriteString("# HELP facile_admission_queue_depth Requests waiting for an admission slot.\n")
+		sb.WriteString("# TYPE facile_admission_queue_depth gauge\n")
+		fmt.Fprintf(&sb, "facile_admission_queue_depth %d\n", a.queueDepth())
+		sb.WriteString("# HELP facile_admission_admitted_total Analysis requests admitted.\n")
+		sb.WriteString("# TYPE facile_admission_admitted_total counter\n")
+		fmt.Fprintf(&sb, "facile_admission_admitted_total %d\n", a.admitted.Load())
+		sb.WriteString("# HELP facile_admission_shed_total Requests shed with 429, by reason.\n")
+		sb.WriteString("# TYPE facile_admission_shed_total counter\n")
+		fmt.Fprintf(&sb, "facile_admission_shed_total{reason=\"queue_full\"} %d\n", a.shedQueueFull.Load())
+		fmt.Fprintf(&sb, "facile_admission_shed_total{reason=\"client_cap\"} %d\n", a.shedClientCap.Load())
+	}
+
 	stats := s.engine.Stats()
 	sb.WriteString("# HELP facile_engine_cache_hits_total Engine prediction-cache hits.\n")
 	sb.WriteString("# TYPE facile_engine_cache_hits_total counter\n")
@@ -72,6 +88,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) (any, err
 	sb.WriteString("# HELP facile_engine_cache_entries Cached predictions currently held.\n")
 	sb.WriteString("# TYPE facile_engine_cache_entries gauge\n")
 	fmt.Fprintf(&sb, "facile_engine_cache_entries %d\n", stats.Entries)
+	sb.WriteString("# HELP facile_engine_cache_bytes Accounted size of the cached analyses.\n")
+	sb.WriteString("# TYPE facile_engine_cache_bytes gauge\n")
+	fmt.Fprintf(&sb, "facile_engine_cache_bytes %d\n", stats.SizeBytes)
+	sb.WriteString("# HELP facile_engine_cache_shards Prediction-cache shard count.\n")
+	sb.WriteString("# TYPE facile_engine_cache_shards gauge\n")
+	fmt.Fprintf(&sb, "facile_engine_cache_shards %d\n", stats.Shards)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,7 +49,29 @@ type Config struct {
 	// MaxBodyBytes bounds the request body size.
 	// Zero selects DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// MaxInFlight bounds how many analysis requests are processed at once;
+	// beyond it requests wait in a bounded queue (MaxQueue) and overflow is
+	// shed with 429 + Retry-After. Zero or negative disables admission
+	// control (every request is processed).
+	MaxInFlight int
+	// MaxQueue bounds how many admitted-pending requests wait for a slot
+	// when MaxInFlight is saturated. Zero selects MaxInFlight; negative
+	// means no queue (immediate shed when saturated). Ignored without
+	// MaxInFlight.
+	MaxQueue int
+	// ClientConcurrency caps one client's concurrent analysis requests
+	// (keyed by X-API-Key, falling back to the remote host); requests over
+	// the cap are shed with 429. Zero or negative disables the cap. Ignored
+	// without MaxInFlight.
+	ClientConcurrency int
+	// RetryAfter is the backoff hint (whole seconds) sent in the
+	// Retry-After header of shed responses. Zero selects 1 second.
+	RetryAfter int
 }
+
+// DefaultMaxSnapshotBytes bounds the body of PUT /v1/cache/snapshot — cache
+// snapshots are legitimately larger than JSON request bodies.
+const DefaultMaxSnapshotBytes = 256 << 20
 
 // Server is the HTTP prediction service over a facile.Engine. It implements
 // http.Handler; construct with New, serve with net/http, and Close when
@@ -56,7 +79,8 @@ type Config struct {
 type Server struct {
 	engine        *facile.Engine
 	mux           *http.ServeMux
-	batcher       *batcher // nil when micro-batching is disabled
+	batcher       *batcher   // nil when micro-batching is disabled
+	admit         *admission // nil when admission control is disabled
 	timeout       time.Duration
 	maxBlockBytes int
 	maxBatchItems int
@@ -116,14 +140,29 @@ func New(cfg Config) (*Server, error) {
 		s.batcher = newBatcher(cfg.Engine, maxBatch)
 		s.batcher.start()
 	}
+	if cfg.MaxInFlight > 0 {
+		maxQueue := cfg.MaxQueue
+		if maxQueue == 0 {
+			maxQueue = cfg.MaxInFlight
+		}
+		if maxQueue < 0 {
+			maxQueue = 0
+		}
+		s.admit = newAdmission(cfg.MaxInFlight, maxQueue, cfg.ClientConcurrency, cfg.RetryAfter)
+	}
 
-	s.route("POST /v1/analyze", s.handleAnalyze)
-	s.route("POST /v1/predict", s.handlePredict)
-	s.route("POST /v1/predict/batch", s.handlePredictBatch)
-	s.route("POST /v1/explain", s.handleExplain)
-	s.route("POST /v1/speedups", s.handleSpeedups)
+	// The analysis endpoints go through the admission gate; the operational
+	// endpoints (archs, health, metrics, snapshots) never shed — they must
+	// stay observable exactly when the server is saturated.
+	s.route("POST /v1/analyze", s.admitted(s.handleAnalyze))
+	s.route("POST /v1/predict", s.admitted(s.handlePredict))
+	s.route("POST /v1/predict/batch", s.admitted(s.handlePredictBatch))
+	s.route("POST /v1/explain", s.admitted(s.handleExplain))
+	s.route("POST /v1/speedups", s.admitted(s.handleSpeedups))
 	s.route("GET /v1/archs", s.handleArchs)
 	s.route("POST /v1/archs", s.handleRegisterArch)
+	s.route("GET /v1/cache/snapshot", s.handleSnapshotGet)
+	s.routeLimit("PUT /v1/cache/snapshot", s.handleSnapshotPut, DefaultMaxSnapshotBytes)
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /metrics", s.handleMetrics)
 	return s, nil
@@ -152,12 +191,23 @@ type handler func(w http.ResponseWriter, r *http.Request) (any, error)
 // route registers pattern with the shared middleware: per-route metrics,
 // body-size limiting, and deadline installation.
 func (s *Server) route(pattern string, h handler) {
+	s.routeLimit(pattern, h, 0)
+}
+
+// routeLimit is route with a per-route body limit overriding the server-wide
+// one (0 keeps the default); the snapshot import uses it, since snapshots are
+// legitimately larger than JSON request bodies.
+func (s *Server) routeLimit(pattern string, h handler, bodyLimit int64) {
 	rm := &routeMetrics{name: pattern, latency: metrics.NewHistogram(metrics.LatencyBounds())}
 	s.routes = append(s.routes, rm)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		if r.Body != nil {
-			r.Body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
+			limit := s.maxBodyBytes
+			if bodyLimit > 0 {
+				limit = bodyLimit
+			}
+			r.Body = http.MaxBytesReader(w, r.Body, limit)
 		}
 		ctx := r.Context()
 		if s.timeout > 0 {
@@ -171,6 +221,12 @@ func (s *Server) route(pattern string, h handler) {
 		if err != nil {
 			code = errorStatus(err)
 			resp = ErrorResponse{Error: err.Error()}
+			var shed *shedError
+			if errors.As(err, &shed) {
+				// The contract of a shed response: tell the client when to
+				// come back instead of letting it hammer a saturated server.
+				w.Header().Set("Retry-After", strconv.Itoa(shed.retryAfter))
+			}
 		}
 		if resp != nil {
 			writeJSON(w, code, resp)
@@ -182,7 +238,10 @@ func (s *Server) route(pattern string, h handler) {
 // errorStatus maps handler errors onto HTTP statuses.
 func errorStatus(err error) int {
 	var ae *apiError
+	var shed *shedError
 	switch {
+	case errors.As(err, &shed):
+		return http.StatusTooManyRequests
 	case errors.As(err, &ae):
 		return ae.status
 	case errors.Is(err, errShuttingDown):

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"facile"
+)
+
+// Cache snapshot endpoints: GET /v1/cache/snapshot streams the engine's warm
+// working set in the facile snapshot format (hottest-first; ?max_bytes=N
+// bounds it by accounted entry size), and PUT imports one, re-analyzing the
+// entries through the engine so the cache is warm without replaying traffic.
+// Together with facile-serve's -snapshot flag they give a restarting serving
+// tier warm-start: export on shutdown (or periodically), import on boot.
+
+// SnapshotImportResponse is the wire form of a successful
+// PUT /v1/cache/snapshot.
+type SnapshotImportResponse struct {
+	// Imported is the number of entries now warm in the cache.
+	Imported int `json:"imported"`
+	// Skipped counts entries not imported: arches this server is configured
+	// away from, or entries that failed re-analysis.
+	Skipped int `json:"skipped"`
+}
+
+func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) (any, error) {
+	var maxBytes int64
+	if q := r.URL.Query().Get("max_bytes"); q != "" {
+		v, err := strconv.ParseInt(q, 10, 64)
+		if err != nil || v < 0 {
+			return nil, badRequest("invalid \"max_bytes\" %q (want a non-negative integer)", q)
+		}
+		maxBytes = v
+	}
+	// Buffered so the entry count and length are known before the first
+	// body byte; snapshots are keys only, far smaller than the cache itself.
+	var buf bytes.Buffer
+	n, err := s.engine.ExportSnapshot(&buf, maxBytes)
+	if err != nil {
+		return nil, err
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.Header().Set("Facile-Snapshot-Entries", strconv.Itoa(n))
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes()) // nothing useful to do with a client write error
+	return nil, nil
+}
+
+func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) (any, error) {
+	imported, skipped, err := s.engine.ImportSnapshot(r.Context(), r.Body)
+	switch {
+	case err == nil:
+	case errors.Is(err, facile.ErrSnapshotVersion):
+		// The snapshot disagrees with this server's registered specs: a
+		// conflict with server state, not a malformed request.
+		return nil, &apiError{status: http.StatusConflict, msg: err.Error()}
+	case errors.Is(err, facile.ErrSnapshotCorrupt):
+		return nil, badRequest("%v", err)
+	default:
+		return nil, wrapBodyErr(err)
+	}
+	return SnapshotImportResponse{Imported: imported, Skipped: skipped}, nil
+}
