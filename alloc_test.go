@@ -13,43 +13,34 @@ import (
 // race detector (its instrumentation skews allocation accounting); the CI
 // benchmark job runs them race-free.
 
-// TestEngineWarmHitZeroAllocs: a warm cache hit — Predict, Speedups, and
-// Explain alike — must not allocate: the lookup probes the LRU with a
-// zero-copy key and every derived view is memoized in the entry.
-func TestEngineWarmHitZeroAllocs(t *testing.T) {
+// TestEngineWarmReportTextZeroAllocs: the rendered report is memoized on the
+// shared Analysis, so a warm Analyze at DetailFull plus Report.Text() must
+// not allocate — the lookup probes the LRU with a zero-copy key and the text
+// is rendered exactly once.
+func TestEngineWarmReportTextZeroAllocs(t *testing.T) {
 	e := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}})
 	code := decode(t, "480307 4883c708 48ffc9 75f2")
+	ctx := context.Background()
+	req := facile.Request{Code: code, Arch: "SKL", Mode: facile.Loop, Detail: facile.DetailFull}
 
-	if _, err := e.Predict(code, "SKL", facile.Loop); err != nil {
+	ana, err := e.Analyze(ctx, req)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Speedups(code, "SKL", facile.Loop); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := e.Explain(code, "SKL", facile.Loop); err != nil {
-		t.Fatal(err)
+	if ana.Report.Text() == "" {
+		t.Fatal("empty report")
 	}
 
 	if allocs := testing.AllocsPerRun(200, func() {
-		if _, err := e.Predict(code, "SKL", facile.Loop); err != nil {
+		ana, err := e.Analyze(ctx, req)
+		if err != nil {
 			t.Fatal(err)
 		}
-	}); allocs != 0 {
-		t.Errorf("warm Engine.Predict hit allocates %.1f/op, want 0", allocs)
-	}
-	if allocs := testing.AllocsPerRun(200, func() {
-		if _, err := e.Speedups(code, "SKL", facile.Loop); err != nil {
-			t.Fatal(err)
+		if ana.Report.Text() == "" {
+			t.Fatal("empty report")
 		}
 	}); allocs != 0 {
-		t.Errorf("warm Engine.Speedups hit allocates %.1f/op, want 0", allocs)
-	}
-	if allocs := testing.AllocsPerRun(200, func() {
-		if _, err := e.Explain(code, "SKL", facile.Loop); err != nil {
-			t.Fatal(err)
-		}
-	}); allocs != 0 {
-		t.Errorf("warm Engine.Explain hit allocates %.1f/op, want 0", allocs)
+		t.Errorf("warm Analyze+Report.Text allocates %.1f/op, want 0", allocs)
 	}
 }
 

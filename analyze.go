@@ -219,9 +219,8 @@ func speedupList(b *core.Bounds, m core.Mode) []Speedup {
 	return out
 }
 
-// defaultEngine backs the package-level convenience functions (Predict,
-// Speedups, Explain, Simulate): one lazily constructed process-wide Engine
-// over the default registry.
+// defaultEngine backs DefaultEngine: one lazily constructed process-wide
+// Engine over the default registry.
 var defaultEngine = sync.OnceValue(func() *Engine {
 	e, err := NewEngine(EngineConfig{})
 	if err != nil {
@@ -231,9 +230,9 @@ var defaultEngine = sync.OnceValue(func() *Engine {
 	return e
 })
 
-// DefaultEngine returns the process-wide Engine behind the package-level
-// Predict/Speedups/Explain/Simulate functions: all microarchitectures of
-// the default registry, default cache size, one worker per CPU. Programs
-// that want their own cache bounds, registry, or microarchitecture subset
-// should construct an Engine with NewEngine instead.
+// DefaultEngine returns the process-wide shared Engine: all
+// microarchitectures of the default registry, default cache size, one
+// worker per CPU. Programs that want their own cache bounds, registry, or
+// microarchitecture subset should construct an Engine with NewEngine
+// instead.
 func DefaultEngine() *Engine { return defaultEngine() }

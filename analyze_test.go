@@ -94,8 +94,8 @@ func TestAnalyzeBoundsOrdered(t *testing.T) {
 	}
 }
 
-// TestAnalyzeSpeedupsSorted: the speedup list is sorted descending and
-// agrees with the legacy map view.
+// TestAnalyzeSpeedupsSorted: the speedup list is sorted descending, names
+// each component at most once, and only carries meaningful factors.
 func TestAnalyzeSpeedupsSorted(t *testing.T) {
 	e := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}})
 	for _, bm := range bhive.Generate(eval.DefaultSeed, 20) {
@@ -109,23 +109,22 @@ func TestAnalyzeSpeedupsSorted(t *testing.T) {
 		}) {
 			t.Fatalf("speedups not sorted descending: %+v", ana.Speedups)
 		}
-		legacy, err := e.Speedups(bm.LoopCode, "SKL", facile.Loop)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(legacy) != len(ana.Speedups) {
-			t.Fatalf("list has %d entries, map has %d", len(ana.Speedups), len(legacy))
-		}
+		seen := make(map[string]bool, len(ana.Speedups))
 		for _, s := range ana.Speedups {
-			if legacy[s.Component] != s.Factor {
-				t.Fatalf("speedup[%s] = %v, map says %v", s.Component, s.Factor, legacy[s.Component])
+			if seen[s.Component] {
+				t.Fatalf("component %s listed twice: %+v", s.Component, ana.Speedups)
+			}
+			seen[s.Component] = true
+			if s.Factor < 1 {
+				t.Fatalf("counterfactual speedup below 1: %+v", s)
 			}
 		}
 	}
 }
 
-// TestAnalyzeReportParity: the structured report's text rendering is the
-// Explain output, and the structured fields agree with the prediction.
+// TestAnalyzeReportParity: the structured report's text rendering is
+// deterministic across resolutions, and the structured fields agree with the
+// prediction.
 func TestAnalyzeReportParity(t *testing.T) {
 	e := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL", "HSW"}})
 	cases := []struct {
@@ -141,12 +140,12 @@ func TestAnalyzeReportParity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		legacy, err := e.Explain(decode(t, tc.hex), tc.arch, tc.mode)
+		again, err := explainText(e, decode(t, tc.hex), tc.arch, tc.mode)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := ana.Report.Text(); got != legacy {
-			t.Errorf("Report.Text differs from Explain:\n%s\nvs\n%s", got, legacy)
+		if got := ana.Report.Text(); got == "" || got != again {
+			t.Errorf("Report.Text unstable across resolutions:\n%s\nvs\n%s", got, again)
 		}
 		if ana.Report.PrimaryBottleneck != ana.Prediction.Bottlenecks[0] {
 			t.Errorf("report primary %q, prediction %v", ana.Report.PrimaryBottleneck, ana.Prediction.Bottlenecks)
@@ -185,21 +184,18 @@ func TestAnalyzeSingleCacheResolution(t *testing.T) {
 		t.Errorf("warm full Analyze missed the cache %d times", after.Misses-before.Misses)
 	}
 
-	// The same three answers through the legacy surface cost three
-	// resolutions — the consolidation this redesign removes.
+	// Asking the three questions as three separate calls costs three
+	// resolutions — the consolidation the unified entrypoint removes.
 	before = e.Stats()
-	if _, err := e.Predict(code, "SKL", facile.Loop); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := e.Speedups(code, "SKL", facile.Loop); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := e.Explain(code, "SKL", facile.Loop); err != nil {
-		t.Fatal(err)
+	for _, d := range []facile.Detail{facile.DetailPrediction, facile.DetailSpeedups, facile.DetailFull} {
+		req := facile.Request{Code: code, Arch: "SKL", Mode: facile.Loop, Detail: d}
+		if _, err := e.Analyze(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
 	}
 	after = e.Stats()
 	if hits := after.Hits - before.Hits; hits != 3 {
-		t.Errorf("legacy three-call pattern did %d resolutions, want 3", hits)
+		t.Errorf("three-call pattern did %d resolutions, want 3", hits)
 	}
 }
 
@@ -230,8 +226,7 @@ func TestAnalyzeMemoized(t *testing.T) {
 }
 
 // TestAnalyzeValidation: every boundary rejection matches ErrBadRequest and
-// keeps the historical message text; the legacy shims return the same
-// errors as before the redesign.
+// keeps the historical message text.
 func TestAnalyzeValidation(t *testing.T) {
 	e := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}})
 	ctx := context.Background()
@@ -290,25 +285,31 @@ func TestAnalyzeOversizedCode(t *testing.T) {
 	}
 }
 
-// TestShimErrorParity: the package-level shims return the same error text
-// as the pre-Analyze entry points, and every rejection now also matches
+// TestBoundaryErrorTextStability: the boundary rejections keep their
+// historical message text across every entry point, and all match
 // ErrBadRequest.
-func TestShimErrorParity(t *testing.T) {
+func TestBoundaryErrorTextStability(t *testing.T) {
+	e := facile.DefaultEngine()
+	ctx := context.Background()
 	code := decode(t, "4801d8")
 	cases := []struct {
 		name string
 		call func() error
 		want string
 	}{
-		{"Predict empty", func() error { _, err := facile.Predict(nil, "SKL", facile.Loop); return err },
-			"facile: empty basic block"},
-		{"Predict bad mode", func() error { _, err := facile.Predict(code, "SKL", facile.Mode(7)); return err },
-			"facile: invalid mode 7 (want Unroll or Loop)"},
-		{"Speedups empty", func() error { _, err := facile.Speedups(nil, "SKL", facile.Loop); return err },
-			"facile: empty basic block"},
-		{"Explain bad mode", func() error { _, err := facile.Explain(code, "SKL", facile.Mode(-1)); return err },
-			"facile: invalid mode -1 (want Unroll or Loop)"},
-		{"Simulate empty", func() error { _, err := facile.Simulate(nil, "SKL", facile.Loop); return err },
+		{"Analyze empty", func() error {
+			_, err := e.Analyze(ctx, facile.Request{Arch: "SKL", Mode: facile.Loop})
+			return err
+		}, "facile: empty basic block"},
+		{"Analyze bad mode", func() error {
+			_, err := e.Analyze(ctx, facile.Request{Code: code, Arch: "SKL", Mode: facile.Mode(7)})
+			return err
+		}, "facile: invalid mode 7 (want Unroll or Loop)"},
+		{"Analyze bad mode negative", func() error {
+			_, err := e.Analyze(ctx, facile.Request{Code: code, Arch: "SKL", Mode: facile.Mode(-1)})
+			return err
+		}, "facile: invalid mode -1 (want Unroll or Loop)"},
+		{"Simulate empty", func() error { _, err := e.Simulate(nil, "SKL", facile.Loop); return err },
 			"facile: empty basic block"},
 		{"Disassemble empty", func() error { _, err := facile.Disassemble(nil); return err },
 			"facile: empty basic block"},
@@ -317,39 +318,38 @@ func TestShimErrorParity(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			err := tc.call()
 			if err == nil {
-				t.Fatal("shim accepted invalid input")
+				t.Fatal("invalid input accepted")
 			}
 			if err.Error() != tc.want {
 				t.Errorf("error text changed: got %q, want %q", err, tc.want)
 			}
 			if !errors.Is(err, facile.ErrBadRequest) {
-				t.Errorf("shim error %q does not match ErrBadRequest", err)
+				t.Errorf("error %q does not match ErrBadRequest", err)
 			}
 		})
 	}
 	// Unknown-arch errors keep the registry's message and classify as bad
 	// requests.
-	_, err := facile.Predict(code, "???", facile.Loop)
+	_, err := e.Analyze(ctx, facile.Request{Code: code, Arch: "???", Mode: facile.Loop})
 	if err == nil || !errors.Is(err, facile.ErrBadRequest) {
 		t.Errorf("unknown arch: %v", err)
 	}
 }
 
-// TestShimsShareDefaultEngine: the package-level functions are views over
-// DefaultEngine — a block analyzed through a shim is warm in the default
-// engine's cache.
-func TestShimsShareDefaultEngine(t *testing.T) {
+// TestDefaultEngineShared: DefaultEngine is one shared process-wide engine —
+// a block analyzed through it is warm on the next resolution.
+func TestDefaultEngineShared(t *testing.T) {
 	code := decode(t, "4883c001 48ffc9 75f8")
-	if _, err := facile.Predict(code, "RKL", facile.Loop); err != nil {
+	if _, err := predict(facile.DefaultEngine(), code, "RKL", facile.Loop); err != nil {
 		t.Fatal(err)
 	}
 	before := facile.DefaultEngine().Stats()
-	if _, err := facile.Predict(code, "RKL", facile.Loop); err != nil {
+	if _, err := predict(facile.DefaultEngine(), code, "RKL", facile.Loop); err != nil {
 		t.Fatal(err)
 	}
 	after := facile.DefaultEngine().Stats()
 	if after.Hits != before.Hits+1 {
-		t.Errorf("shim did not hit the default engine cache: %+v -> %+v", before, after)
+		t.Errorf("repeat query did not hit the default engine cache: %+v -> %+v", before, after)
 	}
 }
 

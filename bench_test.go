@@ -283,23 +283,21 @@ func BenchmarkAblationPredec(b *testing.B) {
 	})
 }
 
-// BenchmarkPublicAPI measures the end-to-end package-level entry point —
-// since the shim redesign this is the default engine's path, warm after the
-// first pass over the corpus.
+// BenchmarkPublicAPI measures the end-to-end one-shot entry point — the
+// default engine's Analyze path, warm after the first pass over the corpus.
 func BenchmarkPublicAPI(b *testing.B) {
 	corpus := bhive.Generate(eval.DefaultSeed, benchCorpusN)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bm := corpus[i%len(corpus)]
-		if _, err := facile.Predict(bm.LoopCode, "SKL", facile.Loop); err != nil {
+		if _, err := predict(facile.DefaultEngine(), bm.LoopCode, "SKL", facile.Loop); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 // uncachedEngine builds the one-shot baseline: an engine with memoization
-// disabled, so every call pays the full decode+predict cost (the historical
-// cost of the package-level Predict before it became a default-engine shim).
+// disabled, so every call pays the full decode+predict cost.
 func uncachedEngine(b *testing.B, archs ...string) *facile.Engine {
 	b.Helper()
 	engine, err := facile.NewEngine(facile.EngineConfig{Archs: archs, CacheSize: -1})
@@ -357,7 +355,7 @@ func BenchmarkExplain(b *testing.B) {
 	corpus := bhive.Generate(eval.DefaultSeed, 50)
 	var codes [][]byte
 	for _, bm := range corpus {
-		if _, err := facile.Predict(bm.LoopCode, "SKL", facile.Loop); err == nil {
+		if _, err := predict(facile.DefaultEngine(), bm.LoopCode, "SKL", facile.Loop); err == nil {
 			codes = append(codes, bm.LoopCode)
 		}
 	}
@@ -368,7 +366,7 @@ func BenchmarkExplain(b *testing.B) {
 		engine := uncachedEngine(b, "SKL")
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := engine.Explain(codes[i%len(codes)], "SKL", facile.Loop); err != nil {
+			if _, err := explainText(engine, codes[i%len(codes)], "SKL", facile.Loop); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -379,13 +377,13 @@ func BenchmarkExplain(b *testing.B) {
 			b.Fatal(err)
 		}
 		for _, code := range codes {
-			if _, err := engine.Explain(code, "SKL", facile.Loop); err != nil {
+			if _, err := explainText(engine, code, "SKL", facile.Loop); err != nil {
 				b.Fatal(err)
 			}
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := engine.Explain(codes[i%len(codes)], "SKL", facile.Loop); err != nil {
+			if _, err := explainText(engine, codes[i%len(codes)], "SKL", facile.Loop); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -397,22 +395,22 @@ func BenchmarkExplain(b *testing.B) {
 // engineBatchReqs builds a batch of n requests cycling over the valid blocks
 // of a small corpus — the repeated-block workload of a superoptimizer search
 // loop or a BHive-scale evaluation.
-func engineBatchReqs(b *testing.B, n int) []facile.BatchRequest {
+func engineBatchReqs(b *testing.B, n int) []blockReq {
 	b.Helper()
 	corpus := bhive.Generate(eval.DefaultSeed, 50)
-	var distinct []facile.BatchRequest
+	var distinct []blockReq
 	for _, bm := range corpus {
-		if _, err := facile.Predict(bm.LoopCode, "SKL", facile.Loop); err != nil {
+		if _, err := predict(facile.DefaultEngine(), bm.LoopCode, "SKL", facile.Loop); err != nil {
 			continue
 		}
-		distinct = append(distinct, facile.BatchRequest{
+		distinct = append(distinct, blockReq{
 			Code: bm.LoopCode, Arch: "SKL", Mode: facile.Loop,
 		})
 	}
 	if len(distinct) == 0 {
 		b.Fatal("no valid corpus blocks")
 	}
-	reqs := make([]facile.BatchRequest, n)
+	reqs := make([]blockReq, n)
 	for i := range reqs {
 		reqs[i] = distinct[i%len(distinct)]
 	}
@@ -433,7 +431,7 @@ func BenchmarkEngineVsPredict(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for _, r := range reqs {
-				if _, err := engine.Predict(r.Code, r.Arch, r.Mode); err != nil {
+				if _, err := predict(engine, r.Code, r.Arch, r.Mode); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -447,7 +445,7 @@ func BenchmarkEngineVsPredict(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for _, r := range reqs {
-				if _, err := engine.Predict(r.Code, r.Arch, r.Mode); err != nil {
+				if _, err := predict(engine, r.Code, r.Arch, r.Mode); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -460,7 +458,7 @@ func BenchmarkEngineVsPredict(b *testing.B) {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			for _, res := range engine.PredictBatch(reqs) {
+			for _, res := range predictBatch(engine, reqs) {
 				if res.Err != nil {
 					b.Fatal(res.Err)
 				}
@@ -486,7 +484,7 @@ func BenchmarkAnalyzeWarm(b *testing.B) {
 			b.Fatal(err)
 		}
 		for _, r := range reqs {
-			if _, err := engine.Explain(r.Code, r.Arch, r.Mode); err != nil {
+			if _, err := explainText(engine, r.Code, r.Arch, r.Mode); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -515,19 +513,19 @@ func BenchmarkAnalyzeWarm(b *testing.B) {
 		b.StopTimer()
 		reportResolutions(b, engine, before)
 	})
-	b.Run("LegacyThreeCalls", func(b *testing.B) {
+	b.Run("ThreeNarrowCalls", func(b *testing.B) {
 		engine := warm(b)
 		before := engine.Stats()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for _, r := range reqs {
-				if _, err := engine.Predict(r.Code, r.Arch, r.Mode); err != nil {
+				if _, err := predict(engine, r.Code, r.Arch, r.Mode); err != nil {
 					b.Fatal(err)
 				}
-				if _, err := engine.Speedups(r.Code, r.Arch, r.Mode); err != nil {
+				if _, err := speedupMap(engine, r.Code, r.Arch, r.Mode); err != nil {
 					b.Fatal(err)
 				}
-				if _, err := engine.Explain(r.Code, r.Arch, r.Mode); err != nil {
+				if _, err := explainText(engine, r.Code, r.Arch, r.Mode); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -539,26 +537,26 @@ func BenchmarkAnalyzeWarm(b *testing.B) {
 
 // BenchmarkEngineColdCache measures the worst case for the engine: 1000
 // *distinct* blocks on a fresh engine, so every request misses the
-// prediction cache. Serially the engine loses to one-shot Predict here (the
-// cache retains every block, raising GC pressure, with no memoization
-// payoff) — that is why Predict remains the right call for non-repeating
-// streams. EngineFreshBatch shows the worker pool reclaiming the win on the
-// same workload.
+// prediction cache. Serially a caching engine loses to an uncached one here
+// (the cache retains every block, raising GC pressure, with no memoization
+// payoff) — that is why CacheSize: -1 is the right configuration for
+// non-repeating streams. EngineFreshBatch shows the worker pool reclaiming
+// the win on the same workload.
 func BenchmarkEngineColdCache(b *testing.B) {
 	corpus := bhive.Generate(eval.DefaultSeed, 1000)
-	var reqs []facile.BatchRequest
+	var reqs []blockReq
 	for _, bm := range corpus {
-		if _, err := facile.Predict(bm.LoopCode, "SKL", facile.Loop); err != nil {
+		if _, err := predict(facile.DefaultEngine(), bm.LoopCode, "SKL", facile.Loop); err != nil {
 			continue
 		}
-		reqs = append(reqs, facile.BatchRequest{Code: bm.LoopCode, Arch: "SKL", Mode: facile.Loop})
+		reqs = append(reqs, blockReq{Code: bm.LoopCode, Arch: "SKL", Mode: facile.Loop})
 	}
 	b.Run("OneShotPredictDistinct", func(b *testing.B) {
 		engine := uncachedEngine(b, "SKL")
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for _, r := range reqs {
-				if _, err := engine.Predict(r.Code, r.Arch, r.Mode); err != nil {
+				if _, err := predict(engine, r.Code, r.Arch, r.Mode); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -571,7 +569,7 @@ func BenchmarkEngineColdCache(b *testing.B) {
 				b.Fatal(err)
 			}
 			for _, r := range reqs {
-				if _, err := engine.Predict(r.Code, r.Arch, r.Mode); err != nil {
+				if _, err := predict(engine, r.Code, r.Arch, r.Mode); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -583,7 +581,7 @@ func BenchmarkEngineColdCache(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			for _, res := range engine.PredictBatch(reqs) {
+			for _, res := range predictBatch(engine, reqs) {
 				if res.Err != nil {
 					b.Fatal(res.Err)
 				}
@@ -614,7 +612,7 @@ func BenchmarkAnalyzeWarmParallel(b *testing.B) {
 			b.Fatal(err)
 		}
 		for _, r := range reqs {
-			if _, err := engine.Predict(r.Code, r.Arch, r.Mode); err != nil {
+			if _, err := predict(engine, r.Code, r.Arch, r.Mode); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -682,7 +680,7 @@ func BenchmarkSnapshotWarmStart(b *testing.B) {
 				b.StartTimer()
 			}
 			for _, r := range reqs {
-				if _, err := engine.Predict(r.Code, r.Arch, r.Mode); err != nil {
+				if _, err := predict(engine, r.Code, r.Arch, r.Mode); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -11,8 +11,9 @@
 // Records are labeled with the canonical "PR<n> <slug>" form via -pr/-slug
 // (-label remains as a raw override for ad-hoc runs). Only standard
 // benchmark result lines are parsed; the throughput metrics the server
-// benchmarks report (req/s and blocks/s) are promoted to first-class
-// "req_per_s"/"blocks_per_s" fields, and any other custom b.ReportMetric
+// benchmarks report (req/s, blocks/s, and the sweep benchmark's variants/s)
+// are promoted to first-class "req_per_s"/"blocks_per_s"/"variants_per_s"
+// fields, and any other custom b.ReportMetric
 // columns are preserved verbatim under "extra". A stream may span several
 // packages (`go test -bench ./...` or concatenated runs): each benchmark is
 // attributed to the `pkg:` header preceding it, and the top-level "pkg"
@@ -20,7 +21,9 @@
 //
 // With -floor-bench/-min-blocks-per-s the command doubles as a CI
 // throughput gate: it exits non-zero when the named benchmark is missing or
-// reports blocks/s below the floor. -ceil-bench/-max-shed-ms is the matching
+// reports blocks/s below the floor; -min-variants-per-s is the same gate
+// over the variants/s metric (BENCH_10's design-space sweep throughput).
+// -ceil-bench/-max-shed-ms is the matching
 // load-shedding gate: the named benchmark (a saturation point of
 // BenchmarkServerSaturation) must report a shed_p99_ms at or below the
 // ceiling, so 429 responses stay cheap rejections rather than slow failures.
@@ -59,9 +62,11 @@ type Benchmark struct {
 	// ReqPerS and BlocksPerS are the server throughput metrics, promoted
 	// out of Extra so trajectory tooling (and the CI floor gate) can read
 	// them without knowing ReportMetric unit strings.
-	ReqPerS    float64            `json:"req_per_s,omitempty"`
-	BlocksPerS float64            `json:"blocks_per_s,omitempty"`
-	Extra      map[string]float64 `json:"extra,omitempty"`
+	ReqPerS float64 `json:"req_per_s,omitempty"`
+	// BlocksPerS doubles as the analyses/s column for sweep benchmarks.
+	BlocksPerS   float64            `json:"blocks_per_s,omitempty"`
+	VariantsPerS float64            `json:"variants_per_s,omitempty"`
+	Extra        map[string]float64 `json:"extra,omitempty"`
 }
 
 // Record is the top-level BENCH_*.json document.
@@ -85,8 +90,9 @@ func main() {
 		label      = flag.String("label", "", "raw label override (default: canonical \"PR<n> <slug>\" from -pr/-slug)")
 		pr         = flag.Int("pr", 0, "PR number for the canonical \"PR<n> <slug>\" label")
 		slug       = flag.String("slug", "", "short kebab-case slug for the canonical label")
-		floorBench = flag.String("floor-bench", "", "benchmark name the -min-blocks-per-s floor applies to")
+		floorBench = flag.String("floor-bench", "", "benchmark name the throughput floor applies to")
 		floor      = flag.Float64("min-blocks-per-s", 0, "fail unless -floor-bench reports at least this blocks/s")
+		vfloor     = flag.Float64("min-variants-per-s", 0, "fail unless -floor-bench reports at least this variants/s")
 		ceilBench  = flag.String("ceil-bench", "", "benchmark name the -max-shed-ms ceiling applies to")
 		ceil       = flag.Float64("max-shed-ms", 0, "fail unless -ceil-bench reports shed_p99_ms at or below this ceiling")
 		accReport  = flag.String("accuracy", "", "facile-bench JSON report; embeds its accuracy columns into the record")
@@ -138,11 +144,17 @@ func main() {
 		fatal(err)
 	}
 
-	if *floor > 0 || *floorBench != "" {
+	if *floor > 0 || (*floorBench != "" && *vfloor == 0) {
 		if err := checkFloor(rec, *floorBench, *floor); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: floor ok: %s >= %g blocks/s\n", *floorBench, *floor)
+	}
+	if *vfloor > 0 {
+		if err := checkVariantsFloor(rec, *floorBench, *vfloor); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: floor ok: %s >= %g variants/s\n", *floorBench, *vfloor)
 	}
 
 	if *ceil > 0 || *ceilBench != "" {
@@ -245,6 +257,28 @@ func checkFloor(rec *Record, name string, min float64) error {
 	return fmt.Errorf("floor: benchmark %q not found in the input stream", name)
 }
 
+// checkVariantsFloor is checkFloor over the variants/s metric — the
+// design-space sweep throughput gate (BENCH_10). Same semantics: a
+// missing benchmark or metric fails rather than silently gating nothing.
+func checkVariantsFloor(rec *Record, name string, min float64) error {
+	if name == "" || min <= 0 {
+		return fmt.Errorf("the variants floor gate needs both -floor-bench and a positive -min-variants-per-s")
+	}
+	for _, b := range rec.Benchmarks {
+		if b.Name != name {
+			continue
+		}
+		if b.VariantsPerS <= 0 {
+			return fmt.Errorf("floor: %s reports no variants/s metric", name)
+		}
+		if b.VariantsPerS < min {
+			return fmt.Errorf("floor: %s at %.0f variants/s is below the %.0f floor", name, b.VariantsPerS, min)
+		}
+		return nil
+	}
+	return fmt.Errorf("floor: benchmark %q not found in the input stream", name)
+}
+
 // checkCeiling enforces the load-shedding latency ceiling: the named
 // benchmark must exist and report a shed_p99_ms metric at or below max —
 // shed responses that take as long as served ones are not load shedding.
@@ -328,8 +362,10 @@ func parse(r io.Reader) (*Record, error) {
 				b.AllocsPerOp = v
 			case "req/s":
 				b.ReqPerS = v
-			case "blocks/s":
+			case "blocks/s", "analyses/s":
 				b.BlocksPerS = v
+			case "variants/s":
+				b.VariantsPerS = v
 			default:
 				if b.Extra == nil {
 					b.Extra = map[string]float64{}

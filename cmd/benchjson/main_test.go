@@ -157,6 +157,45 @@ func TestCheckFloor(t *testing.T) {
 	}
 }
 
+const sweepStream = `pkg: facile/internal/sweep
+BenchmarkSweep-8   	      25	  46600000 ns/op	     32966 analyses/s	       515.1 variants/s
+`
+
+func TestCheckVariantsFloor(t *testing.T) {
+	rec, err := parse(strings.NewReader(sweepStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rec.Benchmarks[0]
+	if b.VariantsPerS != 515.1 {
+		t.Errorf("variants/s must be promoted: %v", b.VariantsPerS)
+	}
+	if b.BlocksPerS != 32966 {
+		t.Errorf("analyses/s must land in the blocks_per_s column: %v", b.BlocksPerS)
+	}
+	const name = "BenchmarkSweep"
+	if err := checkVariantsFloor(rec, name, 100); err != nil {
+		t.Errorf("floor below measured throughput must pass: %v", err)
+	}
+	if err := checkVariantsFloor(rec, name, 1000); err == nil {
+		t.Error("floor above measured throughput must fail")
+	}
+	if err := checkVariantsFloor(rec, "BenchmarkRenamed", 1); err == nil {
+		t.Error("missing benchmark must fail the gate, not pass it")
+	}
+	if err := checkVariantsFloor(rec, "", 0); err == nil {
+		t.Error("incomplete gate flags must fail")
+	}
+	// A benchmark present but without a variants/s metric must fail too.
+	noMetric, err := parse(strings.NewReader("pkg: p\n" + name + " 1 100 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkVariantsFloor(noMetric, name, 1); err == nil {
+		t.Error("benchmark without variants/s must fail the gate")
+	}
+}
+
 const sampleReport = `{
   "train_seed": 1001,
   "train_n": 64,

@@ -94,6 +94,7 @@ func main() {
 		maxQueue    = flag.Int("max-queue", 0, "admission control: max requests waiting for a slot (0: same as -max-inflight, <0: no queue)")
 		clientConc  = flag.Int("client-concurrency", 0, "admission control: per-client concurrent request cap, keyed by X-API-Key or remote host (0: none)")
 		retryAfter  = flag.Int("retry-after", 1, "Retry-After seconds sent with shed (429) responses")
+		sweepPoints = flag.Int("max-sweep-points", 0, "max design points one /v1/sweep grid may enumerate (0: default)")
 		snapshot    = flag.String("snapshot", "", "cache snapshot file: imported at boot if present, exported on shutdown")
 		snapEvery   = flag.Duration("snapshot-interval", 0, "additionally export the snapshot at this interval (0: only on shutdown)")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/")
@@ -134,6 +135,7 @@ func main() {
 		Engine: engine, MaxBatch: *maxBatch, RequestTimeout: *timeout,
 		MaxInFlight: *maxInflight, MaxQueue: *maxQueue,
 		ClientConcurrency: *clientConc, RetryAfter: *retryAfter,
+		MaxSweepPoints: *sweepPoints,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "facile-serve:", err)

@@ -8,26 +8,50 @@
 // (spec → Config → spec must be the identity); for the embedded set it
 // additionally checks Table 1 completeness and generation ordering.
 //
+// With -grid the arguments are design-space grid files (the JSON consumed
+// by cmd/facile-sweep and POST /v1/sweep) instead: each is parsed and
+// structurally validated, then every enumerated point is derived as an
+// ephemeral variant of its base, so a param/value combination the spec
+// validator would reject fails the lint rather than the sweep.
+//
 // Usage:
 //
 //	speclint [dir ...]
+//	speclint -grid grid.json [grid.json ...]
 package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"os"
 
 	"facile"
 
+	"facile/internal/sweep"
 	"facile/internal/uarch"
 )
 
 func main() {
+	gridMode := flag.Bool("grid", false, "lint design-space grid files instead of spec directories")
+	flag.Parse()
+
 	fail := 0
 	bad := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "speclint: "+format+"\n", args...)
 		fail = 1
+	}
+
+	if *gridMode {
+		if flag.NArg() == 0 {
+			bad("-grid needs at least one grid file")
+		}
+		for _, path := range flag.Args() {
+			if err := lintGrid(path); err != nil {
+				bad("%v", err)
+			}
+		}
+		os.Exit(fail)
 	}
 
 	// The embedded set: building a registry parses and validates all nine
@@ -100,7 +124,7 @@ func main() {
 
 	// External spec directories lint against a scratch registry seeded with
 	// the built-ins, so overlays of the nine resolve.
-	for _, dir := range os.Args[1:] {
+	for _, dir := range flag.Args() {
 		scratch := facile.NewArchRegistry()
 		infos, err := scratch.LoadSpecDir(dir)
 		if err != nil {
@@ -113,4 +137,33 @@ func main() {
 		}
 	}
 	os.Exit(fail)
+}
+
+// lintGrid parses and validates one grid file, then derives every
+// enumerated point against a scratch registry seeded with the built-ins.
+// Derivation is the semantic half of the lint: Grid.Validate defers
+// param/value legality to the spec validator, which only runs when a
+// point's overlay is applied.
+func lintGrid(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	grid, err := sweep.ParseGrid(data)
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	points, err := grid.Enumerate()
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	scratch := facile.NewArchRegistry()
+	for _, pt := range points {
+		if _, err := scratch.DeriveVariant(pt.Name, grid.Base, pt.Overlay); err != nil {
+			return fmt.Errorf("%s: point %s: %v", path, pt.Name, err)
+		}
+	}
+	fmt.Printf("ok  grid %s (base %s, %d axes, %d points)\n",
+		path, grid.Base, len(grid.Axes), len(points))
+	return nil
 }

@@ -102,9 +102,8 @@ type EngineConfig struct {
 //     items so a cancelled batch stops computing.
 //
 // Cached results are shared between callers: the Analysis values returned by
-// an Engine (and their Prediction/Bounds/Speedups/Report fields, and the
-// views served by the legacy per-question methods) must be treated as
-// read-only.
+// an Engine (and their Prediction/Bounds/Speedups/Report fields) must be
+// treated as read-only.
 type Engine struct {
 	reg      *uarch.Registry
 	pub      *ArchRegistry                         // the public view handed out by Registry()
@@ -231,11 +230,6 @@ type engineEntry struct {
 	spOnce sync.Once
 	spList []Speedup // sorted descending
 
-	// The legacy map view is built only when Engine.Speedups asks for it,
-	// so the primary Analyze path never pays for the deprecated surface.
-	spMapOnce sync.Once
-	spMap     map[string]float64
-
 	repOnce sync.Once
 	report  *Report
 
@@ -250,19 +244,6 @@ func (ent *engineEntry) speedups() []Speedup {
 		ent.spList = speedupList(&ent.core.Bounds, coreMode(ent.pred.Mode))
 	})
 	return ent.spList
-}
-
-// speedupMap returns the memoized legacy map view of the sorted speedup
-// list, building it on first use.
-func (ent *engineEntry) speedupMap() map[string]float64 {
-	ent.spMapOnce.Do(func() {
-		list := ent.speedups()
-		ent.spMap = make(map[string]float64, len(list))
-		for _, s := range list {
-			ent.spMap[s.Component] = s.Factor
-		}
-	})
-	return ent.spMap
 }
 
 // reportView returns the entry's memoized structured report.
@@ -586,6 +567,51 @@ func (e *Engine) AnalyzeBatch(ctx context.Context, reqs []Request) []AnalysisRes
 // analysis scratch context with result payloads carved from per-worker
 // slabs — allocation happens only on cache misses, amortized per chunk.
 func (e *Engine) AnalyzeBatchN(ctx context.Context, reqs []Request, workers int) []AnalysisResult {
+	return e.analyzeBatch(ctx, nil, reqs, workers)
+}
+
+// AnalyzeVariant analyzes one request against an ephemeral variant (see
+// ArchRegistry.DeriveVariant). Request.Arch is ignored — the variant is the
+// target. Variant analyses bypass the prediction cache entirely: they touch
+// no shared state keyed by arch name, so a sweep over thousands of design
+// points can never displace the serving working set or alias a registered
+// arch's cached results.
+func (e *Engine) AnalyzeVariant(ctx context.Context, v *Variant, req Request) (*Analysis, error) {
+	res := e.AnalyzeVariantBatchN(ctx, v, []Request{req}, 1)
+	return res[0].Analysis, res[0].Err
+}
+
+// AnalyzeVariantBatchN analyzes every request against an ephemeral variant,
+// with the same ordering, cancellation, and concurrency semantics as
+// AnalyzeBatchN. Request.Arch is ignored; predictions carry the variant's
+// name. The batch runs on the same chunked kernel with shared per-worker
+// scratch, but against private (uncached) entries — no registry lookup, no
+// prediction-cache traffic.
+func (e *Engine) AnalyzeVariantBatchN(ctx context.Context, v *Variant, reqs []Request, workers int) []AnalysisResult {
+	if v == nil {
+		out := make([]AnalysisResult, len(reqs))
+		err := badRequestf("facile: nil variant")
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	vt := &variantTarget{bd: v.builder(), canon: v.cfg.Name}
+	return e.analyzeBatch(ctx, vt, reqs, workers)
+}
+
+// variantTarget pins a batch to one pre-resolved ephemeral target: its
+// builder and canonical name stand in for the per-chunk registry resolution
+// of the arch-keyed path.
+type variantTarget struct {
+	bd    *bb.Builder
+	canon string
+}
+
+// analyzeBatch is the shared chunked batch kernel behind AnalyzeBatchN
+// (vt == nil: arch-keyed, cached) and AnalyzeVariantBatchN (vt != nil:
+// variant-scoped, uncached).
+func (e *Engine) analyzeBatch(ctx context.Context, vt *variantTarget, reqs []Request, workers int) []AnalysisResult {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -604,7 +630,7 @@ func (e *Engine) AnalyzeBatchN(ctx context.Context, reqs []Request, workers int)
 	if workers <= 1 {
 		sc := batchScratch{ana: e.analyses.Get().(*core.Analysis)}
 		for _, g := range groups {
-			e.processChunk(ctx, reqs, out, order, g, &sc)
+			e.processChunk(ctx, vt, reqs, out, order, g, &sc)
 		}
 		e.analyses.Put(sc.ana)
 		return out
@@ -624,7 +650,7 @@ func (e *Engine) AnalyzeBatchN(ctx context.Context, reqs []Request, workers int)
 				if ci >= len(chunks) {
 					return
 				}
-				e.processChunk(ctx, reqs, out, order, chunks[ci], &sc)
+				e.processChunk(ctx, vt, reqs, out, order, chunks[ci], &sc)
 			}
 		}()
 	}
@@ -764,8 +790,9 @@ func splitChunks(groups []batchChunk, workers, n int) []batchChunk {
 // scratch. Error precedence per request is identical to Analyze's (detail,
 // mode, arch, code bytes), and the context is observed per position so a
 // cancelled batch stops computing while keeping one deterministic result
-// per request.
-func (e *Engine) processChunk(ctx context.Context, reqs []Request, out []AnalysisResult, order []int, c batchChunk, sc *batchScratch) {
+// per request. A non-nil vt replaces the per-chunk registry resolution with
+// the pre-resolved variant target and forces every entry private (uncached).
+func (e *Engine) processChunk(ctx context.Context, vt *variantTarget, reqs []Request, out []AnalysisResult, order []int, c batchChunk, sc *batchScratch) {
 	idx0 := c.lo
 	if order != nil {
 		idx0 = order[c.lo]
@@ -778,9 +805,13 @@ func (e *Engine) processChunk(ctx context.Context, reqs []Request, out []Analysi
 		bdErr error
 	)
 	if modeErr == nil {
-		bd, ver, bdErr = e.builder(reqs[idx0].Arch)
-		if bdErr == nil {
-			canon = bd.Cfg().Name
+		if vt != nil {
+			bd, canon = vt.bd, vt.canon
+		} else {
+			bd, ver, bdErr = e.builder(reqs[idx0].Arch)
+			if bdErr == nil {
+				canon = bd.Cfg().Name
+			}
 		}
 	}
 	for i := c.lo; i < c.hi; i++ {
@@ -809,10 +840,19 @@ func (e *Engine) processChunk(ctx context.Context, reqs []Request, out []Analysi
 			out[idx].Err = err
 			continue
 		}
-		ent, err := e.resolveEntry(ctx, req.Code, canon, ver, req.Mode)
-		if err != nil {
-			out[idx].Err = err
-			continue
+		var ent *engineEntry
+		if vt != nil {
+			// Variant analyses never touch the cache: every position gets a
+			// private entry (the context was already observed above).
+			e.uncached.Add(1)
+			ent = &engineEntry{}
+		} else {
+			var err error
+			ent, err = e.resolveEntry(ctx, req.Code, canon, ver, req.Mode)
+			if err != nil {
+				out[idx].Err = err
+				continue
+			}
 		}
 		computed := false
 		ent.once.Do(func() {
@@ -837,83 +877,6 @@ func (e *Engine) processChunk(ctx context.Context, reqs []Request, out []Analysi
 		}
 		out[idx].Analysis = ent.analysis(req.Detail)
 	}
-}
-
-// Predict computes (or recalls) the throughput prediction for the block — a
-// view over Analyze at DetailPrediction, retained for one release. The
-// returned Prediction may be shared with other callers and must be treated
-// as read-only.
-func (e *Engine) Predict(code []byte, arch string, mode Mode) (Prediction, error) {
-	ana, err := e.Analyze(context.Background(), Request{Code: code, Arch: arch, Mode: mode})
-	if err != nil {
-		return Prediction{}, err
-	}
-	return ana.Prediction, nil
-}
-
-// BatchRequest is one prediction request of a legacy PredictBatch call; new
-// code should use Request with AnalyzeBatch.
-type BatchRequest struct {
-	Code []byte
-	Arch string
-	Mode Mode
-}
-
-// BatchResult is the outcome of one BatchRequest.
-type BatchResult struct {
-	Prediction Prediction
-	Err        error
-}
-
-// PredictBatch predicts every request — a view over AnalyzeBatch at
-// DetailPrediction with a background context, retained for one release.
-// Result ordering is deterministic: out[i] always corresponds to reqs[i].
-func (e *Engine) PredictBatch(reqs []BatchRequest) []BatchResult {
-	return e.PredictBatchN(reqs, 0)
-}
-
-// PredictBatchN is PredictBatch with an explicit concurrency bound, with the
-// same semantics as AnalyzeBatchN's.
-func (e *Engine) PredictBatchN(reqs []BatchRequest, workers int) []BatchResult {
-	areqs := make([]Request, len(reqs))
-	for i, r := range reqs {
-		areqs[i] = Request{Code: r.Code, Arch: r.Arch, Mode: r.Mode}
-	}
-	out := make([]BatchResult, len(reqs))
-	for i, res := range e.AnalyzeBatchN(context.Background(), areqs, workers) {
-		if res.Err != nil {
-			out[i].Err = res.Err
-			continue
-		}
-		out[i].Prediction = res.Analysis.Prediction
-	}
-	return out
-}
-
-// Speedups answers the counterfactual question of the paper's Table 4 as the
-// legacy map view — a view over Analyze at DetailSpeedups, retained for one
-// release; new code should read the sorted Analysis.Speedups. The map is
-// memoized alongside the cached analysis and must be treated as read-only.
-func (e *Engine) Speedups(code []byte, arch string, mode Mode) (map[string]float64, error) {
-	ent, err := e.entry(context.Background(), code, arch, mode)
-	if err != nil {
-		return nil, err
-	}
-	if ent.err != nil {
-		return nil, ent.err
-	}
-	return ent.speedupMap(), nil
-}
-
-// Explain produces the human-readable bottleneck report — a view over
-// Analyze at DetailFull followed by Report.Text, retained for one release.
-// The rendering is memoized; repeated calls return the same string.
-func (e *Engine) Explain(code []byte, arch string, mode Mode) (string, error) {
-	ana, err := e.Analyze(context.Background(), Request{Code: code, Arch: arch, Mode: mode, Detail: DetailFull})
-	if err != nil {
-		return "", err
-	}
-	return ana.Report.Text(), nil
 }
 
 // Simulate runs the reference cycle-accurate pipeline simulator on the

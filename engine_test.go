@@ -1,6 +1,7 @@
 package facile_test
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -31,13 +32,13 @@ func TestEngineMatchesPredict(t *testing.T) {
 	for _, arch := range facile.Archs() {
 		for _, mode := range []facile.Mode{facile.Unroll, facile.Loop} {
 			for _, code := range codes {
-				want, err := facile.Predict(code, arch, mode)
+				want, err := predict(facile.DefaultEngine(), code, arch, mode)
 				if err != nil {
 					t.Fatal(err)
 				}
 				// Query twice: the second answer comes from the cache.
 				for pass := 0; pass < 2; pass++ {
-					got, err := e.Predict(code, arch, mode)
+					got, err := predict(e, code, arch, mode)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -60,17 +61,17 @@ func TestEngineCacheAccounting(t *testing.T) {
 	a := decode(t, "4801d8")
 	b := decode(t, "480fafc3")
 
-	if _, err := e.Predict(a, "SKL", facile.Loop); err != nil {
+	if _, err := predict(e, a, "SKL", facile.Loop); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Predict(a, "SKL", facile.Loop); err != nil {
+	if _, err := predict(e, a, "SKL", facile.Loop); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Predict(b, "SKL", facile.Loop); err != nil {
+	if _, err := predict(e, b, "SKL", facile.Loop); err != nil {
 		t.Fatal(err)
 	}
 	// Same code, different mode: a distinct cache entry.
-	if _, err := e.Predict(a, "SKL", facile.Unroll); err != nil {
+	if _, err := predict(e, a, "SKL", facile.Unroll); err != nil {
 		t.Fatal(err)
 	}
 	st := e.Stats()
@@ -93,7 +94,7 @@ func TestEngineCacheEviction(t *testing.T) {
 		decode(t, "48ffc9"),
 	}
 	for _, code := range codes {
-		if _, err := e.Predict(code, "SKL", facile.Loop); err != nil {
+		if _, err := predict(e, code, "SKL", facile.Loop); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -105,7 +106,7 @@ func TestEngineCacheEviction(t *testing.T) {
 		t.Fatalf("evictions = %d, want 1", st.Evictions)
 	}
 	// The evicted (least recently used) entry is recomputed on demand.
-	if _, err := e.Predict(codes[0], "SKL", facile.Loop); err != nil {
+	if _, err := predict(e, codes[0], "SKL", facile.Loop); err != nil {
 		t.Fatal(err)
 	}
 	if st := e.Stats(); st.Misses != 4 {
@@ -117,7 +118,7 @@ func TestEngineErrorsCached(t *testing.T) {
 	e := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}})
 	bad := []byte{0xD9, 0xC0} // x87, undecodable
 	for i := 0; i < 2; i++ {
-		if _, err := e.Predict(bad, "SKL", facile.Loop); err == nil {
+		if _, err := predict(e, bad, "SKL", facile.Loop); err == nil {
 			t.Fatal("undecodable block must error")
 		}
 	}
@@ -134,11 +135,11 @@ func TestEngineArchRestriction(t *testing.T) {
 	}
 	code := decode(t, "4801d8")
 	// SNB exists but is outside this engine's configured set.
-	if _, err := e.Predict(code, "SNB", facile.Loop); err == nil {
+	if _, err := predict(e, code, "SNB", facile.Loop); err == nil {
 		t.Fatal("unconfigured arch must error")
 	}
 	// Entirely unknown arch names error too.
-	if _, err := e.Predict(code, "???", facile.Loop); err == nil {
+	if _, err := predict(e, code, "???", facile.Loop); err == nil {
 		t.Fatal("unknown arch must error")
 	}
 	if _, err := facile.NewEngine(facile.EngineConfig{Archs: []string{"NOPE"}}); err == nil {
@@ -149,21 +150,21 @@ func TestEngineArchRestriction(t *testing.T) {
 func TestEnginePredictBatchOrderingAndErrors(t *testing.T) {
 	e := newTestEngine(t, facile.EngineConfig{})
 	corpus := bhive.Generate(eval.DefaultSeed, 40)
-	var reqs []facile.BatchRequest
+	var reqs []blockReq
 	for i, bm := range corpus {
 		arch := facile.Archs()[i%len(facile.Archs())]
-		reqs = append(reqs, facile.BatchRequest{Code: bm.LoopCode, Arch: arch, Mode: facile.Loop})
+		reqs = append(reqs, blockReq{Code: bm.LoopCode, Arch: arch, Mode: facile.Loop})
 	}
 	// Interleave failures: empty code and an unknown arch.
-	reqs = append(reqs, facile.BatchRequest{Code: nil, Arch: "SKL", Mode: facile.Loop})
-	reqs = append(reqs, facile.BatchRequest{Code: decode(t, "90"), Arch: "???", Mode: facile.Loop})
+	reqs = append(reqs, blockReq{Code: nil, Arch: "SKL", Mode: facile.Loop})
+	reqs = append(reqs, blockReq{Code: decode(t, "90"), Arch: "???", Mode: facile.Loop})
 
-	results := e.PredictBatch(reqs)
+	results := predictBatch(e, reqs)
 	if len(results) != len(reqs) {
 		t.Fatalf("got %d results for %d requests", len(results), len(reqs))
 	}
 	for i, res := range results[:len(corpus)] {
-		want, err := facile.Predict(reqs[i].Code, reqs[i].Arch, reqs[i].Mode)
+		want, err := predict(facile.DefaultEngine(), reqs[i].Code, reqs[i].Arch, reqs[i].Mode)
 		if (err == nil) != (res.Err == nil) {
 			t.Fatalf("req %d: error mismatch: %v vs %v", i, err, res.Err)
 		}
@@ -186,14 +187,14 @@ func TestEngineConcurrent(t *testing.T) {
 	e := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL", "RKL"}, CacheSize: 16})
 	corpus := bhive.Generate(eval.DefaultSeed, 30)
 	want := make(map[int]float64)
-	var reqs []facile.BatchRequest
+	var reqs []blockReq
 	for i, bm := range corpus {
 		arch := "SKL"
 		if i%2 == 1 {
 			arch = "RKL"
 		}
-		req := facile.BatchRequest{Code: bm.LoopCode, Arch: arch, Mode: facile.Loop}
-		p, err := facile.Predict(req.Code, req.Arch, req.Mode)
+		req := blockReq{Code: bm.LoopCode, Arch: arch, Mode: facile.Loop}
+		p, err := predict(facile.DefaultEngine(), req.Code, req.Arch, req.Mode)
 		if err != nil {
 			continue
 		}
@@ -207,7 +208,7 @@ func TestEngineConcurrent(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for round := 0; round < 5; round++ {
-				for i, res := range e.PredictBatch(reqs) {
+				for i, res := range predictBatch(e, reqs) {
 					if res.Err != nil {
 						t.Errorf("req %d: %v", i, res.Err)
 						return
@@ -228,11 +229,11 @@ func TestEngineSpeedupsExplainSimulate(t *testing.T) {
 	e := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}})
 	code := decode(t, "480fafc348ffc975f7")
 
-	wantSp, err := facile.Speedups(code, "SKL", facile.Loop)
+	wantSp, err := speedupMap(facile.DefaultEngine(), code, "SKL", facile.Loop)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotSp, err := e.Speedups(code, "SKL", facile.Loop)
+	gotSp, err := speedupMap(e, code, "SKL", facile.Loop)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,11 +246,11 @@ func TestEngineSpeedupsExplainSimulate(t *testing.T) {
 		}
 	}
 
-	wantRep, err := facile.Explain(code, "SKL", facile.Loop)
+	wantRep, err := explainText(facile.DefaultEngine(), code, "SKL", facile.Loop)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotRep, err := e.Explain(code, "SKL", facile.Loop)
+	gotRep, err := explainText(e, code, "SKL", facile.Loop)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +258,7 @@ func TestEngineSpeedupsExplainSimulate(t *testing.T) {
 		t.Fatalf("engine report differs from one-shot report:\n%s\nvs\n%s", gotRep, wantRep)
 	}
 
-	wantSim, err := facile.Simulate(code, "SKL", facile.Loop)
+	wantSim, err := facile.DefaultEngine().Simulate(code, "SKL", facile.Loop)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,13 +275,13 @@ func TestEngineErrorPaths(t *testing.T) {
 	e := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}})
 	bad := []byte{0xD9, 0xC0}
 
-	if _, err := e.Speedups(nil, "SKL", facile.Loop); err == nil {
+	if _, err := speedupMap(e, nil, "SKL", facile.Loop); err == nil {
 		t.Fatal("Engine.Speedups on empty input must error")
 	}
-	if _, err := e.Speedups(bad, "SKL", facile.Loop); err == nil {
+	if _, err := speedupMap(e, bad, "SKL", facile.Loop); err == nil {
 		t.Fatal("Engine.Speedups on undecodable input must error")
 	}
-	if _, err := e.Explain(bad, "SKL", facile.Loop); err == nil {
+	if _, err := explainText(e, bad, "SKL", facile.Loop); err == nil {
 		t.Fatal("Engine.Explain on undecodable input must error")
 	}
 	if _, err := e.Simulate(nil, "SKL", facile.Loop); err == nil {
@@ -288,10 +289,10 @@ func TestEngineErrorPaths(t *testing.T) {
 	}
 
 	// The one-shot wrappers share the same error behavior.
-	if _, err := facile.Speedups(nil, "SKL", facile.Loop); err == nil {
+	if _, err := speedupMap(facile.DefaultEngine(), nil, "SKL", facile.Loop); err == nil {
 		t.Fatal("Speedups on empty input must error")
 	}
-	if _, err := facile.Speedups(bad, "SKL", facile.Loop); err == nil {
+	if _, err := speedupMap(facile.DefaultEngine(), bad, "SKL", facile.Loop); err == nil {
 		t.Fatal("Speedups on undecodable input must error")
 	}
 	if _, err := facile.Disassemble(nil); err == nil {
@@ -302,52 +303,55 @@ func TestEngineErrorPaths(t *testing.T) {
 	}
 }
 
-// TestEngineMemoizesSpeedupsAndReports: speedups and rendered Explain
-// reports are cached in the engine entry alongside the prediction — a
-// repeated query returns the identical object instead of recomputing.
+// TestEngineMemoizesSpeedupsAndReports: the speedup list and the rendered
+// report are memoized on the shared cached Analysis — a repeated query
+// returns the identical objects instead of recomputing them.
 func TestEngineMemoizesSpeedupsAndReports(t *testing.T) {
 	e := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}})
 	code := decode(t, "480fafc348ffc975f7")
+	req := facile.Request{Code: code, Arch: "SKL", Mode: facile.Loop, Detail: facile.DetailFull}
 
-	sp1, err := e.Speedups(code, "SKL", facile.Loop)
+	a1, err := e.Analyze(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sp2, err := e.Speedups(code, "SKL", facile.Loop)
+	a2, err := e.Analyze(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if reflect.ValueOf(sp1).Pointer() != reflect.ValueOf(sp2).Pointer() {
-		t.Error("Engine.Speedups recomputed on a cache hit: distinct maps returned")
+	if a1 != a2 {
+		t.Error("warm Analyze rebuilt the Analysis: distinct pointers")
 	}
-
-	r1, err := e.Explain(code, "SKL", facile.Loop)
-	if err != nil {
-		t.Fatal(err)
+	if len(a1.Speedups) > 0 &&
+		reflect.ValueOf(a1.Speedups).Pointer() != reflect.ValueOf(a2.Speedups).Pointer() {
+		t.Error("speedup list recomputed on a cache hit: distinct slices returned")
 	}
-	r2, err := e.Explain(code, "SKL", facile.Loop)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Identical backing storage, not merely equal content.
+	// Identical backing storage, not merely equal content: the rendering is
+	// done once and memoized on the shared Report.
+	r1, r2 := a1.Report.Text(), a2.Report.Text()
 	if unsafe.StringData(r1) != unsafe.StringData(r2) {
-		t.Error("Engine.Explain re-rendered on a cache hit: distinct strings returned")
+		t.Error("report re-rendered on a cache hit: distinct strings returned")
 	}
 
-	// The memoized results must match the one-shot paths.
-	wantSp, err := facile.Speedups(code, "SKL", facile.Loop)
+	// The memoized results must match an independent engine's computation.
+	e2 := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}})
+	wantSp, err := speedupMap(e2, code, "SKL", facile.Loop)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(sp1, wantSp) {
-		t.Errorf("memoized speedups %v != one-shot %v", sp1, wantSp)
+	gotSp, err := speedupMap(e, code, "SKL", facile.Loop)
+	if err != nil {
+		t.Fatal(err)
 	}
-	wantRep, err := facile.Explain(code, "SKL", facile.Loop)
+	if !reflect.DeepEqual(gotSp, wantSp) {
+		t.Errorf("memoized speedups %v != independent %v", gotSp, wantSp)
+	}
+	wantRep, err := explainText(e2, code, "SKL", facile.Loop)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r1 != wantRep {
-		t.Errorf("memoized report differs from one-shot:\n%s\nvs\n%s", r1, wantRep)
+		t.Errorf("memoized report differs from independent engine:\n%s\nvs\n%s", r1, wantRep)
 	}
 }
 
@@ -357,21 +361,21 @@ func TestEngineInvalidMode(t *testing.T) {
 	e := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}})
 	code := decode(t, "4801d8")
 	bad := facile.Mode(7)
-	if _, err := e.Predict(code, "SKL", bad); err == nil {
-		t.Error("Engine.Predict must reject Mode(7)")
+	if _, err := predict(e, code, "SKL", bad); err == nil {
+		t.Error("Analyze must reject Mode(7)")
 	}
-	if _, err := e.Speedups(code, "SKL", bad); err == nil {
-		t.Error("Engine.Speedups must reject Mode(7)")
+	if _, err := speedupMap(e, code, "SKL", bad); err == nil {
+		t.Error("Analyze at DetailSpeedups must reject Mode(7)")
 	}
-	if _, err := e.Explain(code, "SKL", bad); err == nil {
-		t.Error("Engine.Explain must reject Mode(7)")
+	if _, err := explainText(e, code, "SKL", bad); err == nil {
+		t.Error("Analyze at DetailFull must reject Mode(7)")
 	}
 	if _, err := e.Simulate(code, "SKL", bad); err == nil {
 		t.Error("Engine.Simulate must reject Mode(7)")
 	}
-	res := e.PredictBatch([]facile.BatchRequest{{Code: code, Arch: "SKL", Mode: bad}})
+	res := predictBatch(e, []blockReq{{Code: code, Arch: "SKL", Mode: bad}})
 	if res[0].Err == nil {
-		t.Error("Engine.PredictBatch must reject Mode(7)")
+		t.Error("AnalyzeBatchN must reject Mode(7)")
 	}
 	if st := e.Stats(); st.Entries != 0 {
 		t.Errorf("invalid-mode requests must not populate the cache: %+v", st)
@@ -387,7 +391,7 @@ func TestEngineStatsRace(t *testing.T) {
 	corpus := bhive.Generate(eval.DefaultSeed, 16)
 	var codes [][]byte
 	for _, bm := range corpus {
-		if _, err := facile.Predict(bm.LoopCode, "SKL", facile.Loop); err != nil {
+		if _, err := predict(facile.DefaultEngine(), bm.LoopCode, "SKL", facile.Loop); err != nil {
 			continue
 		}
 		codes = append(codes, bm.LoopCode)
@@ -404,7 +408,7 @@ func TestEngineStatsRace(t *testing.T) {
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
 				code := codes[(w*rounds+r)%len(codes)]
-				if _, err := e.Predict(code, "SKL", facile.Loop); err != nil {
+				if _, err := predict(e, code, "SKL", facile.Loop); err != nil {
 					t.Errorf("worker %d: %v", w, err)
 					return
 				}
@@ -455,7 +459,7 @@ func TestEngineCacheShards(t *testing.T) {
 	for _, e := range []*facile.Engine{e, single} {
 		a := decode(t, "4801d8")
 		for i := 0; i < 3; i++ {
-			if _, err := e.Predict(a, "SKL", facile.Loop); err != nil {
+			if _, err := predict(e, a, "SKL", facile.Loop); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -470,7 +474,7 @@ func TestEngineCacheShards(t *testing.T) {
 func TestEngineMaxCacheBytes(t *testing.T) {
 	unbounded := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}})
 	code := decode(t, "4803074883c70848ffc975f2")
-	if _, err := unbounded.Explain(code, "SKL", facile.Loop); err != nil {
+	if _, err := explainText(unbounded, code, "SKL", facile.Loop); err != nil {
 		t.Fatal(err)
 	}
 	if st := unbounded.Stats(); st.SizeBytes <= 0 {
@@ -485,7 +489,7 @@ func TestEngineMaxCacheBytes(t *testing.T) {
 	want := make(map[int]float64)
 	var codes [][]byte
 	for _, bm := range corpus {
-		p, err := facile.Predict(bm.LoopCode, "SKL", facile.Loop)
+		p, err := predict(facile.DefaultEngine(), bm.LoopCode, "SKL", facile.Loop)
 		if err != nil {
 			continue
 		}
@@ -494,7 +498,7 @@ func TestEngineMaxCacheBytes(t *testing.T) {
 	}
 	for round := 0; round < 2; round++ {
 		for i, c := range codes {
-			p, err := e.Predict(c, "SKL", facile.Loop)
+			p, err := predict(e, c, "SKL", facile.Loop)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -517,18 +521,18 @@ func TestEngineMaxCacheBytes(t *testing.T) {
 // engine's amortization on repeated workloads; BenchmarkEngineVsPredict
 // quantifies the speedup properly. The baseline is an uncached engine
 // (CacheSize < 0) — the one-shot cost of recomputing every request — since
-// the package-level Predict shim now shares the default engine's cache.
+// warm queries against the default engine come from its cache.
 func TestEngineBatchFasterThanOneShot(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing comparison skipped in -short mode")
 	}
 	corpus := bhive.Generate(eval.DefaultSeed, 50)
-	var reqs []facile.BatchRequest
+	var reqs []blockReq
 	for _, bm := range corpus {
-		if _, err := facile.Predict(bm.LoopCode, "SKL", facile.Loop); err != nil {
+		if _, err := predict(facile.DefaultEngine(), bm.LoopCode, "SKL", facile.Loop); err != nil {
 			continue
 		}
-		reqs = append(reqs, facile.BatchRequest{Code: bm.LoopCode, Arch: "SKL", Mode: facile.Loop})
+		reqs = append(reqs, blockReq{Code: bm.LoopCode, Arch: "SKL", Mode: facile.Loop})
 	}
 	if len(reqs) == 0 {
 		t.Fatal("no valid corpus blocks")
@@ -541,7 +545,7 @@ func TestEngineBatchFasterThanOneShot(t *testing.T) {
 	uncached := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}, CacheSize: -1})
 	start := time.Now()
 	for _, r := range reqs {
-		if _, err := uncached.Predict(r.Code, r.Arch, r.Mode); err != nil {
+		if _, err := predict(uncached, r.Code, r.Arch, r.Mode); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -549,7 +553,7 @@ func TestEngineBatchFasterThanOneShot(t *testing.T) {
 
 	e := newTestEngine(t, facile.EngineConfig{Archs: []string{"SKL"}})
 	start = time.Now()
-	for _, res := range e.PredictBatch(reqs) {
+	for _, res := range predictBatch(e, reqs) {
 		if res.Err != nil {
 			t.Fatal(res.Err)
 		}

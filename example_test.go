@@ -44,39 +44,42 @@ func ExampleEngine_Analyze() {
 	// idealizing Precedence would give 4.00x
 }
 
-// ExamplePredict is the one-shot path: decode and analyze a block from
-// scratch. Use it for one-off queries; bulk workloads should use an Engine.
-func ExamplePredict() {
+// ExampleDefaultEngine is the one-shot path: analyze a block against the
+// process-wide shared engine. Use it for one-off queries; bulk workloads
+// should construct their own Engine scoped to the arches they need.
+func ExampleDefaultEngine() {
 	code, _ := hex.DecodeString("4801d8" + "480fafc3") // add rax,rbx; imul rax,rbx
-	pred, err := facile.Predict(code, "SKL", facile.Loop)
+	ana, err := facile.DefaultEngine().Analyze(context.Background(), facile.Request{
+		Code: code, Arch: "SKL", Mode: facile.Loop,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%.2f cycles/iteration, bottleneck: %s\n",
-		pred.CyclesPerIteration, pred.Bottlenecks[0])
+		ana.Prediction.CyclesPerIteration, ana.Prediction.Bottlenecks[0])
 	// Output:
 	// 4.00 cycles/iteration, bottleneck: Precedence
 }
 
-// ExampleEngine_PredictBatch predicts a batch across microarchitectures
+// ExampleEngine_AnalyzeBatchN analyzes a batch across microarchitectures
 // with one warm engine; out[i] always answers reqs[i].
-func ExampleEngine_PredictBatch() {
+func ExampleEngine_AnalyzeBatchN() {
 	engine, err := facile.NewEngine(facile.EngineConfig{Archs: []string{"SNB", "SKL"}})
 	if err != nil {
 		log.Fatal(err)
 	}
 	code, _ := hex.DecodeString("4801d8480fafc3")
-	reqs := []facile.BatchRequest{
+	reqs := []facile.Request{
 		{Code: code, Arch: "SNB", Mode: facile.Loop},
 		{Code: code, Arch: "SKL", Mode: facile.Loop},
 		{Code: []byte{0xff}, Arch: "SKL", Mode: facile.Loop}, // undecodable
 	}
-	for i, res := range engine.PredictBatch(reqs) {
+	for i, res := range engine.AnalyzeBatchN(context.Background(), reqs, 0) {
 		if res.Err != nil {
 			fmt.Printf("%s: error\n", reqs[i].Arch)
 			continue
 		}
-		fmt.Printf("%s: %.2f cycles/iteration\n", reqs[i].Arch, res.Prediction.CyclesPerIteration)
+		fmt.Printf("%s: %.2f cycles/iteration\n", reqs[i].Arch, res.Analysis.Prediction.CyclesPerIteration)
 	}
 	// Output:
 	// SNB: 4.00 cycles/iteration
@@ -84,16 +87,18 @@ func ExampleEngine_PredictBatch() {
 	// SKL: error
 }
 
-// ExampleExplain renders the full human-readable bottleneck report: the
-// disassembly, every component bound, the bottleneck with its supporting
-// instructions, and the counterfactual speedups.
-func ExampleExplain() {
+// ExampleEngine_Analyze_fullReport renders the full human-readable
+// bottleneck report: the disassembly, every component bound, the bottleneck
+// with its supporting instructions, and the counterfactual speedups.
+func ExampleEngine_Analyze_fullReport() {
 	code, _ := hex.DecodeString("4801d8480fafc3")
-	report, err := facile.Explain(code, "SKL", facile.Loop)
+	ana, err := facile.DefaultEngine().Analyze(context.Background(), facile.Request{
+		Code: code, Arch: "SKL", Mode: facile.Loop, Detail: facile.DetailFull,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(report)
+	fmt.Print(ana.Report.Text())
 	// Output:
 	// Facile throughput report — SKL, TPL (loop)
 	// Predicted: 4.00 cycles/iteration
@@ -120,4 +125,5 @@ func ExampleExplain() {
 	//   Issue       1.00x
 	//   Ports       1.00x
 	//   Precedence  4.00x
+	//
 }

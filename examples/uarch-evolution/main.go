@@ -1,13 +1,15 @@
-// Uarch-evolution: exploit Facile's interpretability and the runtime
-// microarchitecture registry to compare generations and hypothetical design
-// points (the paper's §6.4, extended in the AnICA "as many scenarios as you
-// can imagine" direction): for a fixed workload, how do the per-component
-// bounds evolve from Sandy Bridge to Rocket Lake — and what would change if
-// Skylake had kept its LSD, or Ice Lake issued only 4-wide?
+// Uarch-evolution: exploit Facile's interpretability to compare processor
+// generations and hypothetical design points (the paper's §6.4, extended in
+// the AnICA "as many scenarios as you can imagine" direction) — for a fixed
+// workload, how do the per-component bounds evolve from Sandy Bridge to
+// Rocket Lake, and which single hardware change would move the needle most?
 //
-// The what-if machines are spec overlays: a base arch plus just the
-// overridden fields, registered at runtime. No recompilation, and the same
-// engine caches predictions for built-in and derived arches alike.
+// The generations table uses plain Analyze calls. The what-if half drives
+// the design-space sweep subsystem (internal/sweep): a parameter grid is
+// enumerated as ephemeral variants of Skylake — derived and validated but
+// never registered — analyzed over a workload, and folded into a ranked
+// frontier with the bottleneck shifts that explain each win. The ranking is
+// byte-deterministic at any worker count.
 package main
 
 import (
@@ -17,23 +19,23 @@ import (
 
 	"facile"
 	"facile/internal/asm"
+	"facile/internal/bhive"
+	"facile/internal/sweep"
 	"facile/internal/x86"
 )
 
-// variants are the what-if design points, as overlays on built-in bases.
-var variants = []struct {
-	name, base, why string
-	overlay         string
-}{
-	{"SKL+LSD", "SKL", "Skylake without the SKL150 erratum (LSD kept on)",
-		`{"lsd_enabled": true}`},
-	{"SKL-JCC", "SKL", "Skylake without the JCC-erratum mitigation",
-		`{"jcc_erratum": false}`},
-	{"ICL-4W", "ICL", "Ice Lake issuing 4-wide like SKL",
-		`{"issue_width": 4, "retire_width": 4}`},
-	{"ICL-FP1", "ICL", "Ice Lake with a single FP pipe (port 0 only)",
-		`{"role_ports": {"fpadd": [0], "fpmul": [0], "fma": [0]}}`},
-}
+// sklGrid is the what-if design space: would Skylake have been better off
+// keeping its LSD (SKL150 erratum), skipping the JCC-erratum mitigation,
+// or spending the transistors on a wider issue stage instead?
+const sklGrid = `{
+  "base": "SKL",
+  "mode": "loop",
+  "axes": [
+    {"param": "issue_width", "values": [4, 6], "labels": ["4wide", "6wide"]},
+    {"param": "lsd_enabled", "values": [false, true]},
+    {"param": "jcc_erratum", "values": [true, false]}
+  ]
+}`
 
 func main() {
 	// A vectorized accumulate-multiply kernel with a mixed profile:
@@ -60,19 +62,7 @@ func main() {
 		fmt.Println("  " + l)
 	}
 
-	// A private registry for the experiment: the nine built-ins plus the
-	// derived design points, isolated from the process default.
-	reg := facile.NewArchRegistry()
-	for _, v := range variants {
-		if _, err := reg.Derive(v.name, v.base, []byte(v.overlay)); err != nil {
-			log.Fatal(err)
-		}
-	}
-
-	// One engine over that registry: the kernel is decoded and predicted
-	// once per arch (built-in or derived), and repeat queries below are
-	// cache hits.
-	engine, err := facile.NewEngine(facile.EngineConfig{Registry: reg})
+	engine, err := facile.NewEngine(facile.EngineConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,16 +71,30 @@ func main() {
 	printHeader()
 	infos := engine.Registry().Infos()
 	for i := 8; i >= 0; i-- { // the nine built-ins, oldest first
-		printRow(engine, code, infos[i].Name, "")
+		printRow(engine, code, infos[i].Name)
 	}
 
-	fmt.Println("\nWhat-if design points (spec overlays):")
-	printHeader()
-	for _, v := range variants {
-		printRow(engine, code, v.name, v.why)
-		// The base row again for contrast, served from the warm cache.
-		printRow(engine, code, v.base, "the shipped "+v.base)
+	// The what-if sweep: the kernel plus a deterministic block corpus, so
+	// the frontier ranks design points by workload-wide impact rather than
+	// one loop's quirks. Every grid point is an ephemeral variant — the
+	// registry still holds exactly the nine built-ins afterwards.
+	grid, err := sweep.ParseGrid([]byte(sklGrid))
+	if err != nil {
+		log.Fatal(err)
 	}
+	workload := [][]byte{code}
+	for _, b := range bhive.Generate(42, 127) {
+		workload = append(workload, b.LoopCode)
+	}
+	res, err := sweep.Run(context.Background(), engine, grid,
+		sweep.Workload{Blocks: workload, Mode: facile.Loop}, sweep.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nWhat-if design points (%d-block workload, ephemeral variants):\n", len(workload))
+	fmt.Print(res.Text(0))
+	fmt.Printf("registered arches after the sweep: %d (variants never register)\n",
+		len(engine.Registry().Archs()))
 }
 
 var comps = facile.ComponentNames()
@@ -107,7 +111,7 @@ func printHeader() {
 // headline number, the primary bottleneck, and the full bound breakdown in
 // its deterministic pipeline order (components absent on an arch — e.g. a
 // disabled LSD — print as "-").
-func printRow(engine *facile.Engine, code []byte, arch, note string) {
+func printRow(engine *facile.Engine, code []byte, arch string) {
 	ana, err := engine.Analyze(context.Background(), facile.Request{
 		Code: code, Arch: arch, Mode: facile.Loop,
 	})
@@ -131,9 +135,5 @@ func printRow(engine *facile.Engine, code []byte, arch, note string) {
 			fmt.Printf(" %10s", "-")
 		}
 	}
-	fmt.Printf("  %-6s", pred.FrontEndSource)
-	if note != "" {
-		fmt.Printf("  %s", note)
-	}
-	fmt.Println()
+	fmt.Printf("  %-6s\n", pred.FrontEndSource)
 }

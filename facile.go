@@ -32,11 +32,13 @@
 //	fmt.Printf("idealizing %s would give %.2fx\n",
 //	    ana.Speedups[0].Component, ana.Speedups[0].Factor)
 //
-// The package-level Predict, Speedups, Explain, and Simulate functions are
-// thin shims over a shared default engine (DefaultEngine), retained for one
-// release. The package also exposes the reference cycle-accurate pipeline
-// simulator (Simulate) used as the measurement substrate of the evaluation,
-// and a disassembler (Disassemble) for the supported instruction subset.
+// Beyond single analyses, Engine.AnalyzeBatch fans independent requests
+// across a worker pool, and ephemeral design points — hypothetical
+// microarchitectures that should not consume registry capacity — are derived
+// with ArchRegistry.DeriveVariant and analyzed with Engine.AnalyzeVariant.
+// The package also exposes the reference cycle-accurate pipeline simulator
+// (Engine.Simulate) used as the measurement substrate of the evaluation, and
+// a disassembler (Disassemble) for the supported instruction subset.
 package facile
 
 import (
@@ -188,15 +190,6 @@ func coreMode(mode Mode) core.Mode {
 	return core.TPU
 }
 
-// Predict computes the Facile throughput prediction for the basic block
-// encoded in code on the given microarchitecture — a view over the default
-// engine's Analyze at DetailPrediction, retained as a thin shim for one
-// release. New code should construct an Engine and call Analyze; programs
-// that need isolation from the shared default cache should do so today.
-func Predict(code []byte, arch string, mode Mode) (Prediction, error) {
-	return DefaultEngine().Predict(code, arch, mode)
-}
-
 // publicPrediction materializes the exported Prediction from the core
 // result: the ordered bound walk becomes the Components map view, the
 // bottleneck set becomes an ordered name list.
@@ -259,22 +252,6 @@ func publicPredictionSlab(p *core.Prediction, block *bb.Block, arch string, mode
 	}
 	out.Instructions = ins
 	return out
-}
-
-// Speedups answers the counterfactual question of the paper's Table 4 for a
-// single block as the legacy map view — a shim over the default engine,
-// retained for one release; new code should read the sorted
-// Analysis.Speedups from Engine.Analyze.
-func Speedups(code []byte, arch string, mode Mode) (map[string]float64, error) {
-	return DefaultEngine().Speedups(code, arch, mode)
-}
-
-// Simulate runs the reference cycle-accurate pipeline simulator (the uiCA
-// stand-in and measurement substrate of the evaluation) and returns the
-// steady-state cycles per iteration — a shim over the default engine,
-// retained for one release.
-func Simulate(code []byte, arch string, mode Mode) (float64, error) {
-	return DefaultEngine().Simulate(code, arch, mode)
 }
 
 func simulateBlock(block *bb.Block, mode Mode) float64 {

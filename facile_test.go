@@ -39,7 +39,7 @@ func TestPublicPredictChain(t *testing.T) {
 	// imul rax, rbx; dec rcx; jne: the two-operand imul reads and writes
 	// rax, a loop-carried latency-3 chain => Precedence-bound at 3.
 	code := decode(t, "480fafc3 48ffc9 75f7")
-	pred, err := facile.Predict(code, "SKL", facile.Loop)
+	pred, err := predict(facile.DefaultEngine(), code, "SKL", facile.Loop)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,11 +60,11 @@ func TestPublicPredictChain(t *testing.T) {
 func TestPublicPredictMatchesSimulator(t *testing.T) {
 	// A dependency chain both models agree on exactly.
 	code := decode(t, "480faf c0") // imul rax, rax
-	pred, err := facile.Predict(code, "SKL", facile.Unroll)
+	pred, err := predict(facile.DefaultEngine(), code, "SKL", facile.Unroll)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim, err := facile.Simulate(code, "SKL", facile.Unroll)
+	sim, err := facile.DefaultEngine().Simulate(code, "SKL", facile.Unroll)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,13 +74,13 @@ func TestPublicPredictMatchesSimulator(t *testing.T) {
 }
 
 func TestPublicErrors(t *testing.T) {
-	if _, err := facile.Predict(nil, "SKL", facile.Loop); err == nil {
+	if _, err := predict(facile.DefaultEngine(), nil, "SKL", facile.Loop); err == nil {
 		t.Fatal("empty block must error")
 	}
-	if _, err := facile.Predict([]byte{0x90}, "???", facile.Loop); err == nil {
+	if _, err := predict(facile.DefaultEngine(), []byte{0x90}, "???", facile.Loop); err == nil {
 		t.Fatal("unknown arch must error")
 	}
-	if _, err := facile.Predict([]byte{0xD9, 0xC0}, "SKL", facile.Loop); err == nil {
+	if _, err := predict(facile.DefaultEngine(), []byte{0xD9, 0xC0}, "SKL", facile.Loop); err == nil {
 		t.Fatal("undecodable block must error")
 	}
 }
@@ -90,16 +90,16 @@ func TestPublicErrors(t *testing.T) {
 func TestPublicInvalidMode(t *testing.T) {
 	code := decode(t, "4801d8")
 	for _, bad := range []facile.Mode{facile.Mode(7), facile.Mode(-1)} {
-		if _, err := facile.Predict(code, "SKL", bad); err == nil {
-			t.Errorf("Predict must reject Mode(%d)", int(bad))
+		if _, err := predict(facile.DefaultEngine(), code, "SKL", bad); err == nil {
+			t.Errorf("Analyze must reject Mode(%d)", int(bad))
 		}
-		if _, err := facile.Speedups(code, "SKL", bad); err == nil {
-			t.Errorf("Speedups must reject Mode(%d)", int(bad))
+		if _, err := speedupMap(facile.DefaultEngine(), code, "SKL", bad); err == nil {
+			t.Errorf("Analyze at DetailSpeedups must reject Mode(%d)", int(bad))
 		}
-		if _, err := facile.Explain(code, "SKL", bad); err == nil {
-			t.Errorf("Explain must reject Mode(%d)", int(bad))
+		if _, err := explainText(facile.DefaultEngine(), code, "SKL", bad); err == nil {
+			t.Errorf("Analyze at DetailFull must reject Mode(%d)", int(bad))
 		}
-		if _, err := facile.Simulate(code, "SKL", bad); err == nil {
+		if _, err := facile.DefaultEngine().Simulate(code, "SKL", bad); err == nil {
 			t.Errorf("Simulate must reject Mode(%d)", int(bad))
 		}
 	}
@@ -130,7 +130,7 @@ func TestPublicDisassemble(t *testing.T) {
 
 func TestPublicSpeedups(t *testing.T) {
 	code := decode(t, "480fafc0") // imul rax, rax: precedence-bound
-	sp, err := facile.Speedups(code, "SKL", facile.Unroll)
+	sp, err := speedupMap(facile.DefaultEngine(), code, "SKL", facile.Unroll)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestPublicSpeedups(t *testing.T) {
 
 func TestPublicExplain(t *testing.T) {
 	code := decode(t, "480fafc3 480fafcb 480fafd3") // three imuls: port-bound
-	report, err := facile.Explain(code, "SKL", facile.Unroll)
+	report, err := explainText(facile.DefaultEngine(), code, "SKL", facile.Unroll)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +159,7 @@ func TestPublicPredictAllArchesAllModes(t *testing.T) {
 	code := decode(t, "4801d8 4883c108 48ffca 75f3")
 	for _, arch := range facile.Archs() {
 		for _, mode := range []facile.Mode{facile.Unroll, facile.Loop} {
-			pred, err := facile.Predict(code, arch, mode)
+			pred, err := predict(facile.DefaultEngine(), code, arch, mode)
 			if err != nil {
 				t.Fatalf("%s/%v: %v", arch, mode, err)
 			}

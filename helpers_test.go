@@ -1,0 +1,13 @@
+package facile
+
+import "context"
+
+// predictT is the single-block prediction call shape the behavioural tests
+// below were written against, expressed over the Analyze API.
+func predictT(e *Engine, code []byte, arch string, mode Mode) (Prediction, error) {
+	ana, err := e.Analyze(context.Background(), Request{Code: code, Arch: arch, Mode: mode})
+	if err != nil {
+		return Prediction{}, err
+	}
+	return ana.Prediction, nil
+}

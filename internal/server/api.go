@@ -178,6 +178,23 @@ type RegisterArchResponse struct {
 	Arch Arch `json:"arch"`
 }
 
+// SweepRequest is the wire form of POST /v1/sweep: a design-space grid
+// (see internal/sweep.Grid) plus the workload blocks to rank its points on.
+type SweepRequest struct {
+	// Grid is the design-space grid document: {"base": ..., "axes": [...]}.
+	Grid json.RawMessage `json:"grid"`
+	// Blocks is the workload: hex-encoded basic blocks.
+	Blocks []string `json:"blocks"`
+	// Mode overrides the grid's throughput notion ("loop"/"unroll").
+	Mode string `json:"mode,omitempty"`
+	// Workers bounds the sweep's parallelism across variants. Zero selects
+	// the server default; the result does not depend on it.
+	Workers int `json:"workers,omitempty"`
+	// Top truncates the ranked frontier in the response (0 returns all
+	// rows).
+	Top int `json:"top,omitempty"`
+}
+
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`

@@ -75,6 +75,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) (any, err
 		fmt.Fprintf(&sb, "facile_admission_shed_total{reason=\"client_cap\"} %d\n", a.shedClientCap.Load())
 	}
 
+	sb.WriteString("# HELP facile_sweep_points_total Design points served by completed sweeps.\n")
+	sb.WriteString("# TYPE facile_sweep_points_total counter\n")
+	fmt.Fprintf(&sb, "facile_sweep_points_total %d\n", s.sweepPoints.Load())
+	sb.WriteString("# HELP facile_sweep_analyses_total Variant-block analyses served by completed sweeps.\n")
+	sb.WriteString("# TYPE facile_sweep_analyses_total counter\n")
+	fmt.Fprintf(&sb, "facile_sweep_analyses_total %d\n", s.sweepAnalyses.Load())
+
 	stats := s.engine.Stats()
 	sb.WriteString("# HELP facile_engine_cache_hits_total Engine prediction-cache hits.\n")
 	sb.WriteString("# TYPE facile_engine_cache_hits_total counter\n")

@@ -24,6 +24,7 @@ const (
 	DefaultMaxBlockBytes  = 4096
 	DefaultMaxBatchItems  = 1024
 	DefaultMaxBodyBytes   = 1 << 20
+	DefaultMaxSweepPoints = 1024
 )
 
 // Config configures a Server. Engine is required; every other field has a
@@ -43,9 +44,13 @@ type Config struct {
 	// MaxBlockBytes bounds the byte length of one basic block.
 	// Zero selects DefaultMaxBlockBytes.
 	MaxBlockBytes int
-	// MaxBatchItems bounds len(requests) of one /v1/predict/batch call.
+	// MaxBatchItems bounds len(requests) of one /v1/predict/batch call and
+	// the workload size of one /v1/sweep call.
 	// Zero selects DefaultMaxBatchItems.
 	MaxBatchItems int
+	// MaxSweepPoints bounds how many design points one /v1/sweep grid may
+	// enumerate. Zero selects DefaultMaxSweepPoints.
+	MaxSweepPoints int
 	// MaxBodyBytes bounds the request body size.
 	// Zero selects DefaultMaxBodyBytes.
 	MaxBodyBytes int64
@@ -77,14 +82,20 @@ const DefaultMaxSnapshotBytes = 256 << 20
 // http.Handler; construct with New, serve with net/http, and Close when
 // done. See docs/API.md for the endpoint reference.
 type Server struct {
-	engine        *facile.Engine
-	mux           *http.ServeMux
-	batcher       *batcher   // nil when micro-batching is disabled
-	admit         *admission // nil when admission control is disabled
-	timeout       time.Duration
-	maxBlockBytes int
-	maxBatchItems int
-	maxBodyBytes  int64
+	engine         *facile.Engine
+	mux            *http.ServeMux
+	batcher        *batcher   // nil when micro-batching is disabled
+	admit          *admission // nil when admission control is disabled
+	timeout        time.Duration
+	maxBlockBytes  int
+	maxBatchItems  int
+	maxSweepPoints int
+	maxBodyBytes   int64
+
+	// sweepPoints/sweepAnalyses count the design points and variant-block
+	// analyses served by completed /v1/sweep requests.
+	sweepPoints   atomic.Uint64
+	sweepAnalyses atomic.Uint64
 
 	routes    []*routeMetrics
 	closeOnce sync.Once
@@ -113,12 +124,13 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("server: Config.Engine is required")
 	}
 	s := &Server{
-		engine:        cfg.Engine,
-		mux:           http.NewServeMux(),
-		timeout:       cfg.RequestTimeout,
-		maxBlockBytes: cfg.MaxBlockBytes,
-		maxBatchItems: cfg.MaxBatchItems,
-		maxBodyBytes:  cfg.MaxBodyBytes,
+		engine:         cfg.Engine,
+		mux:            http.NewServeMux(),
+		timeout:        cfg.RequestTimeout,
+		maxBlockBytes:  cfg.MaxBlockBytes,
+		maxBatchItems:  cfg.MaxBatchItems,
+		maxSweepPoints: cfg.MaxSweepPoints,
+		maxBodyBytes:   cfg.MaxBodyBytes,
 	}
 	if s.timeout == 0 {
 		s.timeout = DefaultRequestTimeout
@@ -128,6 +140,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if s.maxBatchItems <= 0 {
 		s.maxBatchItems = DefaultMaxBatchItems
+	}
+	if s.maxSweepPoints <= 0 {
+		s.maxSweepPoints = DefaultMaxSweepPoints
 	}
 	if s.maxBodyBytes <= 0 {
 		s.maxBodyBytes = DefaultMaxBodyBytes
@@ -159,6 +174,7 @@ func New(cfg Config) (*Server, error) {
 	s.route("POST /v1/predict/batch", s.admitted(s.handlePredictBatch))
 	s.route("POST /v1/explain", s.admitted(s.handleExplain))
 	s.route("POST /v1/speedups", s.admitted(s.handleSpeedups))
+	s.route("POST /v1/sweep", s.admitted(s.handleSweep))
 	s.route("GET /v1/archs", s.handleArchs)
 	s.route("POST /v1/archs", s.handleRegisterArch)
 	s.route("GET /v1/cache/snapshot", s.handleSnapshotGet)

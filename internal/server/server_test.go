@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
 	"encoding/hex"
 	"encoding/json"
@@ -100,10 +101,12 @@ func TestPredict(t *testing.T) {
 func TestPredictMatchesLibrary(t *testing.T) {
 	s := newTestServer(t, Config{})
 	raw, _ := hex.DecodeString(testBlockHex)
-	want, err := facile.Predict(raw, "SKL", facile.Loop)
+	wantAna, err := facile.DefaultEngine().Analyze(context.Background(),
+		facile.Request{Code: raw, Arch: "SKL", Mode: facile.Loop})
 	if err != nil {
 		t.Fatal(err)
 	}
+	want := wantAna.Prediction
 	var pred Prediction
 	if code := do(t, s, "POST", "/v1/predict",
 		BlockRequest{Code: testBlockHex, Arch: "SKL", Mode: "loop"}, &pred); code != 200 {

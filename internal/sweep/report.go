@@ -1,0 +1,82 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Text renders the ranked frontier as a deterministic human-readable
+// report. top bounds how many frontier rows print (<= 0 prints all); the
+// base context and the failed-point list always print in full. The output
+// is byte-identical for the same Result regardless of how it was computed.
+func (r *Result) Text(top int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Design-space sweep — base %s, %s, %d blocks, %d points\n",
+		r.Base, r.Mode, r.Blocks, r.Points)
+	fmt.Fprintf(&sb, "base geomean: %.4f cycles/iteration\n", r.BaseGeomeanCycles)
+	sb.WriteString("base bottleneck rates:")
+	printed := false
+	for _, br := range r.BaseRates {
+		if br.Pct == 0 {
+			continue
+		}
+		if printed {
+			sb.WriteByte(';')
+		}
+		fmt.Fprintf(&sb, " %s %.2f%%", br.Component, br.Pct)
+		printed = true
+	}
+	if !printed {
+		sb.WriteString(" none")
+	}
+	sb.WriteString("\n\n")
+
+	n := len(r.Variants)
+	shown := n
+	if top > 0 && top < n {
+		shown = top
+	}
+	fmt.Fprintf(&sb, "frontier (%d of %d variants):\n", shown, n)
+	for _, v := range r.Variants[:shown] {
+		fmt.Fprintf(&sb, "%4d  %7.4fx  %s\n", v.Rank, v.GeomeanSpeedup, v.Name)
+		fmt.Fprintf(&sb, "      shifts: %s\n", topShifts(v.Shifts, 3))
+	}
+	if len(r.Failed) > 0 {
+		fmt.Fprintf(&sb, "\nfailed points (%d):\n", len(r.Failed))
+		for _, f := range r.Failed {
+			fmt.Fprintf(&sb, "  %s: %s\n", f.Name, f.Error)
+		}
+	}
+	return sb.String()
+}
+
+// topShifts renders the k largest bottleneck shifts of a row (by absolute
+// delta, ties in pipeline order). Rows where nothing shifted say so rather
+// than printing zeros.
+func topShifts(shifts []ComponentShift, k int) string {
+	idx := make([]int, len(shifts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return math.Abs(shifts[idx[a]].DeltaPP) > math.Abs(shifts[idx[b]].DeltaPP)
+	})
+	var parts []string
+	for _, i := range idx {
+		if len(parts) == k {
+			break
+		}
+		s := shifts[i]
+		if s.DeltaPP == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s %+.2fpp (%.2f%%→%.2f%%)",
+			s.Component, s.DeltaPP, s.BasePct, s.VariantPct))
+	}
+	if len(parts) == 0 {
+		return "no bottleneck shift"
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,273 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"facile"
+)
+
+// Workload is the block set a sweep evaluates every design point on.
+type Workload struct {
+	// Blocks holds the raw machine code of each basic block.
+	Blocks [][]byte
+	// Mode is the throughput notion for the whole sweep.
+	Mode facile.Mode
+}
+
+// Options tunes a sweep run.
+type Options struct {
+	// Workers bounds the sweep's parallelism across variants (each
+	// variant's workload batch runs serially, so folds are deterministic).
+	// Values <= 0 select GOMAXPROCS.
+	Workers int
+}
+
+// ComponentRate is one component's bottleneck rate over a workload: the
+// percentage of blocks whose breakdown flags the component as a bottleneck.
+type ComponentRate struct {
+	Component string  `json:"component"`
+	Pct       float64 `json:"pct"`
+}
+
+// ComponentShift is one component's bottleneck-rate shift between the base
+// and a variant — the interpretability payload of a frontier row ("the
+// issue bound stops binding on 42% of blocks" reads as DeltaPP = -42).
+type ComponentShift struct {
+	Component  string  `json:"component"`
+	BasePct    float64 `json:"base_pct"`
+	VariantPct float64 `json:"variant_pct"`
+	DeltaPP    float64 `json:"delta_pp"`
+}
+
+// VariantResult is one ranked frontier row.
+type VariantResult struct {
+	Rank    int             `json:"rank"`
+	Name    string          `json:"name"`
+	Overlay json.RawMessage `json:"overlay,omitempty"`
+	// GeomeanSpeedup is the geometric-mean per-block speedup of the
+	// variant versus the base (values above 1 mean the variant is faster).
+	GeomeanSpeedup float64 `json:"geomean_speedup"`
+	// Shifts carries every component's bottleneck-rate shift, in pipeline
+	// order.
+	Shifts []ComponentShift `json:"bottleneck_shifts"`
+}
+
+// FailedVariant is a design point the sweep could not evaluate: a grid
+// value combination the spec validator rejects, or a variant some workload
+// block has no instruction descriptors for.
+type FailedVariant struct {
+	Name    string          `json:"name"`
+	Overlay json.RawMessage `json:"overlay,omitempty"`
+	Error   string          `json:"error"`
+}
+
+// Result is a completed sweep: the ranked frontier plus the base context
+// the deltas read against.
+type Result struct {
+	Base   string      `json:"base"`
+	Mode   facile.Mode `json:"mode"`
+	Blocks int         `json:"blocks"`
+	Points int         `json:"points"`
+	// BaseGeomeanCycles is the geomean predicted cycles/iteration of the
+	// workload on the base.
+	BaseGeomeanCycles float64 `json:"base_geomean_cycles"`
+	// BaseRates holds the base's per-component bottleneck rates, in
+	// pipeline order.
+	BaseRates []ComponentRate `json:"base_bottleneck_rates"`
+	// Variants is the ranked frontier: geomean speedup descending, ties
+	// broken by name ascending.
+	Variants []VariantResult `json:"variants"`
+	// Failed lists unevaluable design points, name ascending.
+	Failed []FailedVariant `json:"failed,omitempty"`
+}
+
+// Run executes a sweep: one cached base pass over the workload, then every
+// grid point as an ephemeral variant through the engine's chunked batch
+// kernel, folded into the ranked frontier. Variants are evaluated in
+// parallel (Options.Workers) but each variant's fold reads only its own
+// results in block order, and ranking breaks ties by name — the Result is
+// identical at any worker count.
+//
+// ctx cancels the sweep between variants and between blocks; a cancelled
+// run returns ctx's error. Individually invalid design points do not fail
+// the run: they are reported in Result.Failed.
+func Run(ctx context.Context, eng *facile.Engine, grid *Grid, wl Workload, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if eng == nil {
+		return nil, fmt.Errorf("sweep: nil engine")
+	}
+	if len(wl.Blocks) == 0 {
+		return nil, fmt.Errorf("sweep: empty workload")
+	}
+	points, err := grid.Enumerate()
+	if err != nil {
+		return nil, err
+	}
+
+	comps := facile.ComponentNames()
+	compIdx := make(map[string]int, len(comps))
+	for i, c := range comps {
+		compIdx[c] = i
+	}
+
+	// Base pass: the registered base arch through the normal cached path.
+	reqs := make([]facile.Request, len(wl.Blocks))
+	for i, code := range wl.Blocks {
+		reqs[i] = facile.Request{Code: code, Arch: grid.Base, Mode: wl.Mode}
+	}
+	baseTP := make([]float64, len(reqs))
+	baseBn := make([]int, len(comps))
+	baseLogSum := 0.0
+	for i, r := range eng.AnalyzeBatchN(ctx, reqs, opts.Workers) {
+		if r.Err != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("sweep: base %q, block %d: %w", grid.Base, i, r.Err)
+		}
+		tp := r.Analysis.Prediction.CyclesPerIteration
+		if tp <= 0 {
+			return nil, fmt.Errorf("sweep: base %q, block %d: non-positive prediction %g", grid.Base, i, tp)
+		}
+		baseTP[i] = tp
+		baseLogSum += math.Log(tp)
+		countBottlenecks(r.Analysis, compIdx, baseBn)
+	}
+
+	res := &Result{
+		Base:              grid.Base,
+		Mode:              wl.Mode,
+		Blocks:            len(wl.Blocks),
+		Points:            len(points),
+		BaseGeomeanCycles: round4(math.Exp(baseLogSum / float64(len(reqs)))),
+		BaseRates:         make([]ComponentRate, len(comps)),
+	}
+	for i, c := range comps {
+		res.BaseRates[i] = ComponentRate{Component: c, Pct: pct(baseBn[i], len(reqs))}
+	}
+
+	// Variant passes: workers claim whole variants; within a variant the
+	// batch runs serially on the chunked kernel's shared scratch.
+	type outcome struct {
+		ok     VariantResult
+		failed *FailedVariant
+	}
+	outcomes := make([]*outcome, len(points))
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	reg := eng.Registry()
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				pi := int(next.Add(1))
+				if pi >= len(points) || ctx.Err() != nil {
+					return
+				}
+				pt := points[pi]
+				o := &outcome{}
+				v, err := reg.DeriveVariant(pt.Name, grid.Base, pt.Overlay)
+				if err != nil {
+					o.failed = &FailedVariant{Name: pt.Name, Overlay: pt.Overlay, Error: err.Error()}
+					outcomes[pi] = o
+					continue
+				}
+				varBn := make([]int, len(comps))
+				logSum := 0.0
+				for i, r := range eng.AnalyzeVariantBatchN(ctx, v, reqs, 1) {
+					if r.Err != nil {
+						if ctx.Err() != nil {
+							return // cancelled; Run reports ctx.Err()
+						}
+						o.failed = &FailedVariant{Name: pt.Name, Overlay: pt.Overlay, Error: r.Err.Error()}
+						break
+					}
+					tp := r.Analysis.Prediction.CyclesPerIteration
+					if tp <= 0 {
+						o.failed = &FailedVariant{Name: pt.Name, Overlay: pt.Overlay,
+							Error: fmt.Sprintf("block %d: non-positive prediction %g", i, tp)}
+						break
+					}
+					logSum += math.Log(baseTP[i] / tp)
+					countBottlenecks(r.Analysis, compIdx, varBn)
+				}
+				if o.failed == nil {
+					row := VariantResult{
+						Name:           pt.Name,
+						Overlay:        pt.Overlay,
+						GeomeanSpeedup: round4(math.Exp(logSum / float64(len(reqs)))),
+						Shifts:         make([]ComponentShift, len(comps)),
+					}
+					for ci, c := range comps {
+						bp, vp := pct(baseBn[ci], len(reqs)), pct(varBn[ci], len(reqs))
+						row.Shifts[ci] = ComponentShift{
+							Component: c, BasePct: bp, VariantPct: vp,
+							DeltaPP: round2(vp - bp),
+						}
+					}
+					o.ok = row
+				}
+				outcomes[pi] = o
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	for _, o := range outcomes {
+		if o.failed != nil {
+			res.Failed = append(res.Failed, *o.failed)
+			continue
+		}
+		res.Variants = append(res.Variants, o.ok)
+	}
+	sort.SliceStable(res.Variants, func(i, j int) bool {
+		a, b := &res.Variants[i], &res.Variants[j]
+		if a.GeomeanSpeedup != b.GeomeanSpeedup {
+			return a.GeomeanSpeedup > b.GeomeanSpeedup
+		}
+		return a.Name < b.Name
+	})
+	for i := range res.Variants {
+		res.Variants[i].Rank = i + 1
+	}
+	sort.SliceStable(res.Failed, func(i, j int) bool { return res.Failed[i].Name < res.Failed[j].Name })
+	return res, nil
+}
+
+// countBottlenecks increments counts for every component the analysis flags
+// as a bottleneck.
+func countBottlenecks(a *facile.Analysis, compIdx map[string]int, counts []int) {
+	for _, b := range a.Bounds {
+		if b.Bottleneck {
+			counts[compIdx[b.Component]]++
+		}
+	}
+}
+
+func pct(n, total int) float64 {
+	return round2(100 * float64(n) / float64(total))
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+func round4(v float64) float64 { return math.Round(v*10000) / 10000 }

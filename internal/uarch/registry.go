@@ -157,10 +157,11 @@ func (r *Registry) Load(data []byte) (*Config, error) {
 	return r.Register(&spec)
 }
 
-// Derive registers a variant of base under name: overlay is a JSON object
-// holding just the overridden spec fields ("SKL but lsd_enabled true"). A
-// nil or empty overlay registers an exact copy under the new name.
-func (r *Registry) Derive(name, base string, overlay []byte) (*Config, error) {
+// deriveSpec materializes the spec of a variant of base under name: the
+// base's spec with overlay (a JSON object holding just the overridden
+// fields) decoded on top, CPU/release identity cleared, and the new name
+// applied. It is the shared front half of Derive and DeriveConfig.
+func (r *Registry) deriveSpec(name, base string, overlay []byte) (*Spec, error) {
 	baseCfg, err := r.ByName(base)
 	if err != nil {
 		return nil, fmt.Errorf("uarch: derive base: %w", err)
@@ -181,7 +182,32 @@ func (r *Registry) Derive(name, base string, overlay []byte) (*Config, error) {
 		return nil, fmt.Errorf("uarch: derive overlay for %q must not set \"base\"", name)
 	}
 	spec.Name = name
-	return r.Register(&spec)
+	return &spec, nil
+}
+
+// Derive registers a variant of base under name: overlay is a JSON object
+// holding just the overridden spec fields ("SKL but lsd_enabled true"). A
+// nil or empty overlay registers an exact copy under the new name.
+func (r *Registry) Derive(name, base string, overlay []byte) (*Config, error) {
+	spec, err := r.deriveSpec(name, base, overlay)
+	if err != nil {
+		return nil, err
+	}
+	return r.Register(spec)
+}
+
+// DeriveConfig builds and validates a variant of base under name without
+// registering it. The returned Config is ephemeral: it has no registry
+// version, takes no registry slot (so enumerating a large design space can
+// never hit ErrRegistryFull), and is invisible to ByName. Design-space
+// sweeps derive their grid points through this path and analyze them with
+// variant-scoped engine calls that bypass the prediction cache.
+func (r *Registry) DeriveConfig(name, base string, overlay []byte) (*Config, error) {
+	spec, err := r.deriveSpec(name, base, overlay)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Config()
 }
 
 // ByName looks up a microarchitecture by name, case-insensitively, in O(1).

@@ -85,7 +85,7 @@ func parityRecords(t *testing.T) []parityRecord {
 			if bk[1] == "loop" {
 				mode = Loop
 			}
-			pred, err := Predict(code, arch, mode)
+			pred, err := predictT(DefaultEngine(), code, arch, mode)
 			if err != nil {
 				t.Fatalf("Predict(%s, %s, %s): %v", bk[0], arch, bk[1], err)
 			}

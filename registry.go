@@ -5,7 +5,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 
+	"facile/internal/bb"
 	"facile/internal/uarch"
 )
 
@@ -78,6 +80,54 @@ func (ar *ArchRegistry) Derive(name, base string, overlay []byte) (ArchInfo, err
 		return ArchInfo{}, err
 	}
 	return infoFor(cfg), nil
+}
+
+// Variant is an ephemeral microarchitecture: a validated design point
+// derived from a registered base without being registered itself. Variants
+// take no registry slot — enumerating a 2,000-point design-space grid can
+// never hit ErrArchRegistryFull — and are invisible to name lookup, so they
+// cannot collide with (or poison the cache-key versioning of) registered
+// arches. Analyze a workload against one with Engine.AnalyzeVariantBatchN.
+//
+// A Variant memoizes its per-instruction descriptor state across calls and
+// is safe for concurrent use.
+type Variant struct {
+	cfg    *uarch.Config
+	bdOnce sync.Once
+	bd     *bb.Builder
+}
+
+// Name returns the variant's name (as passed to DeriveVariant).
+func (v *Variant) Name() string { return v.cfg.Name }
+
+// Info returns the variant's parameter summary, in the same shape served
+// for registered arches.
+func (v *Variant) Info() ArchInfo { return infoFor(v.cfg) }
+
+// Spec returns the variant's full declarative JSON spec — the document that
+// would recreate it (via LoadSpec or DeriveVariant with no overlay).
+func (v *Variant) Spec() ([]byte, error) {
+	return uarch.SpecFromConfig(v.cfg).JSON()
+}
+
+// builder returns the variant's memoized block builder, creating it on
+// first use.
+func (v *Variant) builder() *bb.Builder {
+	v.bdOnce.Do(func() { v.bd = bb.NewBuilder(v.cfg) })
+	return v.bd
+}
+
+// DeriveVariant builds and validates a variant of base under name without
+// registering it: overlay is a JSON object holding just the overridden spec
+// fields, exactly as in Derive. Use it for ephemeral design points —
+// parameter sweeps, what-if queries — that should not consume registry
+// capacity; use Derive when the variant must be servable by name.
+func (ar *ArchRegistry) DeriveVariant(name, base string, overlay []byte) (*Variant, error) {
+	cfg, err := ar.reg().DeriveConfig(name, base, overlay)
+	if err != nil {
+		return nil, err
+	}
+	return &Variant{cfg: cfg}, nil
 }
 
 // LoadSpecDir loads every *.json spec file in dir and returns the

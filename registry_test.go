@@ -69,7 +69,7 @@ func TestEngineServesRegistryDynamically(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Predict(testBlock, "SKL-W6", Loop); err == nil {
+	if _, err := predictT(e, testBlock, "SKL-W6", Loop); err == nil {
 		t.Fatal("unregistered arch predicted")
 	}
 	if _, err := reg.Derive("SKL-W6", "SKL", []byte(`{"issue_width": 6, "retire_width": 6}`)); err != nil {
@@ -78,7 +78,7 @@ func TestEngineServesRegistryDynamically(t *testing.T) {
 	if !e.HasArch("skl-w6") {
 		t.Fatal("engine does not see the new arch")
 	}
-	p1, err := e.Predict(testBlock, "SKL-W6", Loop)
+	p1, err := predictT(e, testBlock, "SKL-W6", Loop)
 	if err != nil {
 		t.Fatalf("predicting on a runtime-registered arch: %v", err)
 	}
@@ -86,7 +86,7 @@ func TestEngineServesRegistryDynamically(t *testing.T) {
 		t.Fatalf("Arch = %q, want canonical SKL-W6", p1.Arch)
 	}
 	before := e.Stats()
-	p2, err := e.Predict(testBlock, "skl-w6", Loop) // case-folded: same cache entry
+	p2, err := predictT(e, testBlock, "skl-w6", Loop) // case-folded: same cache entry
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,11 +130,11 @@ func TestEngineRegistryIsolation(t *testing.T) {
 	}
 	// Four independent adds: port-bound, so the single-ported X differs.
 	portsBlock, _ := hex.DecodeString("4801d84801d94801da4801de")
-	pA, err := eA.Predict(portsBlock, "X", Loop)
+	pA, err := predictT(eA, portsBlock, "X", Loop)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pB, err := eB.Predict(portsBlock, "X", Loop)
+	pB, err := predictT(eB, portsBlock, "X", Loop)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestEngineRegistryIsolation(t *testing.T) {
 		t.Fatalf("two different machines named X predict identically (%.2f); registry scoping is broken",
 			pA.CyclesPerIteration)
 	}
-	ref, _ := eA.Predict(portsBlock, "SKL", Loop)
+	ref, _ := predictT(eA, portsBlock, "SKL", Loop)
 	if pA.CyclesPerIteration != ref.CyclesPerIteration {
 		t.Fatalf("A's X (= SKL copy) predicts %.2f, SKL %.2f", pA.CyclesPerIteration, ref.CyclesPerIteration)
 	}
@@ -163,10 +163,10 @@ func TestEngineRestricted(t *testing.T) {
 	if got := fmt.Sprint(e.Archs()); got != "[SKL RKL]" {
 		t.Fatalf("Archs() = %s", got)
 	}
-	if _, err := e.Predict(testBlock, "SKL", Loop); err != nil {
+	if _, err := predictT(e, testBlock, "SKL", Loop); err != nil {
 		t.Fatal(err)
 	}
-	_, err = e.Predict(testBlock, "HSW", Loop)
+	_, err = predictT(e, testBlock, "HSW", Loop)
 	if err == nil || !strings.Contains(err.Error(), "not configured") {
 		t.Fatalf("out-of-set arch error = %v", err)
 	}
@@ -202,7 +202,7 @@ func TestConcurrentRegisterPredict(t *testing.T) {
 					return
 				default:
 				}
-				if _, err := e.Predict(testBlock, archs[(i+w)%len(archs)], Loop); err != nil {
+				if _, err := predictT(e, testBlock, archs[(i+w)%len(archs)], Loop); err != nil {
 					t.Error(err)
 					return
 				}
@@ -215,7 +215,7 @@ func TestConcurrentRegisterPredict(t *testing.T) {
 			t.Fatal(err)
 		}
 		// Newly registered arches predict while others register.
-		if _, err := e.Predict(testBlock, name, Loop); err != nil {
+		if _, err := predictT(e, testBlock, name, Loop); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -263,7 +263,7 @@ func TestLoadSpecDirOrderIndependent(t *testing.T) {
 }
 
 func TestPredictCaseInsensitiveArch(t *testing.T) {
-	p, err := Predict(testBlock, "skl", Loop)
+	p, err := predictT(DefaultEngine(), testBlock, "skl", Loop)
 	if err != nil {
 		t.Fatal(err)
 	}

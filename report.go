@@ -35,8 +35,8 @@ type Report struct {
 	// Speedups is the counterfactual table, sorted descending.
 	Speedups []Speedup `json:"speedups"`
 
-	// textOnce memoizes the rendered text, so repeated Text calls (and the
-	// Engine.Explain view) never re-render.
+	// textOnce memoizes the rendered text, so repeated Text calls never
+	// re-render.
 	textOnce sync.Once
 	text     string
 }
@@ -146,13 +146,4 @@ func (r *Report) render() string {
 		}
 	}
 	return sb.String()
-}
-
-// Explain produces the human-readable bottleneck report for the block — a
-// view over the default engine's Analyze: equivalent to
-// DefaultEngine().Analyze(ctx, Request{..., Detail: DetailFull}) followed by
-// Report.Text. Retained as a thin shim for one release; new code should
-// call Engine.Analyze and render (or marshal) the structured Report.
-func Explain(code []byte, arch string, mode Mode) (string, error) {
-	return DefaultEngine().Explain(code, arch, mode)
 }

@@ -53,7 +53,7 @@ func TestExplainGolden(t *testing.T) {
 	for _, tc := range reportCases {
 		t.Run(tc.name, func(t *testing.T) {
 			code := decode(t, tc.hex)
-			report, err := facile.Explain(code, tc.arch, tc.mode)
+			report, err := explainText(facile.DefaultEngine(), code, tc.arch, tc.mode)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -86,7 +86,7 @@ func TestExplainGoldenStructure(t *testing.T) {
 	}
 	for _, tc := range reportCases {
 		t.Run(tc.name, func(t *testing.T) {
-			report, err := facile.Explain(decode(t, tc.hex), tc.arch, tc.mode)
+			report, err := explainText(facile.DefaultEngine(), decode(t, tc.hex), tc.arch, tc.mode)
 			if err != nil {
 				t.Fatal(err)
 			}

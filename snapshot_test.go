@@ -20,7 +20,7 @@ func warmEngine(t *testing.T, cfg facile.EngineConfig, n int) (*facile.Engine, [
 	var codes [][]byte
 	var reports []string
 	for _, bm := range corpus {
-		rep, err := e.Explain(bm.LoopCode, "SKL", facile.Loop)
+		rep, err := explainText(e, bm.LoopCode, "SKL", facile.Loop)
 		if err != nil {
 			continue
 		}
@@ -64,7 +64,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	// Every query against the imported cache is a hit with identical text.
 	before := dst.Stats()
 	for i, code := range codes {
-		rep, err := dst.Explain(code, "SKL", facile.Loop)
+		rep, err := explainText(dst, code, "SKL", facile.Loop)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -133,7 +133,7 @@ func TestSnapshotByteBudget(t *testing.T) {
 
 	// The most recently used entry survives a bounded export.
 	hot := codes[len(codes)-1]
-	if _, err := src.Explain(hot, "SKL", facile.Loop); err != nil {
+	if _, err := explainText(src, hot, "SKL", facile.Loop); err != nil {
 		t.Fatal(err)
 	}
 	var tight bytes.Buffer
@@ -145,7 +145,7 @@ func TestSnapshotByteBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := dst.Stats()
-	if _, err := dst.Predict(hot, "SKL", facile.Loop); err != nil {
+	if _, err := predict(dst, hot, "SKL", facile.Loop); err != nil {
 		t.Fatal(err)
 	}
 	if st := dst.Stats(); st.Hits != before.Hits+1 {
@@ -229,7 +229,7 @@ func TestSnapshotVersionMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	src := newTestEngine(t, facile.EngineConfig{Registry: reg})
-	if _, err := src.Explain(decode(t, "4801d8"), "SNAPV", facile.Loop); err != nil {
+	if _, err := explainText(src, decode(t, "4801d8"), "SNAPV", facile.Loop); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
@@ -318,7 +318,7 @@ func TestSnapshotRestrictedArchSkipped(t *testing.T) {
 	src := newTestEngine(t, facile.EngineConfig{})
 	code := decode(t, "4801d8")
 	for _, arch := range []string{"SKL", "RKL"} {
-		if _, err := src.Explain(code, arch, facile.Loop); err != nil {
+		if _, err := explainText(src, code, arch, facile.Loop); err != nil {
 			t.Fatal(err)
 		}
 	}
